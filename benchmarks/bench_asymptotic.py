@@ -1,0 +1,80 @@
+"""Reproduction of the **Section 6.2** practical-security classification.
+
+Regenerates the three regimes the paper distinguishes — perfect
+query-view security, practical query-view security and practical
+disclosure — for representative boolean pairs over a binary relation
+with constant expected size, and validates the analytic asymptotic
+orders ``μ_n[Q] ≈ c·n^{-d}`` against Monte-Carlo simulation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import q
+from repro.bench import binary_schema
+from repro.core import (
+    PracticalSecurityLevel,
+    asymptotic_order,
+    classify_practical_security,
+    empirical_mu,
+)
+
+SCHEMA = binary_schema(("a", "b"))
+EXPECTED_SIZE = 3.0
+
+TITLE = "Section 6.2 — practical (asymptotic) security"
+HEADER = ("secret", "view", "expected regime", "measured regime", "lim μ_n[S|V]")
+
+CASES = [
+    (
+        q("S() :- R('a', 'a')"),
+        q("V() :- R('b', 'b')"),
+        PracticalSecurityLevel.PERFECT,
+    ),
+    (
+        q("S() :- R('a', 'b')"),
+        q("V() :- R('a', x)"),
+        PracticalSecurityLevel.PRACTICAL_SECURITY,
+    ),
+    (
+        q("S() :- R('a', 'b')"),
+        q("V() :- R('a', 'b'), R('b', x)"),
+        PracticalSecurityLevel.PRACTICAL_DISCLOSURE,
+    ),
+]
+
+
+@pytest.mark.parametrize("case", CASES, ids=["perfect", "practical-security", "practical-disclosure"])
+def test_practical_security_classification(benchmark, experiment_report, case):
+    secret, view, expected = case
+    report = experiment_report(TITLE, HEADER)
+    result = benchmark(
+        classify_practical_security, secret, view, SCHEMA, EXPECTED_SIZE
+    )
+    report.add_row(repr(secret), repr(view), expected.value, result.level.value, f"{result.limit:.3f}")
+    assert result.level is expected
+
+
+def test_asymptotic_orders_match_simulation(benchmark, experiment_report):
+    report = experiment_report(
+        "Section 6.2 — analytic μ_n[Q] vs Monte-Carlo simulation",
+        ("query", "n", "analytic c·n^-d", "simulated μ_n"),
+    )
+    query = q("V() :- R('a', x)")
+    order = asymptotic_order(query, expected_sizes=EXPECTED_SIZE)
+
+    def simulate():
+        return {
+            n: empirical_mu(query, domain_size=n, expected_sizes=EXPECTED_SIZE,
+                            samples=4000, seed=11)
+            for n in (20, 40, 80)
+        }
+
+    simulated = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    for n, value in simulated.items():
+        predicted = order.estimate(n)
+        report.add_row(repr(query), n, f"{predicted:.4f}", f"{value:.4f}")
+        assert value == pytest.approx(predicted, rel=0.35)
+
+    assert order.exponent == 1

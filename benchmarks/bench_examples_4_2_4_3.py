@@ -1,0 +1,116 @@
+"""Reproduction of **Examples 4.2 / 4.3** and the Section 2.1 boolean example.
+
+Example 4.2 (non-security): over ``R(X,Y)``, ``D = {a,b}``, ``P(t) = 1/2``,
+the paper computes ``P[S(I) = {(a)}] = 3/16`` but
+``P[S(I) = {(a)} | V(I) = {(b)}] = 1/3``.
+
+Example 4.3 (security): for ``V(x):-R(x,b)`` and ``S(y):-R(y,a)`` both
+probabilities equal ``1/4``.
+
+Section 2.1: a boolean view can sharply raise the probability of a
+boolean secret even though it rules out no possible answer — the
+motivation for a probabilistic (rather than possible-answers) criterion.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Dictionary, ExactEngine, q
+from repro.bench import binary_schema
+from repro.core import verify_security_probabilistically
+from repro.probability import QueryAnswerIs, QueryTrue
+from repro.relational import Domain, RelationSchema, Schema
+
+SCHEMA = binary_schema(("a", "b"))
+DICTIONARY = Dictionary.uniform(SCHEMA, Fraction(1, 2))
+
+
+def test_example_4_2_non_security(benchmark, experiment_report):
+    report = experiment_report(
+        "Examples 4.2 / 4.3 — exact probabilities",
+        ("example", "quantity", "paper", "measured"),
+    )
+    secret = q("S(y) :- R(x, y)")
+    view = q("V(x) :- R(x, y)")
+    engine = ExactEngine(DICTIONARY)
+    s_event = QueryAnswerIs(secret, [("a",)])
+    v_event = QueryAnswerIs(view, [("b",)])
+
+    prior = engine.probability(s_event)
+    posterior = engine.conditional_probability(s_event, v_event)
+    secure = benchmark(verify_security_probabilistically, secret, view, DICTIONARY)
+
+    report.add_row("4.2", "P[S={(a)}]", "3/16", prior)
+    report.add_row("4.2", "P[S={(a)} | V={(b)}]", "1/3", posterior)
+    report.add_row("4.2", "secure", "no", "yes" if secure else "no")
+
+    assert prior == Fraction(3, 16)
+    assert posterior == Fraction(1, 3)
+    assert not secure
+
+
+def test_example_4_3_security(benchmark, experiment_report):
+    report = experiment_report(
+        "Examples 4.2 / 4.3 — exact probabilities",
+        ("example", "quantity", "paper", "measured"),
+    )
+    secret = q("S(y) :- R(y, 'a')")
+    view = q("V(x) :- R(x, 'b')")
+    engine = ExactEngine(DICTIONARY)
+    s_event = QueryAnswerIs(secret, [("a",)])
+    v_event = QueryAnswerIs(view, [("b",)])
+
+    prior = engine.probability(s_event)
+    posterior = engine.conditional_probability(s_event, v_event)
+    secure = benchmark(verify_security_probabilistically, secret, view, DICTIONARY)
+
+    report.add_row("4.3", "P[S={(a)}]", "1/4", prior)
+    report.add_row("4.3", "P[S={(a)} | V={(b)}]", "1/4", posterior)
+    report.add_row("4.3", "secure", "yes", "yes" if secure else "no")
+
+    assert prior == Fraction(1, 4)
+    assert posterior == Fraction(1, 4)
+    assert secure
+
+
+def test_section_2_1_boolean_disclosure(benchmark, experiment_report):
+    report = experiment_report(
+        "Section 2.1 — possible-answers criterion is too weak",
+        ("quantity", "value"),
+    )
+    schema = Schema(
+        [
+            RelationSchema(
+                "Employee",
+                ("name", "dept", "phone"),
+                {
+                    "name": Domain.of("Jane", "Bob", "Ann"),
+                    "dept": Domain.of("Shipping"),
+                    "phone": Domain.of(1234567, 7654321, 5550000),
+                },
+            )
+        ],
+    )
+    dictionary = Dictionary.uniform(schema, Fraction(1, 20))
+    secret = q("S() :- Employee('Jane', 'Shipping', 1234567)")
+    view = q("V() :- Employee('Jane', 'Shipping', p), Employee(n, 'Shipping', 1234567)")
+    engine = ExactEngine(dictionary)
+
+    prior = engine.probability(QueryTrue(secret))
+    posterior = benchmark(
+        engine.conditional_probability, QueryTrue(secret), QueryTrue(view)
+    )
+
+    report.add_row("P[S]", f"{float(prior):.4f}")
+    report.add_row("P[S | V]", f"{float(posterior):.4f}")
+    report.add_row("belief amplification", f"x{float(posterior / prior):.1f}")
+    report.add_note(
+        "both truth values of S remain possible given V, yet the probability "
+        "rises sharply — exactly the disclosure the paper's criterion captures"
+    )
+
+    assert 0 < posterior < 1
+    assert posterior > 5 * prior

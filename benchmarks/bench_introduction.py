@@ -1,0 +1,91 @@
+"""Reproduction of the **introduction's collusion guessing attack**.
+
+"If only four people work in each department then an adversary can guess
+any person's phone number with a 25% chance of success by trying any of
+the four phone numbers in her department."
+
+The harness publishes the two projections (name, department) and
+(department, phone) of a single-department company, conditions on the
+published answers, and measures the adversary's best-guess probability
+for one person's phone as the department grows.  The success probability
+starts far above the prior and falls towards ``1/k`` as ``k`` people
+share the department — the paper's 25% for ``k = 4`` (the exact
+computation is run for ``k = 2, 3``; larger departments exceed the exact
+engine's enumeration budget and are the regime where the asymptotic
+analysis of Section 6.2 takes over).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Dictionary, q
+from repro.core import guessing_report
+from repro.relational import Domain, RelationSchema, Schema
+
+TITLE = "Introduction — collusion guessing attack (≈ 1/k success per person)"
+HEADER = ("people in the department", "prior P[alice↦phone]", "posterior best guess", "1/k")
+
+SECRET = q("S(n, p) :- Emp(n, d, p)")
+NAME_DEPARTMENT = q("Vnd(n, d) :- Emp(n, d, p)")
+DEPARTMENT_PHONE = q("Vdp(d, p) :- Emp(n, d, p)")
+
+
+def _department_schema(k: int) -> Schema:
+    people = tuple(f"person{i}" for i in range(k))
+    phones = tuple(f"x{i}" for i in range(k))
+    return Schema(
+        [
+            RelationSchema(
+                "Emp",
+                ("name", "department", "phone"),
+                {
+                    "name": Domain.of(*people),
+                    "department": Domain.of("hr"),
+                    "phone": Domain.of(*phones),
+                },
+            )
+        ]
+    )
+
+
+def _attack(k: int):
+    schema = _department_schema(k)
+    people = [f"person{i}" for i in range(k)]
+    phones = [f"x{i}" for i in range(k)]
+    dictionary = Dictionary.uniform(schema, Fraction(1, k * k))
+    return guessing_report(
+        SECRET,
+        [NAME_DEPARTMENT, DEPARTMENT_PHONE],
+        [[(name, "hr") for name in people], [("hr", phone) for phone in phones]],
+        dictionary,
+        restrict_to_rows=[("person0", phone) for phone in phones],
+    )
+
+
+@pytest.mark.parametrize("department_size", [2, 3])
+def test_guessing_probability_tracks_department_size(
+    benchmark, experiment_report, department_size
+):
+    report = experiment_report(TITLE, HEADER)
+    attack = benchmark.pedantic(_attack, args=(department_size,), rounds=1, iterations=1)
+    report.add_row(
+        department_size,
+        f"{float(attack.prior):.3f}",
+        f"{float(attack.posterior):.3f}",
+        f"{1 / department_size:.3f}",
+    )
+    if department_size == 3:
+        report.add_note(
+            "the guess probability falls towards 1/k as the department grows; "
+            "the paper's '25% chance' is the k = 4 point of the same series"
+        )
+    # The collusion always gives the adversary at least the 1/k guess the
+    # paper describes, and a strict improvement over the prior.
+    assert attack.posterior >= Fraction(1, department_size)
+    assert attack.posterior > attack.prior
+    # Larger departments dilute the guess.
+    if department_size == 3:
+        assert attack.posterior < _attack(2).posterior

@@ -1,0 +1,110 @@
+"""Reproduction of **Examples 6.2 / 6.3**: measuring disclosures and collusion.
+
+Regenerates the qualitative series the paper derives analytically:
+
+* ``leak(S, V_d)`` is *minute* and shrinks as the expected database size
+  grows (Example 6.2's ``ε ≈ 1/m``);
+* publishing ``V_{nd}`` (names + departments) leaks more than ``V_d``;
+* colluding ``V_{nd}`` with ``V_{dp}`` leaks more still (Example 6.3);
+* the Theorem 6.1 bound ``ε²/(1−ε²)`` dominates the measured leakage
+  whenever its hypothesis (``ε < 1``) holds.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Dictionary, q
+from repro.bench import employee_schema
+from repro.core import epsilon_of_theorem_6_1, leakage_bound_from_epsilon, positive_leakage
+
+SCHEMA = employee_schema(names=2, departments=2, phones=2)
+SECRET = q("S(n, p) :- Emp(n, d, p)")
+V_DEPARTMENT = q("Vd(d) :- Emp(n, d, p)")
+V_NAME_DEPARTMENT = q("Vnd(n, d) :- Emp(n, d, p)")
+V_DEPARTMENT_PHONE = q("Vdp(d, p) :- Emp(n, d, p)")
+
+TITLE = "Examples 6.2 / 6.3 — leakage and collusion"
+HEADER = ("view(s)", "expected size m", "leak(S, V̄)", "ε (Thm 6.1)", "bound ε²/(1−ε²)")
+
+
+def _measure(views, dictionary):
+    leak = positive_leakage(SECRET, views, dictionary)
+    epsilon = epsilon_of_theorem_6_1(SECRET, views, dictionary)
+    bound = leakage_bound_from_epsilon(epsilon) if epsilon < 1 else float("inf")
+    return leak, epsilon, bound
+
+
+@pytest.mark.parametrize("probability", [Fraction(1, 8), Fraction(1, 4), Fraction(1, 2)])
+def test_example_6_2_minute_leakage(benchmark, experiment_report, probability):
+    report = experiment_report(TITLE, HEADER)
+    dictionary = Dictionary.uniform(SCHEMA, probability)
+    leak, epsilon, bound = benchmark.pedantic(
+        _measure, args=([V_DEPARTMENT], dictionary), rounds=1, iterations=1
+    )
+    m = float(dictionary.expected_instance_size())
+    report.add_row(
+        "Vd(d)", f"{m:.1f}", f"{float(leak.leakage):.4f}", f"{float(epsilon):.4f}",
+        f"{bound:.4f}" if bound != float("inf") else "vacuous",
+    )
+    assert leak.leakage > 0
+    if epsilon < 1:
+        assert float(leak.leakage) <= bound + 1e-9
+
+
+def test_example_6_3_stronger_view_and_collusion(benchmark, experiment_report):
+    report = experiment_report(TITLE, HEADER)
+    dictionary = Dictionary.uniform(SCHEMA, Fraction(1, 4))
+    m = float(dictionary.expected_instance_size())
+
+    def run():
+        single = positive_leakage(SECRET, V_NAME_DEPARTMENT, dictionary)
+        collusion = positive_leakage(
+            SECRET, [V_NAME_DEPARTMENT, V_DEPARTMENT_PHONE], dictionary
+        )
+        return single, collusion
+
+    single, collusion = benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline = positive_leakage(SECRET, V_DEPARTMENT, dictionary)
+
+    report.add_row("Vnd(n,d)", f"{m:.1f}", f"{float(single.leakage):.4f}", "-", "-")
+    report.add_row(
+        "Vnd(n,d) + Vdp(d,p) (collusion)", f"{m:.1f}", f"{float(collusion.leakage):.4f}", "-", "-"
+    )
+    report.add_note(
+        "ordering reproduced: leak(S,Vd) < leak(S,Vnd) < leak(S,{Vnd,Vdp}) — "
+        "richer views and collusion increase the disclosure (Example 6.3)"
+    )
+
+    assert baseline.leakage < single.leakage < collusion.leakage
+
+
+def test_example_6_2_leakage_shrinks_with_database_size(benchmark, experiment_report):
+    report = experiment_report(
+        "Example 6.2 — leakage vs expected database size (ε ≈ 1/m)",
+        ("expected size m", "leak(S, Vd)", "ε"),
+    )
+
+    def sweep():
+        rows = []
+        for probability in (Fraction(1, 8), Fraction(1, 4), Fraction(1, 2), Fraction(3, 4)):
+            dictionary = Dictionary.uniform(SCHEMA, probability)
+            leak = positive_leakage(SECRET, V_DEPARTMENT, dictionary)
+            epsilon = epsilon_of_theorem_6_1(SECRET, V_DEPARTMENT, dictionary)
+            rows.append((float(dictionary.expected_instance_size()), leak, epsilon))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for m, leak, epsilon in rows:
+        report.add_row(f"{m:.1f}", f"{float(leak.leakage):.4f}", f"{float(epsilon):.4f}")
+    report.add_note(
+        "the measured leakage falls monotonically as the database grows denser "
+        "(the 1/m effect of Example 6.2); ε itself is not monotone on this tiny "
+        "domain because at high density the common tuple is likely present anyway"
+    )
+
+    leaks = [float(leak.leakage) for _, leak, _ in rows]
+    assert leaks == sorted(leaks, reverse=True)
+    assert leaks[-1] < leaks[0] / 100

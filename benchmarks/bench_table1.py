@@ -1,0 +1,49 @@
+"""Benchmark / reproduction of **Table 1**: the spectrum of information disclosure.
+
+For each of the four query-view pairs over ``Emp(name, department, phone)``
+the harness regenerates the two columns the paper reports — the informal
+disclosure level (Total / Partial / Minute / None) and the query-view
+security verdict (No / No / No / Yes) — and times the full classification
+pipeline (Theorem 4.5 decision + answerability probe + leakage measurement).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit import classify_disclosure
+from repro.bench import employee_schema, table1_pairs
+from repro.core import decide_security
+
+SCHEMA = employee_schema(names=2, departments=2, phones=2)
+ROWS = {row.row: row for row in table1_pairs()}
+
+
+@pytest.mark.parametrize("row_id", sorted(ROWS))
+def test_table1_row(benchmark, experiment_report, row_id):
+    row = ROWS[row_id]
+    report = experiment_report(
+        "Table 1 — spectrum of information disclosure",
+        ("row", "view(s)", "query", "disclosure (paper)", "disclosure (measured)",
+         "secure (paper)", "secure (measured)"),
+    )
+
+    # The classification of row (2) enumerates a 12-tuple support exactly, so
+    # a single timed round keeps the harness fast while still reporting cost.
+    assessment = benchmark.pedantic(
+        classify_disclosure, args=(row.secret, list(row.views), SCHEMA), rounds=1, iterations=1
+    )
+    decision = decide_security(row.secret, list(row.views), SCHEMA)
+
+    report.add_row(
+        row.row,
+        ", ".join(v.name for v in row.views),
+        row.secret.name,
+        row.expected_level.value,
+        assessment.level.value,
+        "yes" if row.expected_secure else "no",
+        "yes" if decision.secure else "no",
+    )
+
+    assert assessment.level is row.expected_level
+    assert decision.secure == row.expected_secure

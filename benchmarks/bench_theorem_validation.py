@@ -1,0 +1,127 @@
+"""Empirical validation of **Theorems 4.5 and 4.8** and the FKG inequality.
+
+On a battery of randomly generated boolean query/view pairs over a small
+binary relation, the harness checks (and times) three facts the proofs
+rely on:
+
+* Theorem 4.5: crit-disjointness coincides with exact statistical
+  independence under non-trivial distributions,
+* Theorem 4.8: the security verdict is identical across different
+  non-trivial distributions,
+* FKG: monotone queries are never negatively correlated,
+  with equality exactly in the crit-disjoint case.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import List, Tuple
+
+import pytest
+
+from repro import Dictionary
+from repro.bench import WorkloadConfig, random_query, random_schema
+from repro.core import critical_tuples, verify_security_probabilistically
+from repro.probability import ExactEngine, QueryTrue
+from repro.relational import Schema
+
+CONFIG = WorkloadConfig(
+    relations=1, max_arity=2, domain_size=2, max_subgoals=2, max_variables=2,
+    constant_probability=0.4,
+)
+
+TITLE = "Theorems 4.5 / 4.8 and FKG — empirical validation on random pairs"
+HEADER = ("check", "pairs", "agreements", "violations")
+
+
+def _random_pairs(count: int, seed: int) -> List[Tuple[Schema, object, object]]:
+    rng = random.Random(seed)
+    pairs = []
+    for _ in range(count):
+        schema = random_schema(CONFIG, rng)
+        secret = random_query(schema, CONFIG, rng, name="S", boolean=True)
+        view = random_query(schema, CONFIG, rng, name="V", boolean=True)
+        pairs.append((schema, secret, view))
+    return pairs
+
+
+def test_theorem_4_5_agreement(benchmark, experiment_report):
+    report = experiment_report(TITLE, HEADER)
+    pairs = _random_pairs(20, seed=42)
+
+    def check() -> Tuple[int, int]:
+        agreements = violations = 0
+        for schema, secret, view in pairs:
+            disjoint = not (
+                critical_tuples(secret, schema) & critical_tuples(view, schema)
+            )
+            dictionary = Dictionary.uniform(schema, Fraction(1, 2))
+            independent = verify_security_probabilistically(secret, view, dictionary)
+            if disjoint == independent:
+                agreements += 1
+            else:
+                violations += 1
+        return agreements, violations
+
+    agreements, violations = benchmark.pedantic(check, rounds=1, iterations=1)
+    report.add_row("Theorem 4.5 (crit-disjoint ⟺ independent)", len(pairs), agreements, violations)
+    assert violations == 0
+
+
+def test_theorem_4_8_distribution_independence(benchmark, experiment_report):
+    report = experiment_report(TITLE, HEADER)
+    pairs = _random_pairs(15, seed=77)
+    distributions = [Fraction(1, 2), Fraction(1, 5), Fraction(4, 5)]
+
+    def check() -> Tuple[int, int]:
+        agreements = violations = 0
+        for schema, secret, view in pairs:
+            verdicts = {
+                verify_security_probabilistically(
+                    secret, view, Dictionary.uniform(schema, p)
+                )
+                for p in distributions
+            }
+            if len(verdicts) == 1:
+                agreements += 1
+            else:
+                violations += 1
+        return agreements, violations
+
+    agreements, violations = benchmark.pedantic(check, rounds=1, iterations=1)
+    report.add_row(
+        "Theorem 4.8 (same verdict across non-trivial distributions)",
+        len(pairs),
+        agreements,
+        violations,
+    )
+    assert violations == 0
+
+
+def test_fkg_inequality(benchmark, experiment_report):
+    report = experiment_report(TITLE, HEADER)
+    pairs = _random_pairs(20, seed=123)
+
+    def check() -> Tuple[int, int]:
+        holds = violations = 0
+        for schema, secret, view in pairs:
+            engine = ExactEngine(Dictionary.uniform(schema, Fraction(1, 3)))
+            joint = engine.joint_probability([QueryTrue(secret), QueryTrue(view)])
+            product = engine.probability(QueryTrue(secret)) * engine.probability(
+                QueryTrue(view)
+            )
+            if joint >= product:
+                holds += 1
+            else:
+                violations += 1
+            disjoint = not (
+                critical_tuples(secret, schema) & critical_tuples(view, schema)
+            )
+            if disjoint:
+                assert joint == product
+        return holds, violations
+
+    holds, violations = benchmark.pedantic(check, rounds=1, iterations=1)
+    report.add_row("FKG (P[S∧V] ≥ P[S]·P[V] for monotone queries)", len(pairs), holds, violations)
+    assert violations == 0

@@ -1,0 +1,62 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each benchmark module regenerates one of the paper's tables or worked
+examples.  Besides timing the underlying computation with
+``pytest-benchmark``, every benchmark records the rows it reproduced in
+a session-wide report which is printed at the end of the run, so that
+``pytest benchmarks/ --benchmark-only`` emits the regenerated tables
+alongside the timing statistics (this is the output captured in
+``bench_output.txt`` and summarised in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Sequence, Tuple
+
+import pytest
+
+from repro.audit import render_table
+
+#: Experiment id -> (header, rows, notes)
+_REPORT: "OrderedDict[str, Tuple[Sequence[str], List[Sequence[str]], List[str]]]" = OrderedDict()
+
+
+class ExperimentReport:
+    """Accumulates the regenerated rows of one experiment."""
+
+    def __init__(self, experiment: str, header: Sequence[str]):
+        self.experiment = experiment
+        if experiment not in _REPORT:
+            _REPORT[experiment] = (tuple(header), [], [])
+
+    def add_row(self, *values: object) -> None:
+        """Record one regenerated row (rendered with ``str``)."""
+        _REPORT[self.experiment][1].append(tuple(str(v) for v in values))
+
+    def add_note(self, note: str) -> None:
+        """Record a free-form note below the table."""
+        _REPORT[self.experiment][2].append(note)
+
+
+@pytest.fixture
+def experiment_report():
+    """Factory fixture: ``experiment_report("Table 1", header=[...])``."""
+
+    def factory(experiment: str, header: Sequence[str]) -> ExperimentReport:
+        return ExperimentReport(experiment, header)
+
+    return factory
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):  # noqa: D103
+    if not _REPORT:
+        return
+    terminalreporter.write_sep("=", "regenerated paper tables and examples")
+    for experiment, (header, rows, notes) in _REPORT.items():
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {experiment} ---")
+        if rows:
+            terminalreporter.write_line(render_table(header, rows))
+        for note in notes:
+            terminalreporter.write_line(f"  note: {note}")

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""The manufacturing-company data exchange of the paper's introduction.
+
+A manufacturer exchanges XML-style messages (views) with three partners:
+
+* ``V1`` — part details, sent to suppliers,
+* ``V2`` — product features and selling prices, sent to retailers,
+* ``V3`` — labour costs, sent to a tax consultancy.
+
+The internal *manufacturing cost* per product must stay secret.  The
+example audits each message, analyses what happens when partners collude
+(e.g. the consultancy merges with a retailer), shows a leaky view being
+caught before publication, and proposes a safe publishing plan.
+
+Run with::
+
+    python examples/manufacturing_exchange.py
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro import Dictionary, SecurityAuditor, q
+from repro.bench import manufacturing_schema
+from repro.core import analyse_collusion
+
+
+def main() -> None:
+    schema = manufacturing_schema()
+    dictionary = Dictionary.uniform(schema, Fraction(1, 4))
+    auditor = SecurityAuditor(schema, dictionary=dictionary)
+
+    secret = q("Secret(prod, cost) :- Cost(prod, cost)")
+    views = {
+        "supplier": q("V1(prod, part, price) :- Part(prod, part, price)"),
+        "retailer": q("V2(prod, feature, selling) :- Product(prod, feature, selling)"),
+        "tax_consultant": q("V3(prod, labor) :- Labor(prod, labor)"),
+    }
+
+    print("== Audit of the three partner messages ==")
+    report = auditor.audit(secret, views)
+    print(report.render())
+
+    print("\n== Collusion analysis ==")
+    collusion = analyse_collusion(secret, views, schema)
+    print(collusion.summary())
+    print(
+        "  tax consultancy + retailer collude:",
+        "secure" if collusion.coalition_is_secure(["tax_consultant", "retailer"]) else "NOT secure",
+    )
+
+    print("\n== A proposed fourth message that would leak ==")
+    # Someone proposes publishing the full cost breakdown "to help suppliers
+    # quote better" — the auditor rejects it before it ships.
+    leaky = q("V4(prod, cost) :- Cost(prod, cost), Part(prod, part, price)")
+    decision = auditor.decide(secret, leaky)
+    print(" ", decision.explain())
+    quick = auditor.quick_check(secret, leaky)
+    print("  practical algorithm:", quick.explain())
+
+    print("\n== Safe publishing plan ==")
+    candidates = list(views.values()) + [leaky]
+    safe = auditor.safe_publishing_plan(secret, candidates)
+    print("  publishable without any disclosure about the secret:",
+          ", ".join(v.name for v in safe))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,154 @@
+"""repro — a query-view security analyzer.
+
+A from-scratch reproduction of Miklau & Suciu, *A Formal Analysis of
+Information Disclosure in Data Exchange* (SIGMOD 2004 / JCSS 2007):
+given views to be published and a query to be kept secret, decide — for
+every probability distribution over databases — whether the views
+disclose anything about the secret, measure the magnitude of the
+disclosure when they do, and analyse collusion, prior knowledge,
+encrypted views and asymptotic ("practical") security.
+
+Quick start
+-----------
+>>> from repro import q, decide_security
+>>> from repro.bench import employee_schema
+>>> schema = employee_schema()
+>>> secret = q("S(n) :- Emp(n, HR, p)")
+>>> view = q("V(n) :- Emp(n, Mgmt, p)")
+>>> decide_security(secret, view, schema).secure
+True
+"""
+
+from .audit import (
+    AuditFinding,
+    AuditReport,
+    DisclosureAssessment,
+    DisclosureLevel,
+    SecurityAuditor,
+    classify_disclosure,
+)
+from .core import (
+    CardinalityConstraintKnowledge,
+    CollusionReport,
+    EncryptedView,
+    KeyConstraintKnowledge,
+    KnowledgeDecision,
+    LeakageResult,
+    PracticalSecurityLevel,
+    PracticalSecurityReport,
+    PracticalVerdict,
+    PriorViewKnowledge,
+    SecurityDecision,
+    TupleStatusKnowledge,
+    analyse_collusion,
+    analysis_domain,
+    asymptotic_order,
+    classify_practical_security,
+    common_critical_tuples,
+    critical_tuples,
+    decide_security,
+    decide_with_knowledge,
+    epsilon_of_theorem_6_1,
+    is_critical,
+    is_secure,
+    positive_leakage,
+    practical_security_check,
+    verify_security_probabilistically,
+    verify_with_knowledge,
+)
+from .cq import (
+    Atom,
+    Comparison,
+    ConjunctiveQuery,
+    Constant,
+    UnionQuery,
+    Variable,
+    parse_query,
+    q,
+    union_of,
+)
+from .exceptions import (
+    DomainError,
+    IntractableAnalysisError,
+    KnowledgeError,
+    ParseError,
+    ProbabilityError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    SecurityAnalysisError,
+)
+from .probability import Dictionary, ExactEngine, MonteCarloSampler, query_polynomial
+from .relational import Domain, Fact, Instance, RelationSchema, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # relational substrate
+    "Domain",
+    "RelationSchema",
+    "Schema",
+    "Fact",
+    "Instance",
+    # conjunctive queries
+    "ConjunctiveQuery",
+    "UnionQuery",
+    "union_of",
+    "Atom",
+    "Comparison",
+    "Variable",
+    "Constant",
+    "parse_query",
+    "q",
+    # probability
+    "Dictionary",
+    "ExactEngine",
+    "MonteCarloSampler",
+    "query_polynomial",
+    # core security analysis
+    "critical_tuples",
+    "is_critical",
+    "common_critical_tuples",
+    "SecurityDecision",
+    "decide_security",
+    "is_secure",
+    "verify_security_probabilistically",
+    "PracticalVerdict",
+    "practical_security_check",
+    "analysis_domain",
+    "CollusionReport",
+    "analyse_collusion",
+    "KeyConstraintKnowledge",
+    "CardinalityConstraintKnowledge",
+    "TupleStatusKnowledge",
+    "PriorViewKnowledge",
+    "KnowledgeDecision",
+    "decide_with_knowledge",
+    "verify_with_knowledge",
+    "LeakageResult",
+    "positive_leakage",
+    "epsilon_of_theorem_6_1",
+    "EncryptedView",
+    "PracticalSecurityLevel",
+    "PracticalSecurityReport",
+    "asymptotic_order",
+    "classify_practical_security",
+    # audit layer
+    "SecurityAuditor",
+    "DisclosureLevel",
+    "DisclosureAssessment",
+    "classify_disclosure",
+    "AuditReport",
+    "AuditFinding",
+    # exceptions
+    "ReproError",
+    "SchemaError",
+    "DomainError",
+    "QueryError",
+    "ParseError",
+    "ProbabilityError",
+    "SecurityAnalysisError",
+    "KnowledgeError",
+    "IntractableAnalysisError",
+]

@@ -1,0 +1,15 @@
+"""Applied audit layer: classification, reports and the high-level auditor."""
+
+from .auditor import SecurityAuditor
+from .classification import DisclosureAssessment, DisclosureLevel, classify_disclosure
+from .report import AuditFinding, AuditReport, render_table
+
+__all__ = [
+    "SecurityAuditor",
+    "DisclosureAssessment",
+    "DisclosureLevel",
+    "classify_disclosure",
+    "AuditFinding",
+    "AuditReport",
+    "render_table",
+]

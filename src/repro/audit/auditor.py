@@ -1,0 +1,229 @@
+"""The high-level auditing API.
+
+:class:`SecurityAuditor` is the entry point a data owner uses before
+publishing views: it wraps the exact decision procedures, the practical
+quick check, the leakage measurement, the qualitative classification and
+the collusion analysis behind a small number of methods, and produces
+:class:`~repro.audit.report.AuditReport` objects.
+
+Typical use::
+
+    auditor = SecurityAuditor(schema)
+    report = auditor.audit(secret, views={"supplier": v1, "retailer": v2})
+    print(report.render())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.collusion import CollusionReport, analyse_collusion, largest_safe_view_set
+from ..core.leakage import LeakageResult, positive_leakage
+from ..core.practical import practical_security_check
+from ..core.prior import KnowledgeDecision, PriorKnowledge, decide_with_knowledge
+from ..core.security import SecurityDecision, decide_security
+from ..cq.parser import parse_query
+from ..cq.query import ConjunctiveQuery
+from ..cq.union import UnionQuery
+from ..exceptions import IntractableAnalysisError, SecurityAnalysisError
+from ..probability.dictionary import Dictionary
+from ..relational.domain import Domain
+from ..relational.schema import Schema
+from .classification import DisclosureAssessment, classify_disclosure
+from .report import AuditFinding, AuditReport
+
+__all__ = ["SecurityAuditor"]
+
+QueryLike = Union[str, ConjunctiveQuery, UnionQuery]
+
+
+def _as_query(query: QueryLike) -> Union[ConjunctiveQuery, UnionQuery]:
+    if isinstance(query, (ConjunctiveQuery, UnionQuery)):
+        return query
+    return parse_query(query)
+
+
+class SecurityAuditor:
+    """Audits the information disclosure of publishing views.
+
+    Parameters
+    ----------
+    schema:
+        The database schema the secrets and views range over.
+    dictionary:
+        Optional dictionary used for quantitative (leakage) measurements;
+        qualitative security verdicts are dictionary-independent and do
+        not need it.
+    domain:
+        Optional analysis domain override (defaults to the
+        Proposition 4.9 domain synthesised per analysis).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        dictionary: Optional[Dictionary] = None,
+        domain: Optional[Domain] = None,
+    ):
+        self._schema = schema
+        self._dictionary = dictionary
+        self._domain = domain
+
+    @property
+    def schema(self) -> Schema:
+        """The schema being audited."""
+        return self._schema
+
+    # -- single-pair primitives -------------------------------------------------
+    def decide(self, secret: QueryLike, views: Sequence[QueryLike] | QueryLike) -> SecurityDecision:
+        """Dictionary-independent security decision (Theorem 4.5)."""
+        return decide_security(
+            _as_query(secret), self._as_views(views), self._schema, domain=self._domain
+        )
+
+    def quick_check(self, secret: QueryLike, views: Sequence[QueryLike] | QueryLike):
+        """The practical subgoal-unification check (Section 4.2)."""
+        return practical_security_check(_as_query(secret), self._as_views(views))
+
+    def classify(
+        self, secret: QueryLike, views: Sequence[QueryLike] | QueryLike
+    ) -> DisclosureAssessment:
+        """Grade the pair on the Total/Partial/Minute/None spectrum."""
+        return classify_disclosure(
+            _as_query(secret),
+            self._as_views(views),
+            self._schema,
+            dictionary=self._dictionary,
+            domain=self._domain,
+        )
+
+    def measure_leakage(
+        self,
+        secret: QueryLike,
+        views: Sequence[QueryLike] | QueryLike,
+        dictionary: Optional[Dictionary] = None,
+        **kwargs,
+    ) -> LeakageResult:
+        """Quantify the positive disclosure (Section 6.1)."""
+        dictionary = dictionary or self._dictionary
+        if dictionary is None:
+            raise SecurityAnalysisError(
+                "measuring leakage requires a dictionary; pass one to the auditor "
+                "or to measure_leakage"
+            )
+        return positive_leakage(_as_query(secret), self._as_views(views), dictionary, **kwargs)
+
+    def decide_with_knowledge(
+        self,
+        secret: QueryLike,
+        views: Sequence[QueryLike] | QueryLike,
+        knowledge: PriorKnowledge,
+    ) -> KnowledgeDecision:
+        """Security under prior knowledge (Section 5)."""
+        return decide_with_knowledge(
+            _as_query(secret), self._as_views(views), knowledge, self._schema, self._domain
+        )
+
+    # -- multi-view audits --------------------------------------------------------
+    def audit(
+        self,
+        secret: QueryLike,
+        views: Union[Sequence[QueryLike], Mapping[str, QueryLike]],
+        include_collusion: bool = True,
+    ) -> AuditReport:
+        """Full audit of one secret against a set of views.
+
+        ``views`` may be a mapping ``recipient → view`` (enabling the
+        collusion section of the report) or a plain sequence.
+        """
+        secret_query = _as_query(secret)
+        if isinstance(views, Mapping):
+            named_views: Dict[str, ConjunctiveQuery] = {
+                name: _as_query(view) for name, view in views.items()
+            }
+            view_list = list(named_views.values())
+        else:
+            view_list = [_as_query(v) for v in views]
+            named_views = {f"user{i + 1}": v for i, v in enumerate(view_list)}
+        if not view_list:
+            raise SecurityAnalysisError("at least one view is required")
+
+        assessment = classify_disclosure(
+            secret_query,
+            view_list,
+            self._schema,
+            dictionary=self._dictionary,
+            domain=self._domain,
+        )
+        practical = practical_security_check(secret_query, view_list)
+        finding = AuditFinding(
+            secret_name=secret_query.name,
+            view_names=tuple(v.name for v in view_list),
+            assessment=assessment,
+            practical=practical,
+            leakage=assessment.leakage,
+        )
+        collusion: Optional[CollusionReport] = None
+        if include_collusion and len(view_list) > 1:
+            collusion = analyse_collusion(
+                secret_query, named_views, self._schema, domain=self._domain
+            )
+        notes: List[str] = []
+        if practical.possibly_insecure and assessment.secure:
+            notes.append(
+                "the practical algorithm flagged this pair although it is secure — "
+                "one of the rare false positives the paper mentions"
+            )
+        return AuditReport(findings=(finding,), collusion=collusion, notes=tuple(notes))
+
+    def audit_many(
+        self,
+        secrets: Sequence[QueryLike],
+        views: Union[Sequence[QueryLike], Mapping[str, QueryLike]],
+    ) -> AuditReport:
+        """Audit several secrets against the same set of views."""
+        if isinstance(views, Mapping):
+            view_list = [_as_query(v) for v in views.values()]
+        else:
+            view_list = [_as_query(v) for v in views]
+        findings: List[AuditFinding] = []
+        for secret in secrets:
+            secret_query = _as_query(secret)
+            assessment = classify_disclosure(
+                secret_query,
+                view_list,
+                self._schema,
+                dictionary=self._dictionary,
+                domain=self._domain,
+            )
+            practical = practical_security_check(secret_query, view_list)
+            findings.append(
+                AuditFinding(
+                    secret_name=secret_query.name,
+                    view_names=tuple(v.name for v in view_list),
+                    assessment=assessment,
+                    practical=practical,
+                    leakage=assessment.leakage,
+                )
+            )
+        return AuditReport(findings=tuple(findings))
+
+    def safe_publishing_plan(
+        self,
+        secret: QueryLike,
+        candidate_views: Sequence[QueryLike],
+    ) -> Tuple[ConjunctiveQuery, ...]:
+        """The largest subset of candidate views publishable without any
+        disclosure about the secret (Theorem 4.5 makes this per-view)."""
+        return largest_safe_view_set(
+            _as_query(secret),
+            [_as_query(v) for v in candidate_views],
+            self._schema,
+            domain=self._domain,
+        )
+
+    # -- helpers --------------------------------------------------------------------
+    def _as_views(self, views: Sequence[QueryLike] | QueryLike) -> List[ConjunctiveQuery]:
+        if isinstance(views, (str, ConjunctiveQuery, UnionQuery)):
+            return [_as_query(views)]
+        return [_as_query(v) for v in views]

@@ -1,0 +1,105 @@
+"""Audit reports: structured findings plus plain-text rendering.
+
+The audit layer aggregates the individual analyses (security decision,
+practical check, leakage, classification, collusion) into a
+:class:`AuditReport` that can be rendered as a plain-text table for
+humans or consumed programmatically — this is the artefact a data owner
+would attach to a data-exchange review.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.collusion import CollusionReport
+from ..core.leakage import LeakageResult
+from ..core.practical import PracticalVerdict
+from ..core.security import SecurityDecision
+from .classification import DisclosureAssessment, DisclosureLevel
+
+__all__ = ["AuditFinding", "AuditReport", "render_table"]
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One audited (secret, views) combination."""
+
+    secret_name: str
+    view_names: Tuple[str, ...]
+    assessment: DisclosureAssessment
+    practical: Optional[PracticalVerdict] = None
+    leakage: Optional[LeakageResult] = None
+
+    @property
+    def level(self) -> DisclosureLevel:
+        """The qualitative disclosure level."""
+        return self.assessment.level
+
+    @property
+    def secure(self) -> bool:
+        """The dictionary-independent security verdict."""
+        return self.assessment.secure
+
+    def row(self) -> Tuple[str, str, str, str, str]:
+        """The finding as a row of the rendered table."""
+        leak = self.leakage or self.assessment.leakage
+        leak_text = "-" if leak is None else f"{float(leak.leakage):.3g}"
+        practical_text = "-"
+        if self.practical is not None:
+            practical_text = "secure" if self.practical.certainly_secure else "flagged"
+        return (
+            self.secret_name,
+            ", ".join(self.view_names),
+            self.level.value,
+            "yes" if self.secure else "no",
+            f"{practical_text} / leak={leak_text}",
+        )
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """A collection of findings for one audit run."""
+
+    findings: Tuple[AuditFinding, ...]
+    collusion: Optional[CollusionReport] = None
+    notes: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def all_secure(self) -> bool:
+        """True when every audited secret is perfectly secure."""
+        return all(finding.secure for finding in self.findings)
+
+    @property
+    def violations(self) -> Tuple[AuditFinding, ...]:
+        """Findings where security fails."""
+        return tuple(f for f in self.findings if not f.secure)
+
+    def render(self) -> str:
+        """Render the report as a plain-text table (plus collusion summary)."""
+        header = ("secret", "views", "disclosure", "secure", "details")
+        rows = [finding.row() for finding in self.findings]
+        text = render_table(header, rows)
+        sections = [text]
+        if self.collusion is not None:
+            sections.append(self.collusion.summary())
+        for note in self.notes:
+            sections.append(f"note: {note}")
+        return "\n\n".join(sections)
+
+
+def render_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render a small fixed-width text table (no external dependencies)."""
+    columns = len(header)
+    widths = [len(str(header[i])) for i in range(columns)]
+    for row in rows:
+        for i in range(columns):
+            widths[i] = max(widths[i], len(str(row[i])))
+
+    def render_row(row: Sequence[str]) -> str:
+        return " | ".join(str(row[i]).ljust(widths[i]) for i in range(columns))
+
+    separator = "-+-".join("-" * w for w in widths)
+    lines = [render_row(header), separator]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Shared benchmark support: paper schemas and random workload generators."""
+
+from .schemas import (
+    Table1Row,
+    binary_schema,
+    employee_schema,
+    manufacturing_schema,
+    patient_schema,
+    table1_pairs,
+)
+from .workloads import (
+    WorkloadConfig,
+    random_query,
+    random_query_view_pair,
+    random_schema,
+    scaling_workload,
+)
+
+__all__ = [
+    "Table1Row",
+    "binary_schema",
+    "employee_schema",
+    "manufacturing_schema",
+    "patient_schema",
+    "table1_pairs",
+    "WorkloadConfig",
+    "random_query",
+    "random_query_view_pair",
+    "random_schema",
+    "scaling_workload",
+]

@@ -1,0 +1,165 @@
+"""The schemas and query-view pairs used throughout the paper.
+
+Centralising them here keeps the examples, tests and benchmarks in sync
+with the paper's notation:
+
+* ``employee_schema`` — ``Emp(name, department, phone)`` (Table 1,
+  Examples 6.2/6.3);
+* ``binary_schema`` — the single binary relation ``R(X, Y)`` over
+  ``D = {a, b}`` (Examples 4.2, 4.3, 4.6, 4.7, 4.12);
+* ``patient_schema`` — ``Patient(name, disease)`` (the hospital example
+  of Section 3.2);
+* ``manufacturing_schema`` — the motivating manufacturing-company data
+  exchange of the introduction;
+* ``table1_pairs`` — the four query-view pairs of Table 1 with the
+  disclosure level the paper assigns to each.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Tuple
+
+from ..audit.classification import DisclosureLevel
+from ..cq.parser import parse_query
+from ..cq.query import ConjunctiveQuery
+from ..relational.domain import Domain
+from ..relational.schema import RelationSchema, Schema
+
+__all__ = [
+    "employee_schema",
+    "binary_schema",
+    "patient_schema",
+    "manufacturing_schema",
+    "Table1Row",
+    "table1_pairs",
+]
+
+
+def employee_schema(
+    names: int = 2, departments: int = 2, phones: int = 2
+) -> Schema:
+    """The ``Emp(name, department, phone)`` schema with small attribute domains."""
+    name_domain = Domain([f"n{i}" for i in range(names)], name="names")
+    department_domain = Domain([f"d{i}" for i in range(departments)], name="departments")
+    phone_domain = Domain([f"p{i}" for i in range(phones)], name="phones")
+    relation = RelationSchema(
+        "Emp",
+        ("name", "department", "phone"),
+        {
+            "name": name_domain,
+            "department": department_domain,
+            "phone": phone_domain,
+        },
+    )
+    return Schema([relation])
+
+
+def binary_schema(domain_values: Tuple[object, ...] = ("a", "b")) -> Schema:
+    """The single binary relation ``R(X, Y)`` used by Examples 4.2–4.7."""
+    domain = Domain(domain_values, name="D")
+    relation = RelationSchema("R", ("X", "Y"))
+    return Schema([relation], domain=domain)
+
+
+def patient_schema(names: int = 3, diseases: int = 2) -> Schema:
+    """The hospital ``Patient(name, disease)`` schema of Section 3.2."""
+    name_domain = Domain([f"patient{i}" for i in range(names)], name="names")
+    disease_domain = Domain([f"disease{i}" for i in range(diseases)], name="diseases")
+    relation = RelationSchema(
+        "Patient",
+        ("name", "disease"),
+        {"name": name_domain, "disease": disease_domain},
+    )
+    return Schema([relation])
+
+
+def manufacturing_schema() -> Schema:
+    """The manufacturing company of the introduction.
+
+    Relations
+    ---------
+    ``Part(product, part, supplier_price)``
+        detailed part information exchanged with suppliers (view ``V1``),
+    ``Product(product, feature, selling_price)``
+        product features and selling prices for retailers (view ``V2``),
+    ``Labor(product, labor_cost)``
+        labour cost information for the tax consultancy (view ``V3``),
+    ``Cost(product, manufacturing_cost)``
+        the internal manufacturing cost the company wants to protect
+        (secret ``S``).
+    """
+    products = Domain(["widget", "gadget"], name="products")
+    parts = Domain(["bolt", "chip"], name="parts")
+    money = Domain([10, 20], name="money")
+    features = Domain(["blue", "fast"], name="features")
+    return Schema(
+        [
+            RelationSchema(
+                "Part",
+                ("product", "part", "supplier_price"),
+                {"product": products, "part": parts, "supplier_price": money},
+            ),
+            RelationSchema(
+                "Product",
+                ("product", "feature", "selling_price"),
+                {"product": products, "feature": features, "selling_price": money},
+            ),
+            RelationSchema(
+                "Labor",
+                ("product", "labor_cost"),
+                {"product": products, "labor_cost": money},
+            ),
+            RelationSchema(
+                "Cost",
+                ("product", "manufacturing_cost"),
+                {"product": products, "manufacturing_cost": money},
+            ),
+        ]
+    )
+
+
+class Table1Row(NamedTuple):
+    """One row of Table 1: the views, the secret and the expected verdicts."""
+
+    row: int
+    views: Tuple[ConjunctiveQuery, ...]
+    secret: ConjunctiveQuery
+    expected_level: DisclosureLevel
+    expected_secure: bool
+
+
+def table1_pairs() -> List[Table1Row]:
+    """The four query-view pairs of Table 1 with the paper's verdicts."""
+    return [
+        Table1Row(
+            row=1,
+            views=(parse_query("V1(n, d) :- Emp(n, d, p)"),),
+            secret=parse_query("S1(d) :- Emp(n, d, p)"),
+            expected_level=DisclosureLevel.TOTAL,
+            expected_secure=False,
+        ),
+        Table1Row(
+            row=2,
+            views=(
+                parse_query("V2(n, d) :- Emp(n, d, p)"),
+                parse_query("V2p(d, p) :- Emp(n, d, p)"),
+            ),
+            secret=parse_query("S2(n, p) :- Emp(n, d, p)"),
+            expected_level=DisclosureLevel.PARTIAL,
+            expected_secure=False,
+        ),
+        Table1Row(
+            row=3,
+            views=(parse_query("V3(n) :- Emp(n, d, p)"),),
+            secret=parse_query("S3(p) :- Emp(n, d, p)"),
+            expected_level=DisclosureLevel.MINUTE,
+            expected_secure=False,
+        ),
+        Table1Row(
+            row=4,
+            views=(parse_query("V4(n) :- Emp(n, Mgmt, p)"),),
+            secret=parse_query("S4(n) :- Emp(n, HR, p)"),
+            expected_level=DisclosureLevel.NONE,
+            expected_secure=True,
+        ),
+    ]

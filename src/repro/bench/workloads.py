@@ -1,0 +1,134 @@
+"""Random workload generators for scaling benchmarks and property tests.
+
+The paper contains no synthetic-workload experiment (it is a theory
+paper), but a reproduction needs one to exercise the decision procedures
+beyond the worked examples: the scaling benchmark compares the exact
+critical-tuple procedure, the naive enumeration and the practical
+unification algorithm on randomly generated conjunctive queries, and the
+property-based tests draw from the same generator.
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..cq.atoms import Atom
+from ..cq.query import ConjunctiveQuery
+from ..cq.terms import Constant, Variable
+from ..relational.domain import Domain
+from ..relational.schema import RelationSchema, Schema
+
+__all__ = [
+    "WorkloadConfig",
+    "random_schema",
+    "random_query",
+    "random_query_view_pair",
+    "scaling_workload",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of the random query generator."""
+
+    relations: int = 2
+    max_arity: int = 3
+    domain_size: int = 3
+    max_subgoals: int = 3
+    max_variables: int = 4
+    constant_probability: float = 0.3
+    head_probability: float = 0.5
+
+
+def random_schema(config: WorkloadConfig, rng: random.Random) -> Schema:
+    """A schema with ``config.relations`` relations of random arity."""
+    domain = Domain([f"c{i}" for i in range(config.domain_size)], name="D")
+    relations = []
+    for index in range(config.relations):
+        arity = rng.randint(1, config.max_arity)
+        relations.append(
+            RelationSchema(f"R{index}", tuple(f"a{i}" for i in range(arity)))
+        )
+    return Schema(relations, domain=domain)
+
+
+def random_query(
+    schema: Schema,
+    config: WorkloadConfig,
+    rng: random.Random,
+    name: str = "Q",
+    boolean: Optional[bool] = None,
+) -> ConjunctiveQuery:
+    """A random conjunctive query over the schema.
+
+    Subgoal terms are drawn from a small pool of variables and the
+    domain's constants; the head projects a random subset of the
+    variables used (or is empty for boolean queries).
+    """
+    variables = [Variable(f"x{i}") for i in range(config.max_variables)]
+    constants = [Constant(v) for v in schema.domain.values]
+    subgoal_count = rng.randint(1, config.max_subgoals)
+    body: List[Atom] = []
+    used_variables: List[Variable] = []
+    for _ in range(subgoal_count):
+        relation = rng.choice(list(schema.relations))
+        terms = []
+        for _ in range(relation.arity):
+            if rng.random() < config.constant_probability:
+                terms.append(rng.choice(constants))
+            else:
+                variable = rng.choice(variables)
+                terms.append(variable)
+                if variable not in used_variables:
+                    used_variables.append(variable)
+        body.append(Atom(relation.name, terms))
+    if boolean is None:
+        boolean = not used_variables or rng.random() > config.head_probability
+    if boolean or not used_variables:
+        head: Tuple = ()
+    else:
+        head_size = rng.randint(1, len(used_variables))
+        head = tuple(rng.sample(used_variables, head_size))
+    return ConjunctiveQuery(head, body, name=name)
+
+
+def random_query_view_pair(
+    config: WorkloadConfig, seed: int
+) -> Tuple[Schema, ConjunctiveQuery, ConjunctiveQuery]:
+    """A (schema, secret, view) triple drawn deterministically from a seed."""
+    rng = random.Random(seed)
+    schema = random_schema(config, rng)
+    secret = random_query(schema, config, rng, name="S")
+    view = random_query(schema, config, rng, name="V")
+    return schema, secret, view
+
+
+def scaling_workload(
+    domain_sizes: Sequence[int],
+    pairs_per_size: int = 5,
+    base_seed: int = 7,
+    config: Optional[WorkloadConfig] = None,
+) -> List[Tuple[int, Schema, ConjunctiveQuery, ConjunctiveQuery]]:
+    """The workload of the scaling benchmark: pairs over growing domains."""
+    config = config or WorkloadConfig()
+    workload = []
+    for domain_size in domain_sizes:
+        sized = WorkloadConfig(
+            relations=config.relations,
+            max_arity=config.max_arity,
+            domain_size=domain_size,
+            max_subgoals=config.max_subgoals,
+            max_variables=config.max_variables,
+            constant_probability=config.constant_probability,
+            head_probability=config.head_probability,
+        )
+        for index in range(pairs_per_size):
+            schema, secret, view = random_query_view_pair(
+                sized, seed=base_seed + 1000 * domain_size + index
+            )
+            workload.append((domain_size, schema, secret, view))
+    return workload

@@ -1,0 +1,159 @@
+"""Command-line interface for query-view security audits.
+
+The CLI wraps the :class:`~repro.audit.auditor.SecurityAuditor` so a data
+owner can audit a publishing plan without writing Python::
+
+    repro-audit decide   --schema schema.json --secret "S(n,p) :- Emp(n,d,p)" \
+                         --view "V(n,d) :- Emp(n,d,p)"
+    repro-audit audit    --schema schema.json --secret "..." \
+                         --view bob="V(n,d) :- Emp(n,d,p)" --view carol="W(d,p) :- Emp(n,d,p)"
+    repro-audit quick    --schema schema.json --secret "..." --view "..."
+    repro-audit leakage  --schema schema.json --secret "..." --view "..." --probability 1/4
+    repro-audit collusion --schema schema.json --secret "..." --view bob="..." --view carol="..."
+
+The schema JSON format is documented in :mod:`repro.io`.  Every command
+exits with status 0 when the secret is safe under the requested analysis
+and status 1 when a disclosure was found, so the tool can gate a CI
+pipeline or a publishing workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .audit.auditor import SecurityAuditor
+from .core.leakage import positive_leakage
+from .exceptions import ReproError
+from .io import load_audit_configuration
+from .probability.dictionary import Dictionary
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_views(raw_views: Sequence[str]) -> Dict[str, str]:
+    """Parse ``--view`` arguments of the form ``[recipient=]query``."""
+    views: Dict[str, str] = {}
+    for index, raw in enumerate(raw_views):
+        if "=" in raw.split(":-")[0]:
+            recipient, query = raw.split("=", 1)
+            recipient = recipient.strip()
+        else:
+            recipient, query = f"user{index + 1}", raw
+        views[recipient] = query.strip()
+    return views
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``repro-audit`` tool."""
+    parser = argparse.ArgumentParser(
+        prog="repro-audit",
+        description="Query-view security audits (Miklau & Suciu, SIGMOD 2004).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(subparser: argparse.ArgumentParser, multi_view_names: bool) -> None:
+        subparser.add_argument("--schema", required=True, help="path to the schema JSON file")
+        subparser.add_argument("--secret", required=True, help="the confidential query (datalog)")
+        help_text = (
+            "a view to publish, optionally prefixed with a recipient name "
+            "(recipient=QUERY); repeat for several views"
+            if multi_view_names
+            else "a view to publish (datalog); repeat for several views"
+        )
+        subparser.add_argument("--view", action="append", required=True, help=help_text)
+        subparser.add_argument(
+            "--probability",
+            default=None,
+            help="uniform tuple probability for quantitative measures (e.g. 1/4)",
+        )
+
+    decide = subparsers.add_parser("decide", help="dictionary-independent decision (Theorem 4.5)")
+    add_common(decide, multi_view_names=False)
+
+    quick = subparsers.add_parser("quick", help="practical subgoal-unification check (Section 4.2)")
+    add_common(quick, multi_view_names=False)
+
+    audit = subparsers.add_parser("audit", help="full audit: classification, quick check, leakage")
+    add_common(audit, multi_view_names=True)
+
+    leakage = subparsers.add_parser("leakage", help="measure the positive disclosure (Section 6.1)")
+    add_common(leakage, multi_view_names=False)
+
+    collusion = subparsers.add_parser("collusion", help="multi-party collusion analysis")
+    add_common(collusion, multi_view_names=True)
+
+    return parser
+
+
+def _dictionary_for(args, schema) -> Optional[Dictionary]:
+    if args.probability is not None:
+        return Dictionary.uniform(schema, Fraction(args.probability))
+    return None
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        schema, configured_dictionary = load_audit_configuration(args.schema)
+        dictionary = _dictionary_for(args, schema) or configured_dictionary
+        auditor = SecurityAuditor(schema, dictionary=dictionary)
+        named_views = _parse_views(args.view)
+        view_queries = list(named_views.values())
+
+        if args.command == "decide":
+            decision = auditor.decide(args.secret, view_queries)
+            print(decision.explain())
+            return 0 if decision.secure else 1
+
+        if args.command == "quick":
+            verdict = auditor.quick_check(args.secret, view_queries)
+            print(verdict.explain())
+            return 0 if verdict.certainly_secure else 1
+
+        if args.command == "audit":
+            report = auditor.audit(args.secret, named_views)
+            print(report.render())
+            return 0 if report.all_secure else 1
+
+        if args.command == "leakage":
+            if dictionary is None:
+                parser.error(
+                    "leakage measurement needs --probability or a dictionary in the schema file"
+                )
+            result = auditor.measure_leakage(args.secret, view_queries, dictionary=dictionary)
+            print(f"leak(S, V̄) = {float(result.leakage):.6g}")
+            if result.worst_secret_rows is not None:
+                print(f"worst secret rows: {result.worst_secret_rows}")
+                print(f"worst view rows:   {result.worst_view_rows}")
+                print(
+                    f"prior {float(result.prior):.6g} -> posterior {float(result.posterior):.6g}"
+                )
+            return 0 if result.leakage == 0 else 1
+
+        if args.command == "collusion":
+            from .core.collusion import analyse_collusion
+            from .cq.parser import parse_query
+
+            report = analyse_collusion(
+                parse_query(args.secret),
+                {name: parse_query(view) for name, view in named_views.items()},
+                schema,
+            )
+            print(report.summary())
+            return 0 if report.secure_overall else 1
+
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,146 @@
+"""Domain-independence bounds (Proposition 4.9).
+
+Query-view security via critical tuples is checked over a concrete
+finite domain.  Proposition 4.9 shows the check is *domain-independent*
+provided the domain is "large enough": with ``n`` the largest number of
+variables and constants in any of the queries, a domain of size ``n``
+suffices for comparison-free conjunctive queries, and ``n(n+1)`` when
+order predicates are present (fresh constants are needed between any two
+mentioned constants).
+
+This module computes the bound and synthesises an *analysis domain*
+containing all the queries' constants padded with fresh symbolic
+constants up to the required size.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Sequence, Tuple
+
+from ..cq.query import ConjunctiveQuery
+from ..relational.domain import Domain
+from ..relational.schema import Schema
+
+__all__ = [
+    "max_symbol_count",
+    "required_domain_size",
+    "analysis_domain",
+    "analysis_schema",
+]
+
+
+def max_symbol_count(queries: Sequence[ConjunctiveQuery]) -> int:
+    """The ``n`` of Proposition 4.9: the largest number of variables plus
+    constants occurring in any single query."""
+    if not queries:
+        return 0
+    return max(query.symbol_count() for query in queries)
+
+
+def required_domain_size(queries: Sequence[ConjunctiveQuery]) -> int:
+    """Domain size guaranteeing a domain-independent security verdict.
+
+    ``n`` for comparison-free queries (footnote 3 of the paper) and
+    ``n(n+1)`` when any query uses an order predicate.
+    """
+    n = max_symbol_count(queries)
+    if n == 0:
+        return 1
+    if any(query.has_order_predicates for query in queries):
+        return n * (n + 1)
+    return n
+
+
+def _all_constants(queries: Sequence[ConjunctiveQuery]) -> List[object]:
+    constants: List[object] = []
+    seen = set()
+    for query in queries:
+        for value in sorted(query.constants, key=repr):
+            if value not in seen:
+                seen.add(value)
+                constants.append(value)
+    return constants
+
+
+def analysis_domain(
+    queries: Sequence[ConjunctiveQuery],
+    minimum_size: int | None = None,
+    fresh_prefix: str = "d",
+) -> Domain:
+    """A domain suitable for a domain-independent security analysis.
+
+    Contains every constant mentioned by the queries plus fresh symbolic
+    constants up to :func:`required_domain_size` (or ``minimum_size`` if
+    larger).  When the queries use order predicates over numeric
+    constants, fresh *numeric* values are interleaved so that the order
+    type required by footnote 3 (fresh constants between any two
+    mentioned constants) is realised.
+    """
+    constants = _all_constants(queries)
+    target = required_domain_size(queries)
+    if minimum_size is not None:
+        target = max(target, minimum_size)
+    target = max(target, len(constants), 1)
+
+    has_order = any(query.has_order_predicates for query in queries)
+    numeric = [c for c in constants if isinstance(c, (int, float)) and not isinstance(c, bool)]
+    values: List[object] = list(constants)
+
+    if has_order and numeric and len(numeric) == len(constants):
+        # Interleave fresh numeric constants between, below and above the
+        # mentioned ones so order predicates can distinguish them.
+        ordered = sorted(set(numeric))
+        fresh: List[float] = []
+        fresh.append(ordered[0] - 1)
+        for low, high in zip(ordered, ordered[1:]):
+            fresh.append((low + high) / 2)
+        fresh.append(ordered[-1] + 1)
+        candidates = itertools.chain(
+            fresh,
+            (ordered[-1] + 1 + k for k in itertools.count(1)),
+        )
+        for value in candidates:
+            if len(values) >= target:
+                break
+            if value not in values:
+                values.append(value)
+    else:
+        counter = itertools.count(0)
+        while len(values) < target:
+            candidate = f"{fresh_prefix}{next(counter)}"
+            if candidate not in values:
+                values.append(candidate)
+    return Domain(values, name="D_analysis")
+
+
+def untyped_schema(schema: Schema, domain) -> Schema:
+    """A copy of ``schema`` over ``domain`` with per-attribute domains dropped.
+
+    The core security analysis always works over a single untyped domain
+    (the paper's model); per-attribute domains are only a convenience for
+    building dictionaries and example instances.  Keeping them during a
+    critical-tuple computation could hide critical tuples that exist over
+    the analysis domain, so every decision procedure strips them first.
+    """
+    from ..relational.schema import RelationSchema
+
+    stripped = [
+        RelationSchema(relation.name, relation.attributes, {}, relation.key)
+        for relation in schema
+    ]
+    return Schema(stripped, domain=domain)
+
+
+def analysis_schema(
+    schema: Schema, queries: Sequence[ConjunctiveQuery], minimum_size: int | None = None
+) -> Schema:
+    """The schema re-targeted at the analysis domain of the given queries.
+
+    Per-attribute domains are dropped: the paper's domain-independence
+    argument is stated for a single global domain, and keeping attribute
+    restrictions could hide critical tuples that exist over the analysis
+    domain.
+    """
+    domain = analysis_domain(queries, minimum_size=minimum_size)
+    return untyped_schema(schema, domain)

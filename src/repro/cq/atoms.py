@@ -1,0 +1,148 @@
+"""Atoms (subgoals) and comparison predicates of conjunctive queries."""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Mapping, Sequence, Tuple
+
+from ..exceptions import QueryError
+from ..relational.tuples import Fact
+from .terms import Constant, Term, Variable, is_constant, is_variable
+
+__all__ = ["Atom", "Comparison", "COMPARISON_OPS"]
+
+#: Supported comparison operators, keyed by their datalog spelling.
+COMPARISON_OPS: Dict[str, Callable[[object, object], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relational subgoal ``R(t1, ..., tk)`` with terms ``ti``."""
+
+    relation: str
+    terms: Tuple[Term, ...]
+
+    def __init__(self, relation: str, terms: Sequence[Term]):
+        if not relation:
+            raise QueryError("atom relation name must be non-empty")
+        terms = tuple(terms)
+        for term in terms:
+            if not isinstance(term, (Variable, Constant)):
+                raise QueryError(
+                    f"atom term {term!r} must be a Variable or Constant "
+                    f"(got {type(term).__name__})"
+                )
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", terms)
+
+    @property
+    def arity(self) -> int:
+        """Number of terms of the atom."""
+        return len(self.terms)
+
+    @property
+    def variables(self) -> FrozenSet[Variable]:
+        """The set of variables occurring in the atom."""
+        return frozenset(t for t in self.terms if is_variable(t))
+
+    @property
+    def constants(self) -> FrozenSet[object]:
+        """The set of constant *values* occurring in the atom."""
+        return frozenset(t.value for t in self.terms if is_constant(t))
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "Atom":
+        """Apply a substitution (variables not in the mapping are kept)."""
+        return Atom(
+            self.relation,
+            tuple(mapping.get(t, t) if is_variable(t) else t for t in self.terms),
+        )
+
+    def ground(self, assignment: Mapping[Variable, object]) -> Fact:
+        """Ground the atom into a :class:`Fact` using a total variable assignment."""
+        values = []
+        for term in self.terms:
+            if is_constant(term):
+                values.append(term.value)
+            else:
+                if term not in assignment:
+                    raise QueryError(f"assignment does not bind variable {term!r}")
+                values.append(assignment[term])
+        return Fact(self.relation, values)
+
+    def is_ground(self) -> bool:
+        """True when the atom contains no variables."""
+        return not self.variables
+
+    def as_fact(self) -> Fact:
+        """Convert a ground atom to a :class:`Fact` (raises if not ground)."""
+        if not self.is_ground():
+            raise QueryError(f"atom {self!r} is not ground")
+        return Fact(self.relation, tuple(t.value for t in self.terms))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"{self.relation}({inner})"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A comparison predicate ``left op right`` between two terms."""
+
+    left: Term
+    op: str
+    right: Term
+
+    def __init__(self, left: Term, op: str, right: Term):
+        if op not in COMPARISON_OPS:
+            raise QueryError(
+                f"unsupported comparison operator {op!r}; "
+                f"expected one of {sorted(COMPARISON_OPS)}"
+            )
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "right", right)
+
+    @property
+    def variables(self) -> FrozenSet[Variable]:
+        """The variables mentioned by the comparison."""
+        return frozenset(t for t in (self.left, self.right) if is_variable(t))
+
+    @property
+    def is_order_predicate(self) -> bool:
+        """True for ``<``, ``<=``, ``>``, ``>=`` (relevant for domain bounds)."""
+        return self.op in ("<", "<=", ">", ">=")
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "Comparison":
+        """Apply a substitution to both sides."""
+        left = mapping.get(self.left, self.left) if is_variable(self.left) else self.left
+        right = mapping.get(self.right, self.right) if is_variable(self.right) else self.right
+        return Comparison(left, self.op, right)
+
+    def evaluate(self, assignment: Mapping[Variable, object]) -> bool:
+        """Evaluate the comparison under a total assignment of its variables."""
+
+        def value_of(term: Term) -> object:
+            if is_constant(term):
+                return term.value
+            if term not in assignment:
+                raise QueryError(f"assignment does not bind variable {term!r}")
+            return assignment[term]
+
+        left, right = value_of(self.left), value_of(self.right)
+        try:
+            return COMPARISON_OPS[self.op](left, right)
+        except TypeError as exc:
+            raise QueryError(
+                f"cannot compare {left!r} {self.op} {right!r}: incompatible types"
+            ) from exc
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self.op} {self.right!r}"

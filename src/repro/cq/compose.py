@@ -1,0 +1,45 @@
+"""Composition helpers for conjunctive queries.
+
+Security analyses frequently need the *conjunction* of two boolean
+queries (``S ∧ V``, e.g. in Eq. (6) ``f_{S∧V} = f_S · f_V`` or when
+computing ``μ_n[QV]`` in Section 6.2).  :func:`conjoin` builds it by
+renaming the operands apart and concatenating their bodies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..exceptions import QueryError
+from .query import ConjunctiveQuery
+
+__all__ = ["conjoin", "conjoin_all"]
+
+
+def conjoin(
+    left: ConjunctiveQuery, right: ConjunctiveQuery, name: str | None = None
+) -> ConjunctiveQuery:
+    """The boolean conjunction ``left ∧ right`` of two boolean queries.
+
+    The right operand is renamed apart so that accidental variable
+    sharing does not correlate the two bodies.
+    """
+    if not left.is_boolean or not right.is_boolean:
+        raise QueryError("conjoin requires boolean (arity-0) queries")
+    renamed = right.rename_apart(left.variables)
+    return ConjunctiveQuery(
+        (),
+        tuple(left.body) + tuple(renamed.body),
+        tuple(left.comparisons) + tuple(renamed.comparisons),
+        name=name or f"{left.name}_and_{right.name}",
+    )
+
+
+def conjoin_all(queries: Sequence[ConjunctiveQuery], name: str = "Q_and") -> ConjunctiveQuery:
+    """Conjunction of several boolean queries (left-associated)."""
+    if not queries:
+        raise QueryError("conjoin_all requires at least one query")
+    result = queries[0]
+    for query in queries[1:]:
+        result = conjoin(result, query)
+    return result.with_name(name)

@@ -1,0 +1,101 @@
+"""Containment, equivalence and answerability of conjunctive queries.
+
+Containment (``Q1 ⊆ Q2``) is decided by the classical homomorphism
+criterion (Chandra–Merlin): freeze ``Q1`` into its canonical instance
+and check whether ``Q2`` produces the frozen head.  For queries *with*
+comparison predicates the homomorphism criterion is only sound in one
+direction, so the functions below refuse to certify containment when
+comparisons are present unless an explicit domain is supplied for an
+exhaustive check.
+
+*Answerability* (Section 2.1 and the "Query answering" discussion in
+Section 4.1.1) asks whether the secret ``S`` is a function of the views
+``V̄``: ``∀I, I'.  V̄(I) = V̄(I') ⇒ S(I) = S(I')``.  Over a fixed finite
+domain this is decided exactly by enumerating instances; answerability
+implies *total* disclosure and is used by the audit layer to recognise
+Table 1's first row.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from ..exceptions import IntractableAnalysisError, QueryError
+from ..relational.domain import Domain
+from ..relational.instance import Instance, enumerate_instances
+from ..relational.schema import Schema
+from .evaluation import evaluate
+from .homomorphism import canonical_instance, find_query_homomorphism
+from .query import ConjunctiveQuery
+
+__all__ = [
+    "is_contained_in",
+    "are_equivalent",
+    "is_answerable_from",
+    "determines",
+]
+
+
+def is_contained_in(
+    inner: ConjunctiveQuery, outer: ConjunctiveQuery
+) -> bool:
+    """Decide ``inner ⊆ outer`` for comparison-free conjunctive queries.
+
+    Uses the canonical-database criterion: ``inner ⊆ outer`` iff ``outer``
+    returns the frozen head of ``inner`` on ``inner``'s canonical
+    instance, equivalently iff there is a head-preserving homomorphism
+    ``outer → inner``.
+    """
+    if inner.comparisons or outer.comparisons:
+        raise QueryError(
+            "containment via the homomorphism criterion requires comparison-free queries; "
+            "use determines()/is_answerable_from() with an explicit domain instead"
+        )
+    if inner.arity != outer.arity:
+        return False
+    return find_query_homomorphism(outer, inner) is not None
+
+
+def are_equivalent(left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:
+    """Decide equivalence of two comparison-free conjunctive queries."""
+    return is_contained_in(left, right) and is_contained_in(right, left)
+
+
+def determines(
+    views: Sequence[ConjunctiveQuery],
+    secret: ConjunctiveQuery,
+    schema: Schema,
+    domain: Optional[Domain] = None,
+    max_tuples: int = 20,
+) -> bool:
+    """Exact answerability test over a finite domain.
+
+    ``True`` iff for every pair of instances over the domain,
+    ``V̄(I) = V̄(I')`` implies ``S(I) = S(I')`` — i.e. the views functionally
+    determine the secret, which is a *total* disclosure.
+
+    Raises :class:`IntractableAnalysisError` when the tuple space is too
+    large to enumerate (bound by ``max_tuples``).
+    """
+    groups: Dict[Tuple[FrozenSet, ...], FrozenSet] = {}
+    for instance in enumerate_instances(schema, domain, max_tuples=max_tuples):
+        view_answers = tuple(evaluate(view, instance) for view in views)
+        secret_answer = evaluate(secret, instance)
+        previous = groups.get(view_answers)
+        if previous is None:
+            groups[view_answers] = secret_answer
+        elif previous != secret_answer:
+            return False
+    return True
+
+
+def is_answerable_from(
+    secret: ConjunctiveQuery,
+    views: Sequence[ConjunctiveQuery],
+    schema: Schema,
+    domain: Optional[Domain] = None,
+    max_tuples: int = 20,
+) -> bool:
+    """Alias of :func:`determines` with the (secret, views) argument order
+    used throughout the audit layer."""
+    return determines(views, secret, schema, domain=domain, max_tuples=max_tuples)

@@ -1,0 +1,159 @@
+"""Evaluation of conjunctive queries over database instances.
+
+Evaluation enumerates the homomorphisms (satisfying assignments) from the
+query body into the instance via backtracking, checking comparison
+predicates as soon as both sides are bound.  The answer of a query of
+arity ``k`` is a frozenset of ``k``-tuples; a boolean query answers
+``frozenset({()})`` when true and ``frozenset()`` when false (the two
+possible answers of an arity-0 query).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..relational.instance import Instance
+from ..relational.tuples import Fact
+from .atoms import Atom, Comparison
+from .query import ConjunctiveQuery
+from .terms import Term, Variable, is_constant, is_variable
+
+__all__ = [
+    "evaluate",
+    "evaluate_boolean",
+    "satisfying_assignments",
+    "answer_tuple",
+    "possible_answers",
+]
+
+Assignment = Dict[Variable, object]
+
+
+def _match_atom(
+    atom: Atom, fact: Fact, assignment: Assignment
+) -> Optional[Assignment]:
+    """Try to extend ``assignment`` so that ``atom`` maps onto ``fact``.
+
+    Returns the extended assignment, or ``None`` when the match fails.
+    The input assignment is never mutated.
+    """
+    if atom.relation != fact.relation or atom.arity != fact.arity:
+        return None
+    extended = dict(assignment)
+    for term, value in zip(atom.terms, fact.values):
+        if is_constant(term):
+            if term.value != value:
+                return None
+        else:
+            bound = extended.get(term, _UNBOUND)
+            if bound is _UNBOUND:
+                extended[term] = value
+            elif bound != value:
+                return None
+    return extended
+
+
+class _Unbound:
+    """Sentinel distinguishing 'unbound' from a bound ``None`` value."""
+
+    __repr__ = lambda self: "<unbound>"  # noqa: E731  # pragma: no cover
+
+
+_UNBOUND = _Unbound()
+
+
+def _comparisons_consistent(
+    comparisons: Sequence[Comparison], assignment: Assignment
+) -> bool:
+    """Check every comparison whose variables are all bound."""
+    for comparison in comparisons:
+        if all(v in assignment for v in comparison.variables):
+            if not comparison.evaluate(assignment):
+                return False
+    return True
+
+
+def satisfying_assignments(
+    query: ConjunctiveQuery, instance: Instance
+) -> Iterator[Assignment]:
+    """Yield every assignment of the query's variables that satisfies it.
+
+    The assignments returned are total over the query's body variables.
+    Comparisons are verified incrementally (as soon as both sides are
+    bound) and re-verified once the assignment is total, which also
+    covers comparisons between two constants.
+
+    For a :class:`~repro.cq.union.UnionQuery` the assignments of every
+    disjunct are yielded in turn.
+    """
+    disjuncts = getattr(query, "disjuncts", None)
+    if disjuncts is not None:
+        for disjunct in disjuncts:
+            yield from satisfying_assignments(disjunct, instance)
+        return
+    body = list(query.body)
+    comparisons = list(query.comparisons)
+
+    def extend(index: int, assignment: Assignment) -> Iterator[Assignment]:
+        if index == len(body):
+            if _comparisons_consistent(comparisons, assignment) and all(
+                comparison.evaluate(assignment)
+                for comparison in comparisons
+                if not comparison.variables
+            ):
+                yield dict(assignment)
+            return
+        atom = body[index]
+        for fact in instance.relation(atom.relation):
+            extended = _match_atom(atom, fact, assignment)
+            if extended is None:
+                continue
+            if not _comparisons_consistent(comparisons, extended):
+                continue
+            yield from extend(index + 1, extended)
+
+    yield from extend(0, {})
+
+
+def answer_tuple(query: ConjunctiveQuery, assignment: Mapping[Variable, object]) -> Tuple[object, ...]:
+    """The head tuple produced by one satisfying assignment."""
+    values: List[object] = []
+    for term in query.head:
+        if is_constant(term):
+            values.append(term.value)
+        else:
+            values.append(assignment[term])
+    return tuple(values)
+
+
+def evaluate(query: ConjunctiveQuery, instance: Instance) -> FrozenSet[Tuple[object, ...]]:
+    """Evaluate a conjunctive query or a union of them (set semantics)."""
+    disjuncts = getattr(query, "disjuncts", None)
+    if disjuncts is not None:
+        answers: set = set()
+        for disjunct in disjuncts:
+            answers |= evaluate(disjunct, instance)
+        return frozenset(answers)
+    answers = set()
+    for assignment in satisfying_assignments(query, instance):
+        answers.add(answer_tuple(query, assignment))
+    return frozenset(answers)
+
+
+def evaluate_boolean(query: ConjunctiveQuery, instance: Instance) -> bool:
+    """Evaluate a boolean query; also works for non-boolean queries
+    (true iff the answer is non-empty)."""
+    for _ in satisfying_assignments(query, instance):
+        return True
+    return False
+
+
+def possible_answers(
+    query: ConjunctiveQuery, instances: Sequence[Instance]
+) -> FrozenSet[FrozenSet[Tuple[object, ...]]]:
+    """The set of distinct answers the query attains over the given instances.
+
+    Used by the engine to enumerate the events ``Q(I) = q`` for every
+    possible answer ``q`` (Definition 4.1 quantifies over all of them).
+    """
+    return frozenset(evaluate(query, instance) for instance in instances)

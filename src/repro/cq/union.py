@@ -1,0 +1,155 @@
+"""Unions of conjunctive queries (UCQs).
+
+The paper states its central results (Theorem 4.5, Theorem 4.8) for
+*monotone* queries, and conjunctive queries are only the simplest such
+class.  :class:`UnionQuery` extends the library to finite unions of
+conjunctive queries — still monotone, still supported by the
+minimal-instance critical-tuple search — so that secrets and views such
+as "names of employees in HR **or** in Payroll" can be analysed.
+
+A UCQ is a set of conjunctive *disjuncts* of equal arity; its answer on
+an instance is the union of the disjuncts' answers.  All disjuncts are
+renamed apart at construction so that accidental variable sharing
+between disjuncts cannot change the semantics.
+
+One caveat is documented rather than hidden: Proposition 4.9's
+domain-size bound is proved for conjunctive queries.  For UCQs this
+library applies the bound with ``n`` taken as the largest symbol count
+of any disjunct, which follows from applying the paper's argument to
+each pair of disjuncts; analyses that want to be conservative can pass
+an explicitly larger domain.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from ..exceptions import QueryError
+from .query import ConjunctiveQuery
+from .terms import Variable
+
+__all__ = ["UnionQuery", "union_of"]
+
+
+class UnionQuery:
+    """A union (disjunction) of conjunctive queries of equal arity."""
+
+    def __init__(self, disjuncts: Sequence[ConjunctiveQuery], name: str = "U"):
+        disjuncts = tuple(disjuncts)
+        if not disjuncts:
+            raise QueryError("a union query needs at least one disjunct")
+        arity = disjuncts[0].arity
+        for disjunct in disjuncts:
+            if disjunct.arity != arity:
+                raise QueryError(
+                    f"all disjuncts must have the same arity; "
+                    f"{disjunct.name} has arity {disjunct.arity}, expected {arity}"
+                )
+        renamed: List[ConjunctiveQuery] = []
+        taken: set[Variable] = set()
+        for disjunct in disjuncts:
+            separated = disjunct.rename_apart(taken)
+            taken |= separated.variables
+            renamed.append(separated)
+        self._disjuncts = tuple(renamed)
+        self._name = name
+
+    # -- basic properties ------------------------------------------------------
+    @property
+    def disjuncts(self) -> Tuple[ConjunctiveQuery, ...]:
+        """The conjunctive disjuncts (renamed apart)."""
+        return self._disjuncts
+
+    @property
+    def name(self) -> str:
+        """Display name of the query."""
+        return self._name
+
+    @property
+    def arity(self) -> int:
+        """Arity shared by every disjunct."""
+        return self._disjuncts[0].arity
+
+    @property
+    def is_boolean(self) -> bool:
+        """True when the union has arity 0."""
+        return self.arity == 0
+
+    @property
+    def is_monotone(self) -> bool:
+        """Unions of conjunctive queries are monotone."""
+        return True
+
+    @property
+    def variables(self) -> FrozenSet[Variable]:
+        """All variables across the disjuncts."""
+        result: set[Variable] = set()
+        for disjunct in self._disjuncts:
+            result |= disjunct.variables
+        return frozenset(result)
+
+    @property
+    def constants(self) -> FrozenSet[object]:
+        """All constants across the disjuncts."""
+        result: set[object] = set()
+        for disjunct in self._disjuncts:
+            result |= disjunct.constants
+        return frozenset(result)
+
+    @property
+    def relation_names(self) -> FrozenSet[str]:
+        """Relations mentioned by any disjunct."""
+        result: set[str] = set()
+        for disjunct in self._disjuncts:
+            result |= disjunct.relation_names
+        return frozenset(result)
+
+    @property
+    def has_order_predicates(self) -> bool:
+        """True when any disjunct uses an order predicate."""
+        return any(d.has_order_predicates for d in self._disjuncts)
+
+    @property
+    def body(self):
+        """All subgoals across the disjuncts (used by the practical check)."""
+        return tuple(atom for disjunct in self._disjuncts for atom in disjunct.body)
+
+    def symbol_count(self) -> int:
+        """Largest variables-plus-constants count of any disjunct.
+
+        See the module docstring for the domain-independence caveat.
+        """
+        return max(d.symbol_count() for d in self._disjuncts)
+
+    # -- transformations ---------------------------------------------------------
+    def with_name(self, name: str) -> "UnionQuery":
+        """A copy with a different display name."""
+        return UnionQuery(self._disjuncts, name=name)
+
+    def rename_apart(self, taken: Iterable[Variable]) -> "UnionQuery":
+        """Rename every disjunct apart from the ``taken`` variables."""
+        taken = set(taken)
+        return UnionQuery(
+            [d.rename_apart(taken) for d in self._disjuncts], name=self._name
+        )
+
+    def boolean_specialisation(self, answer: Sequence[object], name: str | None = None) -> "UnionQuery":
+        """The boolean UCQ ``answer ∈ Q(I)``: union of the disjuncts that can
+        produce the answer (disjuncts whose head constants conflict are dropped)."""
+        specialised = []
+        for disjunct in self._disjuncts:
+            try:
+                specialised.append(disjunct.boolean_specialisation(answer))
+            except QueryError:
+                continue
+        if not specialised:
+            raise QueryError(f"no disjunct of {self._name} can produce {answer!r}")
+        return UnionQuery(specialised, name=name or f"{self._name}[{tuple(answer)!r}]")
+
+    def __repr__(self) -> str:
+        return " UNION ".join(repr(d) for d in self._disjuncts)
+
+
+def union_of(*queries: ConjunctiveQuery, name: str = "U") -> UnionQuery:
+    """Convenience constructor: ``union_of(q("..."), q("..."))``."""
+    return UnionQuery(queries, name=name)

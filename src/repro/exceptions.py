@@ -1,0 +1,71 @@
+"""Exception hierarchy for the query-view security library.
+
+All library errors derive from :class:`ReproError` so that callers can
+catch every library-specific failure with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "DomainError",
+    "QueryError",
+    "ParseError",
+    "EvaluationError",
+    "ProbabilityError",
+    "SecurityAnalysisError",
+    "KnowledgeError",
+    "IntractableAnalysisError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema or database schema is malformed or inconsistent."""
+
+
+class DomainError(ReproError):
+    """A finite domain is malformed (empty, wrong types, missing constants)."""
+
+
+class QueryError(ReproError):
+    """A query definition is malformed (unsafe variables, bad arity, ...)."""
+
+
+class ParseError(QueryError):
+    """A datalog-style query string could not be parsed."""
+
+
+class EvaluationError(ReproError):
+    """A query could not be evaluated over an instance."""
+
+
+class ProbabilityError(ReproError):
+    """A probability value or distribution is invalid."""
+
+
+class SecurityAnalysisError(ReproError):
+    """A query-view security analysis could not be carried out."""
+
+
+class KnowledgeError(SecurityAnalysisError):
+    """A prior-knowledge specification is invalid or unsupported."""
+
+
+class IntractableAnalysisError(SecurityAnalysisError):
+    """An exact analysis was requested but the search space is too large.
+
+    The exact procedures in this library are intentionally faithful to the
+    paper's exponential decision procedures; when the instance space or the
+    valuation space exceeds the configured limits this error is raised so
+    callers can fall back to sampling or to the practical algorithm.
+    """
+
+    def __init__(self, message: str, size_estimate: int | None = None):
+        super().__init__(message)
+        self.size_estimate = size_estimate

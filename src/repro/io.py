@@ -1,0 +1,136 @@
+"""Loading schemas and dictionaries from plain JSON documents.
+
+The command-line interface (and downstream users who keep their audit
+configuration under version control) describe the database schema in a
+small JSON document rather than Python code::
+
+    {
+      "relations": [
+        {
+          "name": "Emp",
+          "attributes": ["name", "department", "phone"],
+          "key": ["name"],
+          "attribute_domains": {
+            "name": ["n0", "n1"],
+            "department": ["d0", "d1"],
+            "phone": ["p0", "p1"]
+          }
+        }
+      ],
+      "domain": ["n0", "n1", "d0", "d1", "p0", "p1"],
+      "tuple_probability": "1/4"
+    }
+
+``domain`` is optional when every attribute has its own domain;
+``tuple_probability`` (a number or a fraction string) is optional and
+only needed for quantitative analyses.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from .exceptions import SchemaError
+from .probability.dictionary import Dictionary
+from .relational.domain import Domain
+from .relational.schema import RelationSchema, Schema
+
+__all__ = [
+    "schema_from_dict",
+    "schema_to_dict",
+    "load_schema",
+    "dictionary_from_dict",
+    "load_audit_configuration",
+]
+
+
+def _parse_probability(value: Union[str, int, float]) -> Fraction:
+    if isinstance(value, str):
+        return Fraction(value)
+    return Fraction(value).limit_denominator(10**9)
+
+
+def schema_from_dict(document: Mapping[str, Any]) -> Schema:
+    """Build a :class:`Schema` from a parsed JSON document."""
+    relations_spec = document.get("relations")
+    if not relations_spec:
+        raise SchemaError("the schema document must list at least one relation")
+    relations = []
+    for spec in relations_spec:
+        try:
+            name = spec["name"]
+            attributes = spec["attributes"]
+        except KeyError as exc:
+            raise SchemaError(f"relation specification is missing {exc}") from exc
+        attribute_domains = {
+            attribute: Domain(values, name=f"{name}.{attribute}")
+            for attribute, values in (spec.get("attribute_domains") or {}).items()
+        }
+        relations.append(
+            RelationSchema(
+                name,
+                tuple(attributes),
+                attribute_domains,
+                tuple(spec["key"]) if spec.get("key") else None,
+            )
+        )
+    domain_values = document.get("domain")
+    domain = Domain(domain_values, name="D") if domain_values else None
+    return Schema(relations, domain=domain)
+
+
+def schema_to_dict(schema: Schema) -> Dict[str, Any]:
+    """Serialise a :class:`Schema` back to the JSON document shape."""
+    relations = []
+    for relation in schema:
+        spec: Dict[str, Any] = {
+            "name": relation.name,
+            "attributes": list(relation.attributes),
+        }
+        if relation.key:
+            spec["key"] = list(relation.key)
+        if relation.attribute_domains:
+            spec["attribute_domains"] = {
+                attribute: list(domain.values)
+                for attribute, domain in relation.attribute_domains.items()
+            }
+        relations.append(spec)
+    return {"relations": relations, "domain": list(schema.domain.values)}
+
+
+def load_schema(path: Union[str, Path]) -> Schema:
+    """Load a schema from a JSON file."""
+    with open(path, "r", encoding="utf8") as handle:
+        document = json.load(handle)
+    return schema_from_dict(document)
+
+
+def dictionary_from_dict(
+    document: Mapping[str, Any], schema: Optional[Schema] = None
+) -> Optional[Dictionary]:
+    """Build the document's dictionary, if it declares one.
+
+    Recognised keys: ``tuple_probability`` (uniform probability) or
+    ``expected_size`` (uniform probability scaled to the tuple space).
+    """
+    schema = schema or schema_from_dict(document)
+    if "tuple_probability" in document:
+        return Dictionary.uniform(schema, _parse_probability(document["tuple_probability"]))
+    if "expected_size" in document:
+        return Dictionary.with_expected_size(
+            schema, _parse_probability(document["expected_size"])
+        )
+    return None
+
+
+def load_audit_configuration(
+    path: Union[str, Path]
+) -> Tuple[Schema, Optional[Dictionary]]:
+    """Load a schema plus (optionally) its dictionary from one JSON file."""
+    with open(path, "r", encoding="utf8") as handle:
+        document = json.load(handle)
+    schema = schema_from_dict(document)
+    return schema, dictionary_from_dict(document, schema)

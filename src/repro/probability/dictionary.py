@@ -1,0 +1,192 @@
+"""Dictionaries: tuple-independent probability distributions over instances.
+
+A *dictionary* (Section 3.2) is a pair ``(D, P)`` of a finite domain and
+a probability ``P(t) ∈ [0, 1]`` for every tuple ``t ∈ tup(D)``; tuples
+are independent events, so the probability of an instance ``I`` is
+
+    P[I] = Π_{t ∈ I} P(t) · Π_{t ∉ I} (1 − P(t))          (Eq. 1)
+
+:class:`Dictionary` stores the schema, domain and per-tuple
+probabilities and provides the instance probability of Eq. (1).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
+
+from ..exceptions import ProbabilityError
+from ..relational.domain import Domain
+from ..relational.instance import Instance
+from ..relational.schema import Schema
+from ..relational.tuples import Fact, tuple_space
+
+__all__ = ["Dictionary", "Probability"]
+
+#: Probabilities may be exact fractions or floats.
+Probability = Union[Fraction, float, int]
+
+
+def _as_fraction(value: Probability) -> Fraction:
+    if isinstance(value, Fraction):
+        result = value
+    elif isinstance(value, int):
+        result = Fraction(value)
+    elif isinstance(value, float):
+        result = Fraction(value).limit_denominator(10**9)
+    else:
+        raise ProbabilityError(f"invalid probability value {value!r}")
+    if result < 0 or result > 1:
+        raise ProbabilityError(f"probability {value!r} is outside [0, 1]")
+    return result
+
+
+class Dictionary:
+    """A tuple-independent distribution over database instances.
+
+    Parameters
+    ----------
+    schema:
+        The database schema (defines ``tup(D)`` together with ``domain``).
+    probabilities:
+        Mapping from :class:`Fact` to its occurrence probability.  Facts
+        of the tuple space that are missing from the mapping receive
+        ``default``.
+    default:
+        Probability of facts not listed explicitly (default ``0``; a
+        dictionary with default 0 simply never generates those facts).
+    domain:
+        Optional override of the schema's global domain.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        probabilities: Optional[Mapping[Fact, Probability]] = None,
+        default: Probability = 0,
+        domain: Optional[Domain] = None,
+    ):
+        self._schema = schema
+        self._domain = domain or schema.domain
+        self._default = _as_fraction(default)
+        self._probabilities: Dict[Fact, Fraction] = {}
+        for fact, probability in (probabilities or {}).items():
+            self._probabilities[fact] = _as_fraction(probability)
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def uniform(
+        cls,
+        schema: Schema,
+        probability: Probability,
+        domain: Optional[Domain] = None,
+    ) -> "Dictionary":
+        """Every tuple of ``tup(D)`` occurs with the same probability."""
+        return cls(schema, {}, default=probability, domain=domain)
+
+    @classmethod
+    def with_expected_size(
+        cls,
+        schema: Schema,
+        expected_size: Probability,
+        domain: Optional[Domain] = None,
+    ) -> "Dictionary":
+        """Uniform dictionary whose expected instance size is ``expected_size``.
+
+        This is the distribution used by the paper's hospital example
+        (``P(t) = 200/n``) and by the practical-security model of
+        Section 6.2 (expected size held constant as the domain grows).
+        """
+        from ..relational.tuples import tuple_space_size
+
+        n = tuple_space_size(schema, domain)
+        if n == 0:
+            raise ProbabilityError("empty tuple space")
+        if isinstance(expected_size, float):
+            size = Fraction(expected_size).limit_denominator(10**9)
+        else:
+            size = Fraction(expected_size)
+        if size < 0:
+            raise ProbabilityError("expected size must be non-negative")
+        probability = size / n
+        if probability > 1:
+            raise ProbabilityError(
+                f"expected size {expected_size} exceeds the tuple space size {n}"
+            )
+        return cls.uniform(schema, probability, domain=domain)
+
+    # -- access ---------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        """The schema over which the dictionary is defined."""
+        return self._schema
+
+    @property
+    def domain(self) -> Domain:
+        """The finite domain ``D``."""
+        return self._domain
+
+    @property
+    def default(self) -> Fraction:
+        """Probability assigned to facts without an explicit entry."""
+        return self._default
+
+    def probability_of(self, fact: Fact) -> Fraction:
+        """``P(t)`` for one fact."""
+        return self._probabilities.get(fact, self._default)
+
+    def tuple_space(self) -> list[Fact]:
+        """The tuple space ``tup(D)`` of the dictionary (deterministic order)."""
+        return tuple_space(self._schema, self._domain)
+
+    def expected_instance_size(self) -> Fraction:
+        """Expected number of facts in a random instance."""
+        return sum((self.probability_of(t) for t in self.tuple_space()), Fraction(0))
+
+    def is_non_trivial(self) -> bool:
+        """True when no tuple has probability exactly 0 or 1.
+
+        Theorem 4.8 requires a distribution with ``P(t) ∉ {0, 1}`` for
+        all tuples; this predicate checks that requirement.
+        """
+        return all(0 < self.probability_of(t) < 1 for t in self.tuple_space())
+
+    # -- derived dictionaries --------------------------------------------------
+    def with_probability(self, fact: Fact, probability: Probability) -> "Dictionary":
+        """A copy of this dictionary with one tuple probability overridden."""
+        updated = dict(self._probabilities)
+        updated[fact] = _as_fraction(probability)
+        return Dictionary(self._schema, updated, default=self._default, domain=self._domain)
+
+    def with_domain(self, domain: Domain) -> "Dictionary":
+        """A copy of this dictionary over a different domain."""
+        return Dictionary(
+            self._schema, self._probabilities, default=self._default, domain=domain
+        )
+
+    # -- instance probability (Eq. 1) ------------------------------------------
+    def instance_probability(
+        self, instance: Instance, over_facts: Optional[Sequence[Fact]] = None
+    ) -> Fraction:
+        """``P[I]`` per Eq. (1), optionally restricted to a sub-space of facts.
+
+        When ``over_facts`` is given, the product ranges only over those
+        facts; this computes the *marginal* probability of the instance's
+        intersection with that sub-space, which is what the enumeration
+        engine uses when an event only depends on a subset of the tuple
+        space (the remaining factor sums to 1 by independence).
+        """
+        facts = list(over_facts) if over_facts is not None else self.tuple_space()
+        probability = Fraction(1)
+        for fact in facts:
+            p = self.probability_of(fact)
+            probability *= p if fact in instance else (1 - p)
+            if probability == 0:
+                return Fraction(0)
+        return probability
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Dictionary(schema={self._schema!r}, default={self._default}, "
+            f"explicit={len(self._probabilities)})"
+        )

@@ -1,0 +1,141 @@
+"""Monte-Carlo estimation of event probabilities.
+
+The exact engine enumerates ``2^|support|`` sub-instances; when the
+support is too large, :class:`MonteCarloSampler` draws random instances
+from the dictionary (each fact independently with its probability) and
+estimates probabilities, conditional probabilities and independence from
+the sample.  All estimates carry a standard-error so callers can decide
+how much to trust them.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..exceptions import ProbabilityError
+from ..relational.instance import Instance
+from ..relational.tuples import Fact
+from .dictionary import Dictionary
+from .events import Event
+
+__all__ = ["Estimate", "MonteCarloSampler"]
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A Monte-Carlo estimate: point value, standard error and sample size."""
+
+    value: float
+    standard_error: float
+    samples: int
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """A normal-approximation confidence interval (default 95%)."""
+        return (
+            max(0.0, self.value - z * self.standard_error),
+            min(1.0, self.value + z * self.standard_error),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Estimate({self.value:.4f} ± {self.standard_error:.4f}, n={self.samples})"
+
+
+class MonteCarloSampler:
+    """Draws instances from a dictionary and estimates event probabilities."""
+
+    def __init__(
+        self,
+        dictionary: Dictionary,
+        seed: Optional[int] = 0,
+        restrict_to: Optional[Iterable[Fact]] = None,
+    ):
+        self._dictionary = dictionary
+        self._rng = random.Random(seed)
+        self._facts: List[Fact] = (
+            sorted(restrict_to) if restrict_to is not None else dictionary.tuple_space()
+        )
+        self._probabilities = [float(dictionary.probability_of(f)) for f in self._facts]
+
+    @property
+    def dictionary(self) -> Dictionary:
+        """The dictionary being sampled."""
+        return self._dictionary
+
+    def sample_instance(self) -> Instance:
+        """Draw one instance: each fact present independently with its probability."""
+        present = [
+            fact
+            for fact, probability in zip(self._facts, self._probabilities)
+            if self._rng.random() < probability
+        ]
+        return Instance(present)
+
+    def sample_instances(self, count: int) -> List[Instance]:
+        """Draw ``count`` independent instances."""
+        return [self.sample_instance() for _ in range(count)]
+
+    # -- estimates ---------------------------------------------------------------
+    def estimate_probability(self, event: Event, samples: int = 10_000) -> Estimate:
+        """Estimate ``P[event]`` from ``samples`` random instances."""
+        if samples <= 0:
+            raise ProbabilityError("sample count must be positive")
+        hits = sum(1 for _ in range(samples) if event.occurs(self.sample_instance()))
+        p = hits / samples
+        stderr = math.sqrt(max(p * (1 - p), 1e-12) / samples)
+        return Estimate(p, stderr, samples)
+
+    def estimate_conditional(
+        self, event: Event, given: Event, samples: int = 10_000
+    ) -> Estimate:
+        """Estimate ``P[event | given]`` by rejection sampling."""
+        if samples <= 0:
+            raise ProbabilityError("sample count must be positive")
+        conditioning_hits = 0
+        joint_hits = 0
+        for _ in range(samples):
+            instance = self.sample_instance()
+            if given.occurs(instance):
+                conditioning_hits += 1
+                if event.occurs(instance):
+                    joint_hits += 1
+        if conditioning_hits == 0:
+            raise ProbabilityError(
+                "no sample satisfied the conditioning event; "
+                "increase the sample count or use the exact engine"
+            )
+        p = joint_hits / conditioning_hits
+        stderr = math.sqrt(max(p * (1 - p), 1e-12) / conditioning_hits)
+        return Estimate(p, stderr, conditioning_hits)
+
+    def appear_independent(
+        self,
+        left: Event,
+        right: Event,
+        samples: int = 10_000,
+        tolerance_sigmas: float = 4.0,
+    ) -> bool:
+        """Heuristic independence check: is the empirical difference
+        ``P[l∧r] − P[l]·P[r]`` within ``tolerance_sigmas`` standard errors?
+
+        This is a screening tool, not a decision procedure — use
+        :mod:`repro.core.security` for exact decisions.
+        """
+        if samples <= 0:
+            raise ProbabilityError("sample count must be positive")
+        left_hits = right_hits = joint_hits = 0
+        for _ in range(samples):
+            instance = self.sample_instance()
+            l = left.occurs(instance)
+            r = right.occurs(instance)
+            left_hits += l
+            right_hits += r
+            joint_hits += l and r
+        p_left = left_hits / samples
+        p_right = right_hits / samples
+        p_joint = joint_hits / samples
+        difference = abs(p_joint - p_left * p_right)
+        stderr = math.sqrt(max(p_joint * (1 - p_joint), 1e-12) / samples)
+        return difference <= tolerance_sigmas * stderr

@@ -1,0 +1,52 @@
+"""Relational substrate: domains, schemas, facts, instances and algebra.
+
+This package implements the data model of Section 3.1 of the paper: a
+finite domain ``D``, the tuple space ``tup(D)``, database instances
+``inst(D)`` and a small relational algebra used by examples.
+"""
+
+from .algebra import (
+    Relation,
+    cartesian_product,
+    difference,
+    natural_join,
+    project,
+    relation_of,
+    rename,
+    select,
+    union,
+)
+from .domain import AttributeDomain, Domain, union_domain
+from .instance import (
+    Instance,
+    enumerate_instances,
+    instance_space_size,
+    satisfies_key_constraints,
+)
+from .schema import RelationSchema, Schema
+from .tuples import Fact, facts_of_relation, tuple_space, tuple_space_size
+
+__all__ = [
+    "AttributeDomain",
+    "Domain",
+    "union_domain",
+    "RelationSchema",
+    "Schema",
+    "Fact",
+    "facts_of_relation",
+    "tuple_space",
+    "tuple_space_size",
+    "Instance",
+    "enumerate_instances",
+    "instance_space_size",
+    "satisfies_key_constraints",
+    "Relation",
+    "relation_of",
+    "project",
+    "select",
+    "rename",
+    "natural_join",
+    "union",
+    "difference",
+    "cartesian_product",
+]

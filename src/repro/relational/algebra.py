@@ -1,0 +1,166 @@
+"""A small relational algebra over materialised instances.
+
+The paper's motivating examples describe views with relational-algebra
+notation (``Π_{name,department}(Employee)``).  This module provides the
+instance-level operators — projection, selection, natural join, rename,
+union, difference — so that examples and tests can construct and check
+view answers directly, independently of the conjunctive-query machinery
+in :mod:`repro.cq` (which is what the security analysis itself uses).
+
+Operators work on *relations* represented as a set of value-tuples
+tagged with a named heading (:class:`Relation`), and on
+:class:`~repro.relational.instance.Instance` objects via
+:func:`relation_of`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterable, Mapping, Sequence, Tuple
+
+from ..exceptions import SchemaError
+from .instance import Instance
+from .schema import RelationSchema, Schema
+from .tuples import Fact
+
+__all__ = [
+    "Relation",
+    "relation_of",
+    "project",
+    "select",
+    "rename",
+    "natural_join",
+    "union",
+    "difference",
+    "cartesian_product",
+]
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A named heading plus a set of rows (value tuples)."""
+
+    heading: Tuple[str, ...]
+    rows: FrozenSet[Tuple[object, ...]]
+
+    def __init__(self, heading: Sequence[str], rows: Iterable[Sequence[object]]):
+        heading = tuple(heading)
+        if len(set(heading)) != len(heading):
+            raise SchemaError(f"duplicate attribute in heading {heading}")
+        frozen_rows = frozenset(tuple(row) for row in rows)
+        for row in frozen_rows:
+            if len(row) != len(heading):
+                raise SchemaError(
+                    f"row {row} does not match heading {heading} (arity mismatch)"
+                )
+        object.__setattr__(self, "heading", heading)
+        object.__setattr__(self, "rows", frozen_rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(sorted(self.rows, key=repr))
+
+    def __contains__(self, row: Sequence[object]) -> bool:
+        return tuple(row) in self.rows
+
+    def column(self, attribute: str) -> int:
+        """Index of ``attribute`` in the heading."""
+        try:
+            return self.heading.index(attribute)
+        except ValueError as exc:
+            raise SchemaError(f"no attribute {attribute!r} in heading {self.heading}") from exc
+
+    def to_dicts(self) -> list[dict[str, object]]:
+        """Rows as dictionaries keyed by attribute name (for reporting)."""
+        return [dict(zip(self.heading, row)) for row in sorted(self.rows, key=repr)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation({self.heading}, {len(self.rows)} rows)"
+
+
+def relation_of(instance: Instance, schema: RelationSchema) -> Relation:
+    """Extract one relation of an instance as a :class:`Relation`."""
+    rows = [fact.values for fact in instance.relation(schema.name)]
+    return Relation(schema.attributes, rows)
+
+
+def project(relation: Relation, attributes: Sequence[str]) -> Relation:
+    """Projection ``Π_attributes(relation)`` (set semantics, as in the paper)."""
+    positions = [relation.column(a) for a in attributes]
+    rows = {tuple(row[p] for p in positions) for row in relation.rows}
+    return Relation(tuple(attributes), rows)
+
+
+def select(
+    relation: Relation, predicate: Callable[[Mapping[str, object]], bool]
+) -> Relation:
+    """Selection ``σ_predicate(relation)``; the predicate sees a row as a dict."""
+    rows = [
+        row
+        for row in relation.rows
+        if predicate(dict(zip(relation.heading, row)))
+    ]
+    return Relation(relation.heading, rows)
+
+
+def rename(relation: Relation, mapping: Mapping[str, str]) -> Relation:
+    """Rename attributes according to ``mapping`` (missing names are kept)."""
+    new_heading = tuple(mapping.get(a, a) for a in relation.heading)
+    return Relation(new_heading, relation.rows)
+
+
+def natural_join(left: Relation, right: Relation) -> Relation:
+    """Natural join on the shared attribute names."""
+    shared = [a for a in left.heading if a in right.heading]
+    left_shared = [left.column(a) for a in shared]
+    right_shared = [right.column(a) for a in shared]
+    right_rest = [i for i, a in enumerate(right.heading) if a not in shared]
+    heading = left.heading + tuple(right.heading[i] for i in right_rest)
+
+    index: dict[Tuple[object, ...], list[Tuple[object, ...]]] = {}
+    for row in right.rows:
+        key = tuple(row[i] for i in right_shared)
+        index.setdefault(key, []).append(row)
+
+    rows = []
+    for row in left.rows:
+        key = tuple(row[i] for i in left_shared)
+        for other in index.get(key, ()):
+            rows.append(row + tuple(other[i] for i in right_rest))
+    return Relation(heading, rows)
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """Set union of two relations with identical headings."""
+    if left.heading != right.heading:
+        raise SchemaError("union requires identical headings")
+    return Relation(left.heading, left.rows | right.rows)
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """Set difference of two relations with identical headings."""
+    if left.heading != right.heading:
+        raise SchemaError("difference requires identical headings")
+    return Relation(left.heading, left.rows - right.rows)
+
+
+def cartesian_product(left: Relation, right: Relation) -> Relation:
+    """Cartesian product; attribute names must not clash."""
+    clash = set(left.heading) & set(right.heading)
+    if clash:
+        raise SchemaError(f"cartesian product with clashing attributes {sorted(clash)}")
+    heading = left.heading + right.heading
+    rows = [l + r for l in left.rows for r in right.rows]
+    return Relation(heading, rows)
+
+
+def instance_from_relation(schema: Schema, relation_name: str, relation: Relation) -> Instance:
+    """Materialise a :class:`Relation` back into an :class:`Instance`."""
+    rel_schema = schema.relation(relation_name)
+    if relation.heading != rel_schema.attributes:
+        raise SchemaError(
+            f"heading {relation.heading} does not match schema of {relation_name!r}"
+        )
+    return Instance(Fact(relation_name, row) for row in relation.rows)

@@ -1,0 +1,129 @@
+"""Finite domains of constants.
+
+The paper's security model is defined over a *finite* domain ``D`` that
+contains every value that may occur in any attribute of any relation
+(Section 3.1).  :class:`Domain` is an immutable, ordered collection of
+hashable constants with a few convenience constructors.
+
+Attributes may also be typed: :class:`AttributeDomain` restricts an
+attribute position to a subset of the global domain (e.g. the set of
+valid disease names), which keeps ``tup(D)`` small in examples and
+benchmarks while remaining faithful to the model (the global domain is
+the union of the attribute domains).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from ..exceptions import DomainError
+
+__all__ = ["Domain", "AttributeDomain", "union_domain"]
+
+
+@dataclass(frozen=True)
+class Domain:
+    """An immutable finite domain of constants.
+
+    Parameters
+    ----------
+    values:
+        The constants of the domain.  Duplicates are removed; the original
+        insertion order of first occurrences is preserved so results are
+        deterministic across runs.
+    name:
+        Optional human-readable name (used in reports).
+    """
+
+    values: Tuple[object, ...]
+    name: str = "D"
+
+    def __init__(self, values: Iterable[object], name: str = "D"):
+        seen = []
+        seen_set = set()
+        for value in values:
+            if value not in seen_set:
+                seen.append(value)
+                seen_set.add(value)
+        if not seen:
+            raise DomainError("a domain must contain at least one constant")
+        object.__setattr__(self, "values", tuple(seen))
+        object.__setattr__(self, "name", name)
+
+    # -- container protocol -------------------------------------------------
+    def __iter__(self) -> Iterator[object]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __contains__(self, value: object) -> bool:
+        return value in set(self.values)
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def of(cls, *values: object, name: str = "D") -> "Domain":
+        """Build a domain from positional constants: ``Domain.of('a', 'b')``."""
+        return cls(values, name=name)
+
+    @classmethod
+    def integers(cls, n: int, start: int = 0, name: str = "D") -> "Domain":
+        """A domain of ``n`` consecutive integers starting at ``start``."""
+        if n <= 0:
+            raise DomainError("integer domain size must be positive")
+        return cls(range(start, start + n), name=name)
+
+    @classmethod
+    def symbols(cls, n: int, prefix: str = "c", name: str = "D") -> "Domain":
+        """A domain of ``n`` symbolic constants ``c0, c1, ...``."""
+        if n <= 0:
+            raise DomainError("symbolic domain size must be positive")
+        return cls((f"{prefix}{i}" for i in range(n)), name=name)
+
+    # -- operations ----------------------------------------------------------
+    def extend(self, extra: Iterable[object]) -> "Domain":
+        """Return a new domain containing ``self``'s constants plus ``extra``."""
+        return Domain(list(self.values) + list(extra), name=self.name)
+
+    def restrict(self, keep: Iterable[object]) -> "Domain":
+        """Return a new domain with only the constants in ``keep`` (preserving order)."""
+        keep_set = set(keep)
+        kept = [v for v in self.values if v in keep_set]
+        if not kept:
+            raise DomainError("restriction produced an empty domain")
+        return Domain(kept, name=self.name)
+
+    def index_of(self, value: object) -> int:
+        """Position of ``value`` in the domain ordering (raises if absent)."""
+        try:
+            return self.values.index(value)
+        except ValueError as exc:
+            raise DomainError(f"constant {value!r} is not in domain {self.name}") from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        shown = ", ".join(repr(v) for v in self.values[:6])
+        suffix = ", ..." if len(self.values) > 6 else ""
+        return f"Domain({self.name}: {{{shown}{suffix}}}, size={len(self.values)})"
+
+
+@dataclass(frozen=True)
+class AttributeDomain:
+    """A named attribute together with the sub-domain of values it may take."""
+
+    attribute: str
+    domain: Domain
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self.domain)
+
+    def __len__(self) -> int:
+        return len(self.domain)
+
+
+def union_domain(domains: Sequence[Domain], name: str = "D") -> Domain:
+    """The union of several domains, preserving first-seen order."""
+    values: list[object] = []
+    for domain in domains:
+        values.extend(domain.values)
+    return Domain(values, name=name)

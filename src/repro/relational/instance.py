@@ -1,0 +1,171 @@
+"""Database instances and the instance space ``inst(D)``.
+
+An :class:`Instance` is an immutable set of :class:`~repro.relational.tuples.Fact`
+objects — exactly the paper's notion of a database instance (any subset
+of ``tup(D)``).  :func:`enumerate_instances` enumerates ``inst(D)``, the
+powerset of the tuple space, which is the sample space of the
+probabilistic model; because it has size ``2^|tup(D)|`` callers should
+bound the tuple space first (see
+:class:`~repro.exceptions.IntractableAnalysisError`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import IntractableAnalysisError
+from .domain import Domain
+from .schema import Schema
+from .tuples import Fact, tuple_space
+
+__all__ = [
+    "Instance",
+    "enumerate_instances",
+    "instance_space_size",
+    "satisfies_key_constraints",
+]
+
+#: Default guard on the size of an exhaustively enumerated instance space.
+MAX_ENUMERABLE_TUPLES = 24
+
+
+class Instance:
+    """An immutable database instance (a set of facts)."""
+
+    __slots__ = ("_facts", "_by_relation")
+
+    def __init__(self, facts: Iterable[Fact] = ()):
+        self._facts: FrozenSet[Fact] = frozenset(facts)
+        self._by_relation: dict[str, FrozenSet[Fact]] = {}
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def of(cls, *facts: Fact) -> "Instance":
+        """Build an instance from positional facts."""
+        return cls(facts)
+
+    @classmethod
+    def empty(cls) -> "Instance":
+        """The empty instance."""
+        return cls()
+
+    # -- set protocol ---------------------------------------------------------
+    @property
+    def facts(self) -> FrozenSet[Fact]:
+        """The facts of the instance as a frozenset."""
+        return self._facts
+
+    def __contains__(self, fact: Fact) -> bool:
+        return fact in self._facts
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(sorted(self._facts))
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Instance):
+            return self._facts == other._facts
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._facts)
+
+    def __le__(self, other: "Instance") -> bool:
+        return self._facts <= other._facts
+
+    # -- operations -----------------------------------------------------------
+    def relation(self, name: str) -> FrozenSet[Fact]:
+        """All facts of one relation (cached per instance)."""
+        cached = self._by_relation.get(name)
+        if cached is None:
+            cached = frozenset(f for f in self._facts if f.relation == name)
+            self._by_relation[name] = cached
+        return cached
+
+    def add(self, *facts: Fact) -> "Instance":
+        """A new instance with the given facts added."""
+        return Instance(self._facts | set(facts))
+
+    def remove(self, *facts: Fact) -> "Instance":
+        """A new instance with the given facts removed (missing facts are ignored)."""
+        return Instance(self._facts - set(facts))
+
+    def union(self, other: "Instance") -> "Instance":
+        """Union of two instances."""
+        return Instance(self._facts | other._facts)
+
+    def intersection(self, other: "Instance") -> "Instance":
+        """Intersection of two instances."""
+        return Instance(self._facts & other._facts)
+
+    def difference(self, other: "Instance") -> "Instance":
+        """Facts of this instance that are not in ``other``."""
+        return Instance(self._facts - other._facts)
+
+    def restrict_to(self, facts: Iterable[Fact]) -> "Instance":
+        """The sub-instance containing only the given facts."""
+        return Instance(self._facts & set(facts))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(f) for f in sorted(self._facts))
+        return f"Instance({{{inner}}})"
+
+
+def instance_space_size(schema: Schema, domain: Optional[Domain] = None) -> int:
+    """Number of instances in ``inst(D)`` (``2^|tup(D)|``)."""
+    from .tuples import tuple_space_size
+
+    return 2 ** tuple_space_size(schema, domain)
+
+
+def enumerate_instances(
+    schema: Schema,
+    domain: Optional[Domain] = None,
+    over_facts: Optional[Sequence[Fact]] = None,
+    max_tuples: int = MAX_ENUMERABLE_TUPLES,
+) -> Iterator[Instance]:
+    """Enumerate ``inst(D)``: every subset of the tuple space.
+
+    Parameters
+    ----------
+    schema, domain:
+        Define the tuple space when ``over_facts`` is not given.
+    over_facts:
+        Enumerate subsets of this explicit list of facts instead of the
+        whole tuple space (useful when a query only depends on a small
+        set of facts).
+    max_tuples:
+        Guard against accidental exponential blow-up; raise
+        :class:`IntractableAnalysisError` when the tuple space is larger.
+    """
+    facts: List[Fact] = (
+        list(over_facts) if over_facts is not None else tuple_space(schema, domain)
+    )
+    if len(facts) > max_tuples:
+        raise IntractableAnalysisError(
+            f"cannot enumerate 2^{len(facts)} instances; "
+            f"restrict the domain or use sampling",
+            size_estimate=2 ** len(facts),
+        )
+    for r in range(len(facts) + 1):
+        for combo in itertools.combinations(facts, r):
+            yield Instance(combo)
+
+
+def satisfies_key_constraints(schema: Schema, instance: Instance) -> bool:
+    """Check whether an instance satisfies every declared key constraint."""
+    for relation in schema:
+        positions = relation.key_positions()
+        if not positions:
+            continue
+        seen: dict[Tuple[object, ...], Fact] = {}
+        for fact in instance.relation(relation.name):
+            key_value = fact.project(positions)
+            other = seen.get(key_value)
+            if other is not None and other != fact:
+                return False
+            seen[key_value] = fact
+    return True

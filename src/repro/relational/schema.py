@@ -1,0 +1,178 @@
+"""Relational schemas.
+
+A :class:`RelationSchema` names a relation and its attributes, and
+optionally restricts each attribute position to a per-attribute domain.
+A :class:`Schema` is a collection of relation schemas plus the global
+domain ``D`` used to enumerate ``tup(D)`` (Section 3.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import SchemaError
+from .domain import Domain, union_domain
+
+__all__ = ["RelationSchema", "Schema"]
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """Schema of a single relation.
+
+    Parameters
+    ----------
+    name:
+        Relation name, e.g. ``"Employee"``.
+    attributes:
+        Ordered attribute names, e.g. ``("name", "department", "phone")``.
+    attribute_domains:
+        Optional mapping from attribute name to the :class:`Domain` of
+        values it may take.  Attributes without an entry range over the
+        schema's global domain.
+    key:
+        Optional tuple of attribute names forming a key (used by the
+        prior-knowledge machinery, Corollary 5.3).
+    """
+
+    name: str
+    attributes: Tuple[str, ...]
+    attribute_domains: Mapping[str, Domain] = field(default_factory=dict)
+    key: Optional[Tuple[str, ...]] = None
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        attribute_domains: Optional[Mapping[str, Domain]] = None,
+        key: Optional[Sequence[str]] = None,
+    ):
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        attributes = tuple(attributes)
+        if not attributes:
+            raise SchemaError(f"relation {name!r} must have at least one attribute")
+        if len(set(attributes)) != len(attributes):
+            raise SchemaError(f"relation {name!r} has duplicate attribute names")
+        attribute_domains = dict(attribute_domains or {})
+        for attr in attribute_domains:
+            if attr not in attributes:
+                raise SchemaError(
+                    f"attribute domain given for unknown attribute {attr!r} of {name!r}"
+                )
+        if key is not None:
+            key = tuple(key)
+            for attr in key:
+                if attr not in attributes:
+                    raise SchemaError(f"key attribute {attr!r} not in relation {name!r}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", attributes)
+        object.__setattr__(self, "attribute_domains", attribute_domains)
+        object.__setattr__(self, "key", key)
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes of the relation."""
+        return len(self.attributes)
+
+    def attribute_index(self, attribute: str) -> int:
+        """Position of ``attribute`` in the relation (raises on unknown names)."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError as exc:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}"
+            ) from exc
+
+    def key_positions(self) -> Tuple[int, ...]:
+        """Indices of the key attributes (empty tuple when no key is declared)."""
+        if self.key is None:
+            return ()
+        return tuple(self.attribute_index(a) for a in self.key)
+
+    def domain_for(self, attribute: str, default: Domain) -> Domain:
+        """Domain of ``attribute``: its declared sub-domain or ``default``."""
+        self.attribute_index(attribute)
+        return self.attribute_domains.get(attribute, default)
+
+    def position_domains(self, default: Domain) -> Tuple[Domain, ...]:
+        """Domains of every attribute position, in order."""
+        return tuple(self.domain_for(attr, default) for attr in self.attributes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        attrs = ", ".join(self.attributes)
+        return f"RelationSchema({self.name}({attrs}))"
+
+
+class Schema:
+    """A database schema: a set of relation schemas and a global domain.
+
+    The global domain is either supplied explicitly or derived as the
+    union of all per-attribute domains.
+    """
+
+    def __init__(
+        self,
+        relations: Iterable[RelationSchema],
+        domain: Optional[Domain] = None,
+    ):
+        self._relations: Dict[str, RelationSchema] = {}
+        for relation in relations:
+            if relation.name in self._relations:
+                raise SchemaError(f"duplicate relation name {relation.name!r}")
+            self._relations[relation.name] = relation
+        if not self._relations:
+            raise SchemaError("a schema must contain at least one relation")
+        if domain is None:
+            attribute_domains = [
+                d
+                for rel in self._relations.values()
+                for d in rel.attribute_domains.values()
+            ]
+            if not attribute_domains:
+                raise SchemaError(
+                    "no global domain supplied and no attribute domains to derive it from"
+                )
+            domain = union_domain(attribute_domains)
+        self._domain = domain
+
+    # -- access ---------------------------------------------------------------
+    @property
+    def domain(self) -> Domain:
+        """The global domain ``D`` of the schema."""
+        return self._domain
+
+    @property
+    def relations(self) -> Tuple[RelationSchema, ...]:
+        """The relation schemas, in declaration order."""
+        return tuple(self._relations.values())
+
+    def relation(self, name: str) -> RelationSchema:
+        """Look up a relation schema by name."""
+        try:
+            return self._relations[name]
+        except KeyError as exc:
+            raise SchemaError(f"schema has no relation named {name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    # -- derived schemas ------------------------------------------------------
+    def with_domain(self, domain: Domain) -> "Schema":
+        """A copy of this schema using a different global domain."""
+        return Schema(self.relations, domain=domain)
+
+    def with_relation(self, relation: RelationSchema) -> "Schema":
+        """A copy of this schema with an additional relation."""
+        return Schema(list(self.relations) + [relation], domain=self._domain)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rels = ", ".join(r.name for r in self.relations)
+        return f"Schema([{rels}], |D|={len(self._domain)})"

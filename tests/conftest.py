@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite.
+
+The fixtures mirror the paper's running examples so that individual
+tests read like the corresponding passages: the binary relation
+``R(X, Y)`` over ``D = {a, b}`` (Section 4), the employee schema of
+Table 1 and the uniform dictionaries used in the worked examples.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Dictionary, q
+from repro.bench import binary_schema, employee_schema, manufacturing_schema
+from repro.relational import Domain, RelationSchema, Schema
+
+
+@pytest.fixture
+def binary_ab_schema() -> Schema:
+    """The single binary relation ``R(X, Y)`` over ``D = {a, b}``."""
+    return binary_schema(("a", "b"))
+
+
+@pytest.fixture
+def binary_abc_schema() -> Schema:
+    """``R(X, Y)`` over a three-constant domain."""
+    return binary_schema(("a", "b", "c"))
+
+
+@pytest.fixture
+def half_dictionary(binary_ab_schema: Schema) -> Dictionary:
+    """The uniform ``P(t) = 1/2`` dictionary of Examples 4.2/4.3."""
+    return Dictionary.uniform(binary_ab_schema, Fraction(1, 2))
+
+
+@pytest.fixture
+def emp_schema() -> Schema:
+    """``Emp(name, department, phone)`` with two values per attribute."""
+    return employee_schema(names=2, departments=2, phones=2)
+
+
+@pytest.fixture
+def manufacturing() -> Schema:
+    """The manufacturing-company schema of the introduction."""
+    return manufacturing_schema()
+
+
+@pytest.fixture
+def ternary_schema() -> Schema:
+    """An untyped ternary relation ``T(a1, a2, a3)`` over three constants."""
+    return Schema(
+        [RelationSchema("T", ("a1", "a2", "a3"))],
+        domain=Domain(["a", "b", "c"]),
+    )
+
+
+@pytest.fixture
+def example_42_queries():
+    """The (secret, view) pair of Example 4.2 (not secure)."""
+    return q("S(y) :- R(x, y)"), q("V(x) :- R(x, y)")
+
+
+@pytest.fixture
+def example_43_queries():
+    """The (secret, view) pair of Example 4.3 (secure)."""
+    return q("S(y) :- R(y, 'a')"), q("V(x) :- R(x, 'b')")

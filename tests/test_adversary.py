@@ -1,0 +1,144 @@
+"""Tests for the adversary posterior-belief module.
+
+The headline case is the introduction's collusion attack: after seeing
+the (name, department) and (department, phone) projections, the
+adversary can guess a person's phone number with probability 1/k where k
+is the number of phones observed in that person's department — "a 25%
+chance" when four people share the department.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Dictionary, q
+from repro.core import (
+    decide_security,
+    guessing_report,
+    posterior_answer_distribution,
+    row_posteriors,
+)
+from repro.exceptions import SecurityAnalysisError
+from repro.relational import Domain, RelationSchema, Schema
+
+
+@pytest.fixture
+def binary_dictionary(binary_ab_schema):
+    return Dictionary.uniform(binary_ab_schema, Fraction(1, 2))
+
+
+class TestPosteriorDistribution:
+    def test_posteriors_sum_to_one(self, binary_dictionary):
+        secret = q("S(y) :- R(x, y)")
+        view = q("V(x) :- R(x, y)")
+        posterior = posterior_answer_distribution(
+            secret, view, [("a",)], binary_dictionary
+        )
+        assert sum(posterior.values()) == 1
+
+    def test_example_4_2_posterior(self, binary_dictionary):
+        # P[S = {(a)} | V = {(b)}] = 1/3, as computed in Example 4.2.
+        secret = q("S(y) :- R(x, y)")
+        view = q("V(x) :- R(x, y)")
+        posterior = posterior_answer_distribution(
+            secret, view, [("b",)], binary_dictionary
+        )
+        assert posterior[frozenset({("a",)})] == Fraction(1, 3)
+
+    def test_secure_pair_posterior_equals_prior(self, binary_dictionary):
+        secret = q("S(y) :- R(y, 'a')")
+        view = q("V(x) :- R(x, 'b')")
+        posterior = posterior_answer_distribution(
+            secret, view, [("b",)], binary_dictionary
+        )
+        # For the secure pair of Example 4.3 the posterior of S = {(a)} stays 1/4.
+        assert posterior[frozenset({("a",)})] == Fraction(1, 4)
+
+    def test_impossible_observation_rejected(self, binary_dictionary):
+        secret = q("S(y) :- R(x, y)")
+        view = q("V(x) :- R(x, x)")
+        with pytest.raises(SecurityAnalysisError):
+            # 'c' is outside the domain, so the observation has probability 0.
+            posterior_answer_distribution(secret, view, [("c",)], binary_dictionary)
+
+    def test_answer_count_mismatch_rejected(self, binary_dictionary):
+        secret = q("S(y) :- R(x, y)")
+        views = [q("V(x) :- R(x, y)"), q("W(y) :- R(x, y)")]
+        with pytest.raises(SecurityAnalysisError):
+            posterior_answer_distribution(secret, views, [[("a",)]], binary_dictionary)
+
+
+class TestRowPosteriors:
+    def test_row_posteriors_contain_priors(self, binary_dictionary):
+        secret = q("S(y) :- R(x, y)")
+        view = q("V(x) :- R(x, y)")
+        table = row_posteriors(secret, view, [("a",)], binary_dictionary)
+        prior, posterior = table[("a",)]
+        # P[some tuple ends in 'a'] = 1 − (1/2)² = 3/4 under P(t) = 1/2.
+        assert prior == Fraction(3, 4)
+        # Observing V = {(a)} (only row 'a' occupied) *changes* the belief —
+        # here it lowers it to 2/3, another face of the Example 4.2 dependence.
+        assert posterior == Fraction(2, 3)
+        assert posterior != prior
+
+
+class TestIntroductionCollusionAttack:
+    """The 'guess the phone number with a 25% chance' argument."""
+
+    @pytest.fixture
+    def hr_schema(self) -> Schema:
+        # One department, four phones, one person of interest plus a colleague.
+        return Schema(
+            [
+                RelationSchema(
+                    "Emp",
+                    ("name", "dept", "phone"),
+                    {
+                        "name": Domain.of("alice", "bob"),
+                        "dept": Domain.of("hr"),
+                        "phone": Domain.of("x1", "x2", "x3", "x4"),
+                    },
+                )
+            ]
+        )
+
+    def test_collusion_gives_one_in_k_guess(self, hr_schema):
+        dictionary = Dictionary.uniform(hr_schema, Fraction(1, 8))
+        secret = q("S(n, p) :- Emp(n, d, p)")
+        name_department = q("Vnd(n, d) :- Emp(n, d, p)")
+        department_phone = q("Vdp(d, p) :- Emp(n, d, p)")
+
+        # Published answers: alice and bob are in HR, and the department's
+        # phones are x1..x4 (four people's worth of phones).
+        published_nd = [("alice", "hr"), ("bob", "hr")]
+        published_dp = [("hr", "x1"), ("hr", "x2"), ("hr", "x3"), ("hr", "x4")]
+
+        report = guessing_report(
+            secret,
+            [name_department, department_phone],
+            [published_nd, published_dp],
+            dictionary,
+            restrict_to_rows=[("alice", p) for p in ("x1", "x2", "x3", "x4")],
+        )
+        # By symmetry each of alice's four candidate phones is equally likely,
+        # so the adversary's best guess succeeds with probability >= 1/4 —
+        # the introduction's "25% chance".
+        assert report.best_row is not None
+        assert report.posterior >= Fraction(1, 4)
+        assert report.amplification is not None and report.amplification > 1
+        # All four candidate rows have the same posterior (symmetry).
+        posteriors = {
+            row: value[1]
+            for row, value in report.rows.items()
+        }
+        assert len(set(posteriors.values())) == 1
+        assert "best guess" in report.summary()
+
+    def test_perfectly_secure_view_gives_no_advantage(self, hr_schema):
+        dictionary = Dictionary.uniform(hr_schema, Fraction(1, 8))
+        secret = q("S(p) :- Emp('alice', d, p)")
+        view = q("V(p) :- Emp('bob', d, p)")
+        assert decide_security(secret, view, hr_schema).secure
+        report = guessing_report(secret, view, [("x1",)], dictionary)
+        prior, posterior = report.rows[report.best_row]
+        assert prior == posterior

@@ -1,0 +1,117 @@
+"""Unit tests for the instance-level relational algebra."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational import (
+    Domain,
+    Fact,
+    Instance,
+    RelationSchema,
+    Schema,
+    cartesian_product,
+    difference,
+    natural_join,
+    project,
+    relation_of,
+    rename,
+    select,
+    union,
+)
+from repro.relational.algebra import Relation, instance_from_relation
+
+
+@pytest.fixture
+def employee_relation() -> Relation:
+    return Relation(
+        ("name", "dept", "phone"),
+        [
+            ("ann", "hr", 100),
+            ("bob", "hr", 200),
+            ("cat", "it", 300),
+        ],
+    )
+
+
+class TestRelation:
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(("a", "b"), [(1,)])
+
+    def test_duplicate_heading_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(("a", "a"), [])
+
+    def test_membership_and_len(self, employee_relation):
+        assert ("ann", "hr", 100) in employee_relation
+        assert len(employee_relation) == 3
+
+    def test_to_dicts(self, employee_relation):
+        rows = employee_relation.to_dicts()
+        assert {"name": "ann", "dept": "hr", "phone": 100} in rows
+
+
+class TestOperators:
+    def test_projection_removes_duplicates(self, employee_relation):
+        depts = project(employee_relation, ["dept"])
+        assert set(depts.rows) == {("hr",), ("it",)}
+
+    def test_selection(self, employee_relation):
+        hr = select(employee_relation, lambda row: row["dept"] == "hr")
+        assert len(hr) == 2
+
+    def test_rename(self, employee_relation):
+        renamed = rename(employee_relation, {"phone": "extension"})
+        assert renamed.heading == ("name", "dept", "extension")
+
+    def test_natural_join_reassociates(self, employee_relation):
+        name_dept = project(employee_relation, ["name", "dept"])
+        dept_phone = project(employee_relation, ["dept", "phone"])
+        joined = natural_join(name_dept, dept_phone)
+        # Joining the two projections creates spurious associations — the very
+        # phenomenon behind Table 1's "partial disclosure" row.
+        assert ("ann", "hr", 200) in joined
+        assert ("ann", "hr", 100) in joined
+
+    def test_union_and_difference_require_same_heading(self, employee_relation):
+        other = Relation(("name",), [("zed",)])
+        with pytest.raises(SchemaError):
+            union(employee_relation, other)
+        with pytest.raises(SchemaError):
+            difference(employee_relation, other)
+
+    def test_union_and_difference(self):
+        left = Relation(("a",), [(1,), (2,)])
+        right = Relation(("a",), [(2,), (3,)])
+        assert set(union(left, right).rows) == {(1,), (2,), (3,)}
+        assert set(difference(left, right).rows) == {(1,)}
+
+    def test_cartesian_product(self):
+        left = Relation(("a",), [(1,)])
+        right = Relation(("b",), [(2,), (3,)])
+        product = cartesian_product(left, right)
+        assert set(product.rows) == {(1, 2), (1, 3)}
+
+    def test_cartesian_product_rejects_clash(self):
+        left = Relation(("a",), [(1,)])
+        with pytest.raises(SchemaError):
+            cartesian_product(left, left)
+
+
+class TestInstanceBridge:
+    def test_relation_of_and_back(self):
+        schema = Schema(
+            [RelationSchema("Emp", ("name", "dept"))], domain=Domain.of("x")
+        )
+        instance = Instance.of(Fact("Emp", ("ann", "hr")))
+        relation = relation_of(instance, schema.relation("Emp"))
+        assert ("ann", "hr") in relation
+        round_tripped = instance_from_relation(schema, "Emp", relation)
+        assert round_tripped == instance
+
+    def test_instance_from_relation_checks_heading(self):
+        schema = Schema(
+            [RelationSchema("Emp", ("name", "dept"))], domain=Domain.of("x")
+        )
+        with pytest.raises(SchemaError):
+            instance_from_relation(schema, "Emp", Relation(("wrong", "dept"), []))

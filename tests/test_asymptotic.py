@@ -1,0 +1,132 @@
+"""Unit tests for practical (asymptotic) security — Section 6.2."""
+
+import math
+
+import pytest
+
+from repro import q
+from repro.core import (
+    PracticalSecurityLevel,
+    asymptotic_order,
+    classify_practical_security,
+    empirical_mu,
+)
+from repro.exceptions import SecurityAnalysisError
+
+
+class TestAsymptoticOrder:
+    def test_single_atom_all_variables(self):
+        order = asymptotic_order(q("Q() :- R(x, y)"), expected_sizes=3.0)
+        assert order.exponent == 0
+        assert order.coefficient == pytest.approx(3.0)
+        assert order.estimate(10) <= 1.0
+
+    def test_single_atom_with_constant(self):
+        order = asymptotic_order(q("Q() :- R('a', x)"), expected_sizes=3.0)
+        assert order.exponent == 1
+        assert order.coefficient == pytest.approx(3.0)
+        assert order.estimate(100) == pytest.approx(0.03)
+
+    def test_fully_ground_atom(self):
+        order = asymptotic_order(q("Q() :- R('a', 'b')"), expected_sizes=5.0)
+        assert order.exponent == 2
+        assert order.coefficient == pytest.approx(5.0)
+
+    def test_self_join_collapses_to_loop(self):
+        # R(x,y),R(y,x): the cheapest witness is the self-loop R(a,a).
+        order = asymptotic_order(q("Q() :- R(x, y), R(y, x)"), expected_sizes=2.0)
+        assert order.exponent == 1
+        loop_patterns = [p for p in order.patterns if len(p.facts) == 1]
+        assert loop_patterns
+
+    def test_inequality_excludes_collapse(self):
+        # With x != y the self-loop is forbidden, so the two-edge witness
+        # dominates: weight 4, two fresh values, exponent 2.
+        order = asymptotic_order(q("Q() :- R(x, y), R(y, x), x != y"), expected_sizes=2.0)
+        assert order.exponent == 2
+
+    def test_path_query(self):
+        # R(x,y),R(y,z): cheapest witnesses are the self-loop (weight 2,
+        # 1 fresh value) giving exponent 1.
+        order = asymptotic_order(q("Q() :- R(x, y), R(y, z)"), expected_sizes=1.0)
+        assert order.exponent == 1
+
+    def test_per_relation_expected_sizes(self):
+        order = asymptotic_order(
+            q("Q() :- R('a', x), S('b', y)"), expected_sizes={"R": 2.0, "S": 5.0}
+        )
+        assert order.exponent == 2
+        assert order.coefficient == pytest.approx(10.0)
+
+    def test_rejects_non_boolean_queries(self):
+        with pytest.raises(SecurityAnalysisError):
+            asymptotic_order(q("Q(x) :- R(x, y)"))
+
+    def test_rejects_order_predicates(self):
+        with pytest.raises(SecurityAnalysisError):
+            asymptotic_order(q("Q() :- R(x, y), x < y"))
+
+    def test_variable_limit(self):
+        query = q("Q() :- R(a1, a2), R(a3, a4), R(a5, a6)")
+        with pytest.raises(SecurityAnalysisError):
+            asymptotic_order(query, max_variables=3)
+
+
+class TestClassification:
+    def test_perfect_security(self, binary_abc_schema):
+        report = classify_practical_security(
+            q("S() :- R('a', 'a')"), q("V() :- R('b', 'b')"), binary_abc_schema
+        )
+        assert report.level is PracticalSecurityLevel.PERFECT
+        assert report.limit == 0.0
+
+    def test_practical_security(self, binary_abc_schema):
+        # S asserts a specific tuple; V only reveals the existence of some
+        # tuple in row 'a'.  Perfect security fails, but the conditional
+        # probability vanishes as the domain grows.
+        report = classify_practical_security(
+            q("S() :- R('a', 'b')"), q("V() :- R('a', x)"), binary_abc_schema,
+            expected_sizes=2.0,
+        )
+        assert report.level is PracticalSecurityLevel.PRACTICAL_SECURITY
+        assert report.limit == 0.0
+        assert report.joint_order.exponent > report.view_order.exponent
+
+    def test_practical_disclosure(self, binary_abc_schema):
+        # The view *is* the secret: the conditional probability tends to 1.
+        report = classify_practical_security(
+            q("S() :- R('a', 'b')"), q("V() :- R('a', 'b')"), binary_abc_schema,
+            expected_sizes=2.0,
+        )
+        assert report.level is PracticalSecurityLevel.PRACTICAL_DISCLOSURE
+        assert report.limit == pytest.approx(1.0)
+
+    def test_rejects_non_boolean(self, binary_abc_schema):
+        with pytest.raises(SecurityAnalysisError):
+            classify_practical_security(
+                q("S(x) :- R(x, y)"), q("V() :- R('a', x)"), binary_abc_schema
+            )
+
+
+class TestEmpiricalValidation:
+    def test_empirical_matches_constant_regime(self):
+        query = q("Q() :- R(x, y)")
+        mu = empirical_mu(query, domain_size=50, expected_sizes=2.0, samples=3000, seed=5)
+        assert mu == pytest.approx(1 - math.exp(-2.0), abs=0.05)
+
+    def test_empirical_matches_decaying_regime(self):
+        query = q("Q() :- R('a', x)")
+        mu_small = empirical_mu(query, domain_size=20, expected_sizes=2.0, samples=4000, seed=5)
+        mu_large = empirical_mu(query, domain_size=80, expected_sizes=2.0, samples=4000, seed=5)
+        # μ_n ≈ 2/n: quadrupling the domain should shrink μ by roughly 4.
+        assert mu_small > mu_large
+        assert mu_small == pytest.approx(2 / 20, rel=0.5)
+        assert mu_large == pytest.approx(2 / 80, rel=0.6)
+
+    def test_rejects_non_boolean(self):
+        with pytest.raises(SecurityAnalysisError):
+            empirical_mu(q("Q(x) :- R(x, y)"), domain_size=10)
+
+    def test_domain_must_cover_constants(self):
+        with pytest.raises(SecurityAnalysisError):
+            empirical_mu(q("Q() :- R('a', 'b', 'c')"), domain_size=2)

@@ -1,0 +1,155 @@
+"""Unit tests for the audit layer: classification, auditor and reports."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Dictionary, q
+from repro.audit import (
+    AuditFinding,
+    AuditReport,
+    DisclosureLevel,
+    SecurityAuditor,
+    classify_disclosure,
+    render_table,
+)
+from repro.exceptions import SecurityAnalysisError
+
+
+class TestClassification:
+    def test_secure_pair_is_none(self, emp_schema):
+        assessment = classify_disclosure(
+            q("S(n) :- Emp(n, HR, p)"), q("V(n) :- Emp(n, Mgmt, p)"), emp_schema
+        )
+        assert assessment.level is DisclosureLevel.NONE
+        assert assessment.secure
+        assert "secure" in assessment.summary()
+
+    def test_answerable_pair_is_total(self, emp_schema):
+        assessment = classify_disclosure(
+            q("S(d) :- Emp(n, d, p)"), q("V(n, d) :- Emp(n, d, p)"), emp_schema
+        )
+        assert assessment.level is DisclosureLevel.TOTAL
+        assert assessment.answerable
+        assert "answerable" in assessment.summary()
+
+    def test_partial_vs_minute(self, emp_schema):
+        partial = classify_disclosure(
+            q("S(n, p) :- Emp(n, d, p)"),
+            [q("V(n, d) :- Emp(n, d, p)"), q("W(d, p) :- Emp(n, d, p)")],
+            emp_schema,
+        )
+        minute = classify_disclosure(
+            q("S(p) :- Emp(n, d, p)"), q("V(n) :- Emp(n, d, p)"), emp_schema
+        )
+        assert partial.level is DisclosureLevel.PARTIAL
+        assert minute.level is DisclosureLevel.MINUTE
+        assert partial.leakage.leakage > minute.leakage.leakage
+
+    def test_explicit_dictionary_is_used(self, emp_schema):
+        dictionary = Dictionary.uniform(emp_schema, Fraction(1, 2))
+        assessment = classify_disclosure(
+            q("S(p) :- Emp(n, d, p)"), q("V(n) :- Emp(n, d, p)"), emp_schema,
+            dictionary=dictionary,
+        )
+        assert assessment.level is DisclosureLevel.MINUTE
+
+    def test_threshold_controls_grading(self, emp_schema):
+        strict = classify_disclosure(
+            q("S(p) :- Emp(n, d, p)"), q("V(n) :- Emp(n, d, p)"), emp_schema,
+            minute_threshold=0.0,
+        )
+        assert strict.level is DisclosureLevel.PARTIAL
+
+    def test_requires_views(self, emp_schema):
+        with pytest.raises(SecurityAnalysisError):
+            classify_disclosure(q("S(n) :- Emp(n, d, p)"), [], emp_schema)
+
+
+class TestSecurityAuditor:
+    def test_decide_and_quick_check_accept_strings(self, emp_schema):
+        auditor = SecurityAuditor(emp_schema)
+        decision = auditor.decide("S(n) :- Emp(n, HR, p)", "V(n) :- Emp(n, Mgmt, p)")
+        assert decision.secure
+        quick = auditor.quick_check("S(n) :- Emp(n, HR, p)", "V(n) :- Emp(n, Mgmt, p)")
+        assert quick.certainly_secure
+
+    def test_audit_produces_report(self, emp_schema):
+        auditor = SecurityAuditor(emp_schema)
+        report = auditor.audit(
+            "S(n, p) :- Emp(n, d, p)",
+            {"bob": "V(n, d) :- Emp(n, d, p)", "carol": "W(d, p) :- Emp(n, d, p)"},
+        )
+        assert isinstance(report, AuditReport)
+        assert not report.all_secure
+        assert len(report.violations) == 1
+        rendered = report.render()
+        assert "partial" in rendered
+        assert "bob" in rendered  # collusion section names recipients
+
+    def test_audit_many(self, emp_schema):
+        auditor = SecurityAuditor(emp_schema)
+        report = auditor.audit_many(
+            ["S1(d) :- Emp(n, d, p)", "S2(n, p) :- Emp(n, d, p)"],
+            ["V(n, d) :- Emp(n, d, p)"],
+        )
+        assert len(report.findings) == 2
+        levels = {f.secret_name: f.level for f in report.findings}
+        # The department list is answerable from the (name, department)
+        # projection; the name–phone association is only partially disclosed.
+        assert levels["S1"] is DisclosureLevel.TOTAL
+        assert levels["S2"] is DisclosureLevel.PARTIAL
+
+    def test_measure_leakage_requires_dictionary(self, emp_schema):
+        auditor = SecurityAuditor(emp_schema)
+        with pytest.raises(SecurityAnalysisError):
+            auditor.measure_leakage("S(n, p) :- Emp(n, d, p)", "V(n, d) :- Emp(n, d, p)")
+        with_dictionary = SecurityAuditor(
+            emp_schema, dictionary=Dictionary.uniform(emp_schema, Fraction(1, 4))
+        )
+        result = with_dictionary.measure_leakage(
+            "S(n, p) :- Emp(n, d, p)", "V(n, d) :- Emp(n, d, p)"
+        )
+        assert result.leakage > 0
+
+    def test_safe_publishing_plan(self, emp_schema):
+        auditor = SecurityAuditor(emp_schema)
+        safe = auditor.safe_publishing_plan(
+            "S(n, p) :- Emp(n, HR, p)",
+            ["V1(n, d) :- Emp(n, d, p)", "V2(n) :- Emp(n, Mgmt, p)"],
+        )
+        assert [v.name for v in safe] == ["V2"]
+
+    def test_decide_with_knowledge_delegates(self, emp_schema):
+        from repro.core import CardinalityConstraintKnowledge
+
+        auditor = SecurityAuditor(emp_schema)
+        decision = auditor.decide_with_knowledge(
+            "S(n) :- Emp(n, HR, p)",
+            "V(n) :- Emp(n, Mgmt, p)",
+            CardinalityConstraintKnowledge("exactly", 3),
+        )
+        assert decision.secure is False
+
+    def test_audit_requires_views(self, emp_schema):
+        auditor = SecurityAuditor(emp_schema)
+        with pytest.raises(SecurityAnalysisError):
+            auditor.audit("S(n) :- Emp(n, HR, p)", [])
+
+
+class TestReportRendering:
+    def test_render_table_alignment(self):
+        table = render_table(("a", "column"), [("x", "1"), ("longer", "2")])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # aligned widths
+
+    def test_finding_row_contents(self, emp_schema):
+        auditor = SecurityAuditor(emp_schema)
+        report = auditor.audit("S4(n) :- Emp(n, HR, p)", ["V4(n) :- Emp(n, Mgmt, p)"])
+        finding = report.findings[0]
+        row = finding.row()
+        assert row[0] == "S4"
+        assert row[2] == "none"
+        assert row[3] == "yes"
+        assert report.all_secure

@@ -1,0 +1,99 @@
+"""Unit tests for the benchmark support package (schemas and workloads)."""
+
+import random
+
+import pytest
+
+from repro.audit import DisclosureLevel
+from repro.bench import (
+    WorkloadConfig,
+    binary_schema,
+    employee_schema,
+    manufacturing_schema,
+    patient_schema,
+    random_query,
+    random_query_view_pair,
+    random_schema,
+    scaling_workload,
+    table1_pairs,
+)
+from repro.relational import tuple_space_size
+
+
+class TestPaperSchemas:
+    def test_employee_schema_shape(self):
+        schema = employee_schema(names=3, departments=2, phones=4)
+        relation = schema.relation("Emp")
+        assert relation.arity == 3
+        assert tuple_space_size(schema) == 3 * 2 * 4
+
+    def test_binary_schema(self):
+        schema = binary_schema(("a", "b"))
+        assert tuple_space_size(schema) == 4
+
+    def test_patient_schema(self):
+        schema = patient_schema(names=4, diseases=3)
+        assert tuple_space_size(schema) == 12
+
+    def test_manufacturing_schema_relations(self):
+        schema = manufacturing_schema()
+        assert {r.name for r in schema} == {"Part", "Product", "Labor", "Cost"}
+
+    def test_table1_pairs_cover_the_spectrum(self):
+        rows = table1_pairs()
+        assert len(rows) == 4
+        assert [row.expected_level for row in rows] == [
+            DisclosureLevel.TOTAL,
+            DisclosureLevel.PARTIAL,
+            DisclosureLevel.MINUTE,
+            DisclosureLevel.NONE,
+        ]
+        assert [row.expected_secure for row in rows] == [False, False, False, True]
+        # Query names follow the paper's numbering.
+        assert rows[0].secret.name == "S1"
+        assert rows[3].views[0].name == "V4"
+
+
+class TestWorkloads:
+    def test_random_schema_is_deterministic(self):
+        config = WorkloadConfig(relations=3, domain_size=4)
+        first = random_schema(config, random.Random(1))
+        second = random_schema(config, random.Random(1))
+        assert [r.name for r in first] == [r.name for r in second]
+        assert [r.arity for r in first] == [r.arity for r in second]
+
+    def test_random_query_is_well_formed(self):
+        config = WorkloadConfig()
+        rng = random.Random(3)
+        schema = random_schema(config, rng)
+        for _ in range(20):
+            query = random_query(schema, config, rng)
+            assert query.body
+            for atom in query.body:
+                assert atom.relation in {r.name for r in schema}
+            for head_var in query.head_variables:
+                assert head_var in query.variables
+
+    def test_boolean_flag(self):
+        config = WorkloadConfig()
+        rng = random.Random(5)
+        schema = random_schema(config, rng)
+        query = random_query(schema, config, rng, boolean=True)
+        assert query.is_boolean
+
+    def test_random_pair_determinism(self):
+        config = WorkloadConfig()
+        first = random_query_view_pair(config, seed=11)
+        second = random_query_view_pair(config, seed=11)
+        assert repr(first[1]) == repr(second[1])
+        assert repr(first[2]) == repr(second[2])
+
+    def test_scaling_workload_shape(self):
+        workload = scaling_workload([2, 3], pairs_per_size=2)
+        assert len(workload) == 4
+        sizes = [entry[0] for entry in workload]
+        assert sizes == [2, 2, 3, 3]
+        for _, schema, secret, view in workload:
+            assert secret.name == "S"
+            assert view.name == "V"
+            assert len(schema.domain) in (2, 3)

@@ -1,0 +1,79 @@
+"""Unit tests for the multi-party collusion analysis."""
+
+import pytest
+
+from repro import q
+from repro.core import analyse_collusion, largest_safe_view_set
+from repro.exceptions import SecurityAnalysisError
+
+
+class TestCollusionAnalysis:
+    def test_all_views_secure_means_every_coalition_secure(self, manufacturing):
+        secret = q("S(p, c) :- Cost(p, c)")
+        views = {
+            "supplier": q("V1(p, x, y) :- Part(p, x, y)"),
+            "retailer": q("V2(p, f, s) :- Product(p, f, s)"),
+            "tax": q("V3(p, l) :- Labor(p, l)"),
+        }
+        report = analyse_collusion(secret, views, manufacturing)
+        assert report.secure_overall
+        assert report.insecure_recipients == ()
+        assert report.coalition_is_secure(["supplier", "retailer", "tax"])
+        assert report.violating_coalitions() == []
+        assert "learns nothing" in report.summary()
+
+    def test_one_leaky_view_is_identified(self, emp_schema):
+        # The secret is the phone list of the HR department: a full
+        # name-department projection leaks (it shares HR critical tuples),
+        # while a view restricted to the Management department does not.
+        secret = q("S(n, p) :- Emp(n, HR, p)")
+        views = {
+            "bob": q("Vb(n, d) :- Emp(n, d, p)"),
+            "carol": q("Vc(n) :- Emp(n, Mgmt, p)"),
+        }
+        report = analyse_collusion(secret, views, emp_schema)
+        assert not report.secure_overall
+        assert report.insecure_recipients == ("bob",)
+        assert report.secure_recipients == ("carol",)
+        assert not report.coalition_is_secure(["bob"])
+        assert report.coalition_is_secure(["carol"])
+        assert report.violating_coalitions() == [("bob",)]
+        assert "NOT secure" in report.summary()
+
+    def test_unknown_recipient_raises(self, emp_schema):
+        report = analyse_collusion(
+            q("S(n) :- Emp(n, HR, p)"), [q("V(n) :- Emp(n, Mgmt, p)")], emp_schema
+        )
+        with pytest.raises(SecurityAnalysisError):
+            report.coalition_is_secure(["nobody"])
+
+    def test_sequence_views_get_default_recipient_names(self, emp_schema):
+        report = analyse_collusion(
+            q("S(n) :- Emp(n, HR, p)"),
+            [q("V(n) :- Emp(n, Mgmt, p)"), q("W(d) :- Emp(n, d, p)")],
+            emp_schema,
+        )
+        assert report.recipients == ("user1", "user2")
+
+    def test_requires_views(self, emp_schema):
+        with pytest.raises(SecurityAnalysisError):
+            analyse_collusion(q("S(n) :- Emp(n, HR, p)"), [], emp_schema)
+
+
+class TestSafePublishingPlan:
+    def test_keeps_only_individually_secure_views(self, emp_schema):
+        secret = q("S(n, p) :- Emp(n, d, p)")
+        candidates = [
+            q("V1(n, d) :- Emp(n, d, p)"),   # leaks (shares critical tuples)
+            q("V2(n) :- Emp(n, Mgmt, p)"),   # leaks (name+phone critical overlap)
+            q("SafeView(d) :- Dept(d)"),
+        ]
+        # Add an unrelated relation so the third view type-checks.
+        from repro.relational import RelationSchema
+
+        schema = emp_schema.with_relation(RelationSchema("Dept", ("d",)))
+        safe = largest_safe_view_set(secret, candidates, schema)
+        assert [v.name for v in safe] == ["SafeView"]
+
+    def test_empty_candidates(self, emp_schema):
+        assert largest_safe_view_set(q("S(n) :- Emp(n, HR, p)"), [], emp_schema) == ()

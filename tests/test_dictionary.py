@@ -1,0 +1,99 @@
+"""Unit tests for dictionaries (tuple-independent distributions)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Dictionary
+from repro.exceptions import ProbabilityError
+from repro.relational import Domain, Fact, Instance, RelationSchema, Schema
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema([RelationSchema("R", ("x", "y"))], domain=Domain.of("a", "b"))
+
+
+class TestConstruction:
+    def test_uniform_probability(self, schema):
+        dictionary = Dictionary.uniform(schema, Fraction(1, 3))
+        assert dictionary.probability_of(Fact("R", ("a", "b"))) == Fraction(1, 3)
+
+    def test_float_probabilities_are_converted_exactly_enough(self, schema):
+        dictionary = Dictionary.uniform(schema, 0.5)
+        assert dictionary.probability_of(Fact("R", ("a", "a"))) == Fraction(1, 2)
+
+    def test_out_of_range_probability_rejected(self, schema):
+        with pytest.raises(ProbabilityError):
+            Dictionary.uniform(schema, Fraction(3, 2))
+        with pytest.raises(ProbabilityError):
+            Dictionary.uniform(schema, -0.1)
+
+    def test_explicit_probabilities_override_default(self, schema):
+        fact = Fact("R", ("a", "a"))
+        dictionary = Dictionary(schema, {fact: Fraction(1, 4)}, default=Fraction(1, 2))
+        assert dictionary.probability_of(fact) == Fraction(1, 4)
+        assert dictionary.probability_of(Fact("R", ("b", "b"))) == Fraction(1, 2)
+
+    def test_with_expected_size(self, schema):
+        dictionary = Dictionary.with_expected_size(schema, 2)
+        assert dictionary.expected_instance_size() == 2
+        assert dictionary.probability_of(Fact("R", ("a", "a"))) == Fraction(2, 4)
+
+    def test_expected_size_larger_than_space_rejected(self, schema):
+        with pytest.raises(ProbabilityError):
+            Dictionary.with_expected_size(schema, 5)
+
+
+class TestProperties:
+    def test_tuple_space_and_expected_size(self, schema):
+        dictionary = Dictionary.uniform(schema, Fraction(1, 2))
+        assert len(dictionary.tuple_space()) == 4
+        assert dictionary.expected_instance_size() == 2
+
+    def test_non_trivial_detection(self, schema):
+        assert Dictionary.uniform(schema, Fraction(1, 2)).is_non_trivial()
+        assert not Dictionary.uniform(schema, 0).is_non_trivial()
+        assert not Dictionary.uniform(schema, 1).is_non_trivial()
+
+    def test_with_probability_returns_new_dictionary(self, schema):
+        base = Dictionary.uniform(schema, Fraction(1, 2))
+        fact = Fact("R", ("a", "b"))
+        updated = base.with_probability(fact, Fraction(1, 8))
+        assert base.probability_of(fact) == Fraction(1, 2)
+        assert updated.probability_of(fact) == Fraction(1, 8)
+
+    def test_with_domain(self, schema):
+        base = Dictionary.uniform(schema, Fraction(1, 2))
+        shrunk = base.with_domain(Domain.of("a"))
+        assert len(shrunk.tuple_space()) == 1
+
+
+class TestInstanceProbability:
+    def test_equation_1_small_case(self, schema):
+        dictionary = Dictionary.uniform(schema, Fraction(1, 2))
+        instance = Instance.of(Fact("R", ("a", "a")))
+        # One tuple present, three absent: (1/2)^4.
+        assert dictionary.instance_probability(instance) == Fraction(1, 16)
+
+    def test_instance_probabilities_sum_to_one(self, schema):
+        from repro.relational import enumerate_instances
+
+        dictionary = Dictionary.uniform(schema, Fraction(1, 3))
+        total = sum(
+            dictionary.instance_probability(instance)
+            for instance in enumerate_instances(schema)
+        )
+        assert total == 1
+
+    def test_restricted_product(self, schema):
+        dictionary = Dictionary.uniform(schema, Fraction(1, 2))
+        fact = Fact("R", ("a", "a"))
+        instance = Instance.of(fact)
+        assert dictionary.instance_probability(instance, over_facts=[fact]) == Fraction(1, 2)
+
+    def test_zero_probability_short_circuit(self, schema):
+        fact = Fact("R", ("a", "a"))
+        dictionary = Dictionary(schema, {fact: 0}, default=Fraction(1, 2))
+        instance = Instance.of(fact)
+        assert dictionary.instance_probability(instance) == 0

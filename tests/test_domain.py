@@ -1,0 +1,84 @@
+"""Unit tests for finite domains (repro.relational.domain)."""
+
+import pytest
+
+from repro.exceptions import DomainError
+from repro.relational import Domain, union_domain
+from repro.relational.domain import AttributeDomain
+
+
+class TestDomainConstruction:
+    def test_of_builds_ordered_domain(self):
+        domain = Domain.of("a", "b", "c")
+        assert list(domain) == ["a", "b", "c"]
+
+    def test_duplicates_are_removed_preserving_order(self):
+        domain = Domain(["b", "a", "b", "c", "a"])
+        assert list(domain) == ["b", "a", "c"]
+
+    def test_empty_domain_is_rejected(self):
+        with pytest.raises(DomainError):
+            Domain([])
+
+    def test_integers_constructor(self):
+        domain = Domain.integers(4, start=10)
+        assert list(domain) == [10, 11, 12, 13]
+
+    def test_integers_requires_positive_size(self):
+        with pytest.raises(DomainError):
+            Domain.integers(0)
+
+    def test_symbols_constructor(self):
+        domain = Domain.symbols(3, prefix="v")
+        assert list(domain) == ["v0", "v1", "v2"]
+
+    def test_symbols_requires_positive_size(self):
+        with pytest.raises(DomainError):
+            Domain.symbols(-1)
+
+
+class TestDomainProtocol:
+    def test_len_and_contains(self):
+        domain = Domain.of("a", "b")
+        assert len(domain) == 2
+        assert "a" in domain
+        assert "z" not in domain
+
+    def test_index_of_known_value(self):
+        domain = Domain.of("a", "b", "c")
+        assert domain.index_of("b") == 1
+
+    def test_index_of_unknown_value_raises(self):
+        with pytest.raises(DomainError):
+            Domain.of("a").index_of("missing")
+
+    def test_domains_with_same_values_are_equal(self):
+        assert Domain.of("a", "b") == Domain.of("a", "b")
+
+    def test_domain_is_hashable(self):
+        assert hash(Domain.of("a", "b")) == hash(Domain.of("a", "b"))
+
+
+class TestDomainOperations:
+    def test_extend_adds_new_constants(self):
+        domain = Domain.of("a").extend(["b", "a", "c"])
+        assert list(domain) == ["a", "b", "c"]
+
+    def test_restrict_keeps_order(self):
+        domain = Domain.of("a", "b", "c").restrict(["c", "a"])
+        assert list(domain) == ["a", "c"]
+
+    def test_restrict_to_nothing_raises(self):
+        with pytest.raises(DomainError):
+            Domain.of("a", "b").restrict(["z"])
+
+    def test_union_domain_merges_in_order(self):
+        merged = union_domain([Domain.of("a", "b"), Domain.of("b", "c")])
+        assert list(merged) == ["a", "b", "c"]
+
+
+class TestAttributeDomain:
+    def test_wraps_domain(self):
+        attribute = AttributeDomain("name", Domain.of("alice", "bob"))
+        assert len(attribute) == 2
+        assert list(attribute) == ["alice", "bob"]

@@ -1,0 +1,107 @@
+"""Unit tests for encrypted views (Section 5.4)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Dictionary, q
+from repro.core import (
+    EncryptedView,
+    EncryptedViewAnswerIs,
+    answerable_from_encrypted_view,
+    encrypted_view_security,
+)
+from repro.relational import Domain, Fact, Instance, RelationSchema, Schema
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema([RelationSchema("R", ("x", "y"))], domain=Domain.of("a", "b", "c"))
+
+
+@pytest.fixture
+def dictionary(schema) -> Dictionary:
+    return Dictionary.uniform(schema, Fraction(1, 2))
+
+
+class TestCanonicalAnswer:
+    def test_isomorphic_instances_have_equal_answers(self):
+        view = EncryptedView("R")
+        left = Instance.of(Fact("R", ("a", "b")), Fact("R", ("b", "c")))
+        right = Instance.of(Fact("R", ("c", "a")), Fact("R", ("a", "b")))
+        # right is left with the renaming a->c, b->a, c->b.
+        assert view.answer(left) == view.answer(right)
+
+    def test_non_isomorphic_instances_differ(self):
+        view = EncryptedView("R")
+        path = Instance.of(Fact("R", ("a", "b")), Fact("R", ("b", "c")))
+        loop = Instance.of(Fact("R", ("a", "a")), Fact("R", ("b", "c")))
+        assert view.answer(path) != view.answer(loop)
+
+    def test_cardinality_is_revealed(self):
+        view = EncryptedView("R")
+        small = Instance.of(Fact("R", ("a", "b")))
+        large = small.add(Fact("R", ("b", "c")))
+        assert view.cardinality(small) == 1
+        assert view.cardinality(large) == 2
+        assert len(view.answer(small)) == 1
+        assert len(view.answer(large)) == 2
+
+    def test_other_relations_are_ignored(self):
+        view = EncryptedView("R")
+        instance = Instance.of(Fact("S", ("a",)), Fact("R", ("a", "b")))
+        assert view.answer(instance) == view.answer(Instance.of(Fact("R", ("a", "b"))))
+
+    def test_ciphertext_is_deterministic_and_salted(self):
+        instance = Instance.of(Fact("R", ("a", "b")))
+        assert EncryptedView("R").ciphertext(instance) == EncryptedView("R").ciphertext(instance)
+        assert EncryptedView("R", salt="s1").ciphertext(instance) != EncryptedView(
+            "R", salt="s2"
+        ).ciphertext(instance)
+
+    def test_answer_event(self, schema):
+        view = EncryptedView("R")
+        instance = Instance.of(Fact("R", ("a", "b")))
+        event = EncryptedViewAnswerIs(view, view.answer(instance))
+        assert event.occurs(instance)
+        assert event.occurs(Instance.of(Fact("R", ("b", "c"))))  # isomorphic
+        assert not event.occurs(Instance.of(Fact("R", ("a", "a"))))
+        assert len(event.support(schema)) == 9
+
+
+class TestSecurityAgainstEncryptedViews:
+    def test_secret_on_encrypted_relation_is_never_secure(self, schema):
+        report = encrypted_view_security(q("S() :- R('a', x)"), EncryptedView("R"), schema)
+        assert not report.secure
+        assert "cardinality" in report.reason
+
+    def test_secret_on_other_relation_is_secure(self):
+        schema = Schema(
+            [RelationSchema("R", ("x", "y")), RelationSchema("Other", ("z",))],
+            domain=Domain.of("a", "b"),
+        )
+        report = encrypted_view_security(q("S(z) :- Other(z)"), EncryptedView("R"), schema)
+        assert report.secure
+
+    def test_trivial_secret_is_secure(self, schema):
+        report = encrypted_view_security(
+            q("S() :- R(x, y), x != x"), EncryptedView("R"), schema
+        )
+        assert report.secure
+
+
+class TestAnswerability:
+    def test_structural_query_is_answerable(self, dictionary):
+        # Q1 of Section 5.4: a join/inequality pattern is determined by the
+        # isomorphism class of the relation.
+        query = q("Q1() :- R(x, y), R(y, z), x != z")
+        assert answerable_from_encrypted_view(query, EncryptedView("R"), dictionary)
+
+    def test_constant_query_is_not_answerable(self, dictionary):
+        # Q2 of Section 5.4 mentions the constant 'a', which encryption hides.
+        query = q("Q2() :- R('a', x)")
+        assert not answerable_from_encrypted_view(query, EncryptedView("R"), dictionary)
+
+    def test_cardinality_query_is_answerable(self, dictionary):
+        query = q("Q() :- R(x, y), R(z, u), x != z")
+        assert answerable_from_encrypted_view(query, EncryptedView("R"), dictionary)

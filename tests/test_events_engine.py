@@ -1,0 +1,160 @@
+"""Unit tests for events and the exact probability engine."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Dictionary, ExactEngine, q
+from repro.exceptions import IntractableAnalysisError, ProbabilityError
+from repro.probability import (
+    And,
+    FactAbsent,
+    FactPresent,
+    Not,
+    Or,
+    PredicateEvent,
+    QueryAnswerIs,
+    QueryContains,
+    QueryTrue,
+    query_support,
+    views_answer_event,
+)
+from repro.relational import Domain, Fact, Instance, RelationSchema, Schema
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema([RelationSchema("R", ("x", "y"))], domain=Domain.of("a", "b"))
+
+
+@pytest.fixture
+def dictionary(schema) -> Dictionary:
+    return Dictionary.uniform(schema, Fraction(1, 2))
+
+
+@pytest.fixture
+def engine(dictionary) -> ExactEngine:
+    return ExactEngine(dictionary)
+
+
+class TestEvents:
+    def test_fact_events(self, schema):
+        fact = Fact("R", ("a", "b"))
+        present = FactPresent(fact)
+        absent = FactAbsent(fact)
+        instance = Instance.of(fact)
+        assert present.occurs(instance)
+        assert not absent.occurs(instance)
+        assert present.support(schema) == frozenset({fact})
+
+    def test_query_events(self, schema):
+        query = q("Q(x) :- R(x, y)")
+        instance = Instance.of(Fact("R", ("a", "b")))
+        assert QueryAnswerIs(query, [("a",)]).occurs(instance)
+        assert not QueryAnswerIs(query, [("b",)]).occurs(instance)
+        assert QueryContains(query, [("a",)]).occurs(instance)
+        assert QueryTrue(q("Q() :- R('a', y)")).occurs(instance)
+
+    def test_query_support_restricted_to_mentioned_relations(self):
+        schema = Schema(
+            [RelationSchema("R", ("x",)), RelationSchema("S", ("y",))],
+            domain=Domain.of("a", "b"),
+        )
+        support = query_support(q("Q(x) :- R(x)"), schema)
+        assert all(fact.relation == "R" for fact in support)
+        assert len(support) == 2
+
+    def test_boolean_combinators(self, schema):
+        fact_a = Fact("R", ("a", "a"))
+        fact_b = Fact("R", ("b", "b"))
+        instance = Instance.of(fact_a)
+        conjunction = And((FactPresent(fact_a), FactAbsent(fact_b)))
+        disjunction = Or((FactPresent(fact_b), FactPresent(fact_a)))
+        negation = Not(FactPresent(fact_b))
+        assert conjunction.occurs(instance)
+        assert disjunction.occurs(instance)
+        assert negation.occurs(instance)
+        assert conjunction.support(schema) == frozenset({fact_a, fact_b})
+
+    def test_operator_overloads(self, schema):
+        fact = Fact("R", ("a", "a"))
+        combined = FactPresent(fact) & ~FactPresent(Fact("R", ("b", "b")))
+        assert combined.occurs(Instance.of(fact))
+        either = FactPresent(fact) | FactPresent(Fact("R", ("b", "b")))
+        assert either.occurs(Instance.of(fact))
+
+    def test_predicate_event_without_support(self, schema):
+        event = PredicateEvent(lambda instance: len(instance) == 0, "empty")
+        assert event.occurs(Instance.empty())
+        assert event.support(schema) is None
+        assert event.describe() == "empty"
+
+    def test_views_answer_event(self, schema):
+        views = [q("V1(x) :- R(x, y)"), q("V2(y) :- R(x, y)")]
+        event = views_answer_event(views, [[("a",)], [("b",)]])
+        assert event.occurs(Instance.of(Fact("R", ("a", "b"))))
+        assert not event.occurs(Instance.of(Fact("R", ("b", "b"))))
+
+    def test_views_answer_event_length_mismatch(self):
+        with pytest.raises(ValueError):
+            views_answer_event([q("V(x) :- R(x, y)")], [])
+
+
+class TestExactEngine:
+    def test_single_fact_probability(self, engine):
+        assert engine.probability(FactPresent(Fact("R", ("a", "a")))) == Fraction(1, 2)
+
+    def test_independent_facts(self, engine):
+        left = FactPresent(Fact("R", ("a", "a")))
+        right = FactPresent(Fact("R", ("b", "b")))
+        assert engine.are_independent(left, right)
+        assert engine.joint_probability([left, right]) == Fraction(1, 4)
+
+    def test_example_4_2_probabilities(self, engine):
+        # P[S = {(a)}] = 3/16 and P[S = {(a)} | V = {(b)}] = 1/3.
+        secret = q("S(y) :- R(x, y)")
+        view = q("V(x) :- R(x, y)")
+        s_event = QueryAnswerIs(secret, [("a",)])
+        v_event = QueryAnswerIs(view, [("b",)])
+        assert engine.probability(s_event) == Fraction(3, 16)
+        assert engine.conditional_probability(s_event, v_event) == Fraction(1, 3)
+
+    def test_example_4_3_probabilities(self, engine):
+        secret = q("S(y) :- R(y, 'a')")
+        view = q("V(x) :- R(x, 'b')")
+        s_event = QueryAnswerIs(secret, [("a",)])
+        v_event = QueryAnswerIs(view, [("b",)])
+        assert engine.probability(s_event) == Fraction(1, 4)
+        assert engine.conditional_probability(s_event, v_event) == Fraction(1, 4)
+
+    def test_conditioning_on_impossible_event_raises(self, engine):
+        impossible = And((FactPresent(Fact("R", ("a", "a"))), FactAbsent(Fact("R", ("a", "a")))))
+        with pytest.raises(ProbabilityError):
+            engine.conditional_probability(FactPresent(Fact("R", ("b", "b"))), impossible)
+
+    def test_support_guard(self, dictionary):
+        tiny_engine = ExactEngine(dictionary, max_support_size=2)
+        with pytest.raises(IntractableAnalysisError):
+            tiny_engine.probability(QueryTrue(q("Q() :- R(x, y)")))
+
+    def test_answer_distribution_sums_to_one(self, engine):
+        distribution = engine.answer_distribution(q("Q(x) :- R(x, y)"))
+        assert sum(distribution.values()) == 1
+        assert frozenset() in distribution
+
+    def test_possible_answers_cover_all_structural_answers(self, engine):
+        answers = engine.possible_answers(q("Q(x) :- R(x, y)"))
+        assert frozenset() in answers
+        assert frozenset({("a",), ("b",)}) in answers
+        assert len(answers) == 4
+
+    def test_joint_answer_distribution(self, engine):
+        queries = [q("V(x) :- R(x, y)"), q("W(y) :- R(x, y)")]
+        joint = engine.joint_answer_distribution(queries)
+        assert sum(joint.values()) == 1
+        # The all-empty outcome corresponds to the empty instance: (1/2)^4.
+        assert joint[(frozenset(), frozenset())] == Fraction(1, 16)
+
+    def test_probability_of_non_query_event_uses_full_space(self, engine):
+        event = PredicateEvent(lambda instance: len(instance) == 0, "empty instance")
+        assert engine.probability(event) == Fraction(1, 16)

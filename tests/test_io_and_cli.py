@@ -1,0 +1,203 @@
+"""Unit tests for the JSON schema loader and the command-line interface."""
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import SchemaError
+from repro.io import (
+    dictionary_from_dict,
+    load_audit_configuration,
+    load_schema,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+EMPLOYEE_DOCUMENT = {
+    "relations": [
+        {
+            "name": "Emp",
+            "attributes": ["name", "department", "phone"],
+            "attribute_domains": {
+                "name": ["n0", "n1"],
+                "department": ["d0", "d1"],
+                "phone": ["p0", "p1"],
+            },
+        }
+    ],
+    "tuple_probability": "1/4",
+}
+
+
+@pytest.fixture
+def schema_file(tmp_path):
+    path = tmp_path / "schema.json"
+    path.write_text(json.dumps(EMPLOYEE_DOCUMENT))
+    return str(path)
+
+
+class TestSchemaIO:
+    def test_schema_from_dict(self):
+        schema = schema_from_dict(EMPLOYEE_DOCUMENT)
+        assert schema.relation("Emp").arity == 3
+        assert len(schema.domain) == 6
+
+    def test_explicit_global_domain(self):
+        document = {
+            "relations": [{"name": "R", "attributes": ["x", "y"]}],
+            "domain": ["a", "b", "c"],
+        }
+        schema = schema_from_dict(document)
+        assert list(schema.domain) == ["a", "b", "c"]
+
+    def test_missing_relations_rejected(self):
+        with pytest.raises(SchemaError):
+            schema_from_dict({"relations": []})
+
+    def test_missing_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            schema_from_dict({"relations": [{"name": "R"}]})
+
+    def test_key_round_trip(self):
+        document = {
+            "relations": [
+                {"name": "R", "attributes": ["k", "v"], "key": ["k"]}
+            ],
+            "domain": ["a"],
+        }
+        schema = schema_from_dict(document)
+        assert schema.relation("R").key == ("k",)
+        serialised = schema_to_dict(schema)
+        assert serialised["relations"][0]["key"] == ["k"]
+        assert schema_from_dict(serialised).relation("R").key == ("k",)
+
+    def test_round_trip_preserves_attribute_domains(self):
+        schema = schema_from_dict(EMPLOYEE_DOCUMENT)
+        document = schema_to_dict(schema)
+        rebuilt = schema_from_dict(document)
+        assert set(rebuilt.domain) == set(schema.domain)
+        assert rebuilt.relation("Emp").attribute_domains.keys() == {
+            "name",
+            "department",
+            "phone",
+        }
+
+    def test_dictionary_from_dict_variants(self):
+        schema = schema_from_dict(EMPLOYEE_DOCUMENT)
+        dictionary = dictionary_from_dict(EMPLOYEE_DOCUMENT, schema)
+        assert dictionary is not None
+        assert dictionary.default == Fraction(1, 4)
+        by_size = dictionary_from_dict(
+            {"relations": EMPLOYEE_DOCUMENT["relations"], "expected_size": 2},
+            schema,
+        )
+        assert by_size.expected_instance_size() == 2
+        none = dictionary_from_dict({"relations": EMPLOYEE_DOCUMENT["relations"]}, schema)
+        assert none is None
+
+    def test_load_from_files(self, schema_file):
+        schema = load_schema(schema_file)
+        assert "Emp" in schema
+        loaded_schema, dictionary = load_audit_configuration(schema_file)
+        assert dictionary is not None
+        assert loaded_schema.relation("Emp").arity == 3
+
+
+class TestCLI:
+    def test_decide_secure_pair_exits_zero(self, schema_file, capsys):
+        code = main(
+            [
+                "decide",
+                "--schema", schema_file,
+                "--secret", "S(n) :- Emp(n, HR, p)",
+                "--view", "V(n) :- Emp(n, Mgmt, p)",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "secure" in output
+
+    def test_decide_insecure_pair_exits_one(self, schema_file, capsys):
+        code = main(
+            [
+                "decide",
+                "--schema", schema_file,
+                "--secret", "S(n, p) :- Emp(n, d, p)",
+                "--view", "V(n, d) :- Emp(n, d, p)",
+            ]
+        )
+        assert code == 1
+        assert "NOT secure" in capsys.readouterr().out
+
+    def test_quick_check_command(self, schema_file, capsys):
+        code = main(
+            [
+                "quick",
+                "--schema", schema_file,
+                "--secret", "S(n) :- Emp(n, HR, p)",
+                "--view", "V(n) :- Emp(n, Mgmt, p)",
+            ]
+        )
+        assert code == 0
+        assert "secure" in capsys.readouterr().out
+
+    def test_audit_command_with_named_views(self, schema_file, capsys):
+        code = main(
+            [
+                "audit",
+                "--schema", schema_file,
+                "--secret", "S(n, p) :- Emp(n, d, p)",
+                "--view", "bob=V(n, d) :- Emp(n, d, p)",
+                "--view", "carol=W(d, p) :- Emp(n, d, p)",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "partial" in output
+        assert "bob" in output
+
+    def test_leakage_command(self, schema_file, capsys):
+        code = main(
+            [
+                "leakage",
+                "--schema", schema_file,
+                "--secret", "S(p) :- Emp(n, d, p)",
+                "--view", "V(n) :- Emp(n, d, p)",
+                "--probability", "1/4",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "leak(S, V̄)" in output
+
+    def test_collusion_command(self, schema_file, capsys):
+        code = main(
+            [
+                "collusion",
+                "--schema", schema_file,
+                "--secret", "S(n) :- Emp(n, HR, p)",
+                "--view", "bob=V(n) :- Emp(n, Mgmt, p)",
+                "--view", "carol=W(n) :- Emp(n, Mgmt, p)",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "learns nothing" in output
+
+    def test_parse_error_reports_and_exits_two(self, schema_file, capsys):
+        code = main(
+            [
+                "decide",
+                "--schema", schema_file,
+                "--secret", "not a query",
+                "--view", "V(n) :- Emp(n, Mgmt, p)",
+            ]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_view_argument_is_an_argparse_error(self, schema_file):
+        with pytest.raises(SystemExit):
+            main(["decide", "--schema", schema_file, "--secret", "S(n) :- Emp(n, HR, p)"])

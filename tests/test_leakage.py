@@ -1,0 +1,129 @@
+"""Unit tests for the disclosure measure of Section 6.1."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Dictionary, q
+from repro.core import (
+    decide_security,
+    epsilon_of_theorem_6_1,
+    leakage_bound_from_epsilon,
+    positive_leakage,
+    possible_answer_tuples,
+)
+from repro.exceptions import SecurityAnalysisError
+from repro.relational import Domain, RelationSchema, Schema
+
+
+@pytest.fixture
+def emp_dictionary(emp_schema):
+    return Dictionary.uniform(emp_schema, Fraction(1, 4))
+
+
+@pytest.fixture
+def binary_dictionary(binary_ab_schema):
+    return Dictionary.uniform(binary_ab_schema, Fraction(1, 2))
+
+
+class TestPossibleAnswerTuples:
+    def test_monotone_query_answers_from_full_instance(self, emp_dictionary):
+        rows = possible_answer_tuples(q("V(n, d) :- Emp(n, d, p)"), emp_dictionary)
+        assert ("n0", "d0") in rows
+        assert len(rows) == 4
+
+    def test_selection_restricts_answers(self, emp_dictionary):
+        rows = possible_answer_tuples(q("V(n) :- Emp(n, 'd0', p)"), emp_dictionary)
+        assert rows == [("n0",), ("n1",)]
+
+
+class TestPositiveLeakage:
+    def test_zero_leakage_for_secure_pair(self, binary_dictionary):
+        secret = q("S(y) :- R(y, 'a')")
+        view = q("V(x) :- R(x, 'b')")
+        result = positive_leakage(secret, view, binary_dictionary)
+        assert result.leakage == 0
+        assert result.is_secure
+
+    def test_positive_leakage_for_insecure_pair(self, binary_dictionary):
+        secret = q("S(y) :- R(x, y)")
+        view = q("V(x) :- R(x, y)")
+        result = positive_leakage(secret, view, binary_dictionary)
+        assert result.leakage > 0
+        assert not result.is_secure
+        assert result.worst_secret_rows is not None
+        assert result.posterior > result.prior
+
+    def test_collusion_increases_leakage(self, emp_dictionary):
+        # Example 6.2 vs Example 6.3: the (name, department) view leaks more
+        # than the department-only view, and colluding with the
+        # (department, phone) view leaks even more.
+        secret = q("S(n, p) :- Emp(n, d, p)")
+        department_view = q("Vd(d) :- Emp(n, d, p)")
+        name_department_view = q("Vnd(n, d) :- Emp(n, d, p)")
+        department_phone_view = q("Vdp(d, p) :- Emp(n, d, p)")
+        weak = positive_leakage(secret, department_view, emp_dictionary)
+        stronger = positive_leakage(secret, name_department_view, emp_dictionary)
+        collusion = positive_leakage(
+            secret, [name_department_view, department_phone_view], emp_dictionary
+        )
+        assert weak.leakage < stronger.leakage < collusion.leakage
+
+    def test_leakage_decreases_with_larger_expected_size(self, emp_schema):
+        # Example 6.2's punchline: the disclosure is ~1/m where m is the
+        # expected instance size, so denser databases leak relatively less.
+        secret = q("S(n, p) :- Emp(n, d, p)")
+        view = q("Vd(d) :- Emp(n, d, p)")
+        sparse = Dictionary.uniform(emp_schema, Fraction(1, 8))
+        dense = Dictionary.uniform(emp_schema, Fraction(1, 2))
+        assert (
+            positive_leakage(secret, view, dense).leakage
+            < positive_leakage(secret, view, sparse).leakage
+        )
+
+    def test_larger_statements_can_be_explored(self, binary_dictionary):
+        secret = q("S(y) :- R(x, y)")
+        view = q("V(x) :- R(x, y)")
+        single = positive_leakage(secret, view, binary_dictionary)
+        wider = positive_leakage(
+            secret, view, binary_dictionary, max_secret_rows=2, max_view_rows=2
+        )
+        assert wider.explored > single.explored
+        assert wider.leakage >= single.leakage
+
+    def test_requires_views(self, binary_dictionary):
+        with pytest.raises(SecurityAnalysisError):
+            positive_leakage(q("S(y) :- R(x, y)"), [], binary_dictionary)
+
+
+class TestTheorem61:
+    def test_epsilon_zero_for_secure_pair(self, binary_dictionary):
+        secret = q("S(y) :- R(y, 'a')")
+        view = q("V(x) :- R(x, 'b')")
+        assert epsilon_of_theorem_6_1(secret, view, binary_dictionary) == 0
+
+    def test_bound_dominates_measured_leakage(self, emp_dictionary):
+        secret = q("S(n, p) :- Emp(n, d, p)")
+        view = q("Vd(d) :- Emp(n, d, p)")
+        epsilon = epsilon_of_theorem_6_1(secret, view, emp_dictionary)
+        assert 0 < epsilon < 1
+        bound = leakage_bound_from_epsilon(epsilon)
+        measured = positive_leakage(secret, view, emp_dictionary)
+        assert float(measured.leakage) <= bound + 1e-9
+
+    def test_epsilon_shrinks_with_database_size(self, emp_schema):
+        # ε ≈ 1/m in Example 6.2: a larger expected size gives a smaller ε.
+        secret = q("S(n, p) :- Emp(n, d, p)")
+        view = q("Vd(d) :- Emp(n, d, p)")
+        sparse = Dictionary.uniform(emp_schema, Fraction(1, 8))
+        dense = Dictionary.uniform(emp_schema, Fraction(1, 2))
+        assert epsilon_of_theorem_6_1(secret, view, dense) < epsilon_of_theorem_6_1(
+            secret, view, sparse
+        )
+
+    def test_bound_requires_epsilon_below_one(self):
+        with pytest.raises(SecurityAnalysisError):
+            leakage_bound_from_epsilon(1.0)
+        with pytest.raises(SecurityAnalysisError):
+            leakage_bound_from_epsilon(-0.1)
+        assert leakage_bound_from_epsilon(0.0) == 0.0

@@ -1,0 +1,97 @@
+"""Unit tests for the datalog query parser."""
+
+import pytest
+
+from repro.cq import Constant, Variable, parse_atom, parse_query, parse_term, q
+from repro.exceptions import ParseError
+
+
+class TestTermParsing:
+    def test_lowercase_identifier_is_variable(self):
+        assert parse_term("x") == Variable("x")
+        assert parse_term("name") == Variable("name")
+
+    def test_uppercase_identifier_is_constant(self):
+        assert parse_term("Mgmt") == Constant("Mgmt")
+
+    def test_quoted_strings_are_constants(self):
+        assert parse_term("'a'") == Constant("a")
+        assert parse_term('"Jane Doe"') == Constant("Jane Doe")
+
+    def test_numbers_are_constants(self):
+        assert parse_term("42") == Constant(42)
+        assert parse_term("-7") == Constant(-7)
+        assert parse_term("3.5") == Constant(3.5)
+
+    def test_multiple_terms_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("x y")
+
+
+class TestAtomParsing:
+    def test_simple_atom(self):
+        atom = parse_atom("R(x, 'a', 3)")
+        assert atom.relation == "R"
+        assert atom.terms == (Variable("x"), Constant("a"), Constant(3))
+
+    def test_anonymous_variables_are_distinct(self):
+        atom = parse_atom("R(-, -)")
+        assert atom.terms[0] != atom.terms[1]
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x) extra")
+
+
+class TestQueryParsing:
+    def test_paper_table1_view(self):
+        query = parse_query("V2(n, d) :- Emp(n, d, p)")
+        assert query.name == "V2"
+        assert query.arity == 2
+        assert query.body[0].relation == "Emp"
+
+    def test_boolean_query(self):
+        query = parse_query("S() :- R('a', x), R(x, x)")
+        assert query.is_boolean
+        assert len(query.body) == 2
+
+    def test_comparisons(self):
+        query = parse_query("Q(x) :- R1(x, 'a', y), R2(y, 'b', 'c'), x < y, y != 'c'")
+        assert len(query.comparisons) == 2
+        assert {c.op for c in query.comparisons} == {"<", "!="}
+
+    def test_uppercase_constant_in_body(self):
+        query = parse_query("V4(n) :- Emp(n, Mgmt, p)")
+        assert Constant("Mgmt") in query.body[0].terms
+
+    def test_q_alias(self):
+        assert q("Q(x) :- R(x)").name == "Q"
+
+    def test_missing_separator_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(x) R(x)")
+
+    def test_unbalanced_parenthesis_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(x :- R(x)")
+
+    def test_invalid_character_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(x) :- R(x) @ S(x)")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(x) :- R(x) S(y)")
+
+    def test_unsafe_head_variable_raises_query_error(self):
+        # Parsed fine syntactically, but the query constructor rejects it.
+        with pytest.raises(Exception):
+            parse_query("Q(z) :- R(x, y)")
+
+    def test_whitespace_is_flexible(self):
+        query = parse_query("  Q ( x )   :-   R ( x ,  y ) ,  x != y  ")
+        assert query.arity == 1
+
+    def test_roundtrip_through_repr_mentions_subgoals(self):
+        query = parse_query("Q(x) :- R(x, y), S(y)")
+        assert "R" in repr(query) and "S" in repr(query)

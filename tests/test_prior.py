@@ -1,0 +1,306 @@
+"""Unit tests for security under prior knowledge (Section 5)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Dictionary, q
+from repro.core import (
+    CardinalityConstraintKnowledge,
+    ConjunctionKnowledge,
+    KeyConstraintKnowledge,
+    PriorViewKnowledge,
+    TupleStatusKnowledge,
+    decide_security,
+    decide_with_cardinality_constraint,
+    decide_with_key_constraints,
+    decide_with_knowledge,
+    decide_with_prior_view,
+    decide_with_tuple_status,
+    verify_security_probabilistically,
+    verify_with_knowledge,
+)
+from repro.exceptions import KnowledgeError
+from repro.relational import Domain, Fact, Instance, RelationSchema, Schema
+
+
+@pytest.fixture
+def kv_schema() -> Schema:
+    return Schema([RelationSchema("R", ("k", "v"))], domain=Domain.of("a", "b", "c"))
+
+
+@pytest.fixture
+def keyed_schema() -> Schema:
+    return Schema(
+        [RelationSchema("R", ("k", "v"), key=("k",))], domain=Domain.of("a", "b", "c")
+    )
+
+
+class TestKnowledgeClasses:
+    def test_key_knowledge_equivalence_relation(self):
+        knowledge = KeyConstraintKnowledge({"R": (0,)})
+        assert knowledge.equivalent(Fact("R", ("a", "b")), Fact("R", ("a", "c")))
+        assert not knowledge.equivalent(Fact("R", ("a", "b")), Fact("R", ("b", "b")))
+        assert not knowledge.equivalent(Fact("R", ("a", "b")), Fact("S", ("a", "b")))
+
+    def test_key_knowledge_without_declared_key_falls_back_to_identity(self):
+        knowledge = KeyConstraintKnowledge({})
+        assert knowledge.equivalent(Fact("R", ("a", "b")), Fact("R", ("a", "b")))
+        assert not knowledge.equivalent(Fact("R", ("a", "b")), Fact("R", ("a", "c")))
+
+    def test_key_knowledge_from_schema(self, keyed_schema):
+        knowledge = KeyConstraintKnowledge.from_schema(keyed_schema)
+        assert knowledge.key_positions("R") == (0,)
+
+    def test_key_knowledge_from_schema_requires_keys(self, kv_schema):
+        with pytest.raises(KnowledgeError):
+            KeyConstraintKnowledge.from_schema(kv_schema)
+
+    def test_key_constraint_event(self, keyed_schema):
+        knowledge = KeyConstraintKnowledge.from_schema(keyed_schema)
+        event = knowledge.event(keyed_schema)
+        good = Instance.of(Fact("R", ("a", "b")), Fact("R", ("b", "b")))
+        bad = Instance.of(Fact("R", ("a", "b")), Fact("R", ("a", "c")))
+        assert event.occurs(good)
+        assert not event.occurs(bad)
+
+    def test_cardinality_knowledge_validation(self):
+        with pytest.raises(KnowledgeError):
+            CardinalityConstraintKnowledge("about", 3)
+        with pytest.raises(KnowledgeError):
+            CardinalityConstraintKnowledge("exactly", -1)
+
+    def test_cardinality_event_variants(self, kv_schema):
+        instance = Instance.of(Fact("R", ("a", "b")), Fact("R", ("b", "c")))
+        assert CardinalityConstraintKnowledge("exactly", 2).event(kv_schema).occurs(instance)
+        assert CardinalityConstraintKnowledge("at_most", 2).event(kv_schema).occurs(instance)
+        assert not CardinalityConstraintKnowledge("at_least", 3).event(kv_schema).occurs(instance)
+        per_relation = CardinalityConstraintKnowledge("exactly", 2, relation="R")
+        assert per_relation.event(kv_schema).occurs(instance)
+
+    def test_tuple_status_knowledge_consistency(self):
+        fact = Fact("R", ("a", "b"))
+        with pytest.raises(KnowledgeError):
+            TupleStatusKnowledge(present=[fact], absent=[fact])
+
+    def test_tuple_status_event(self, kv_schema):
+        present = Fact("R", ("a", "b"))
+        absent = Fact("R", ("b", "b"))
+        knowledge = TupleStatusKnowledge(present=[present], absent=[absent])
+        assert knowledge.covers(present) and knowledge.covers(absent)
+        assert not knowledge.covers(Fact("R", ("c", "c")))
+        event = knowledge.event(kv_schema)
+        assert event.occurs(Instance.of(present))
+        assert not event.occurs(Instance.of(present, absent))
+
+    def test_prior_view_knowledge_requires_answer_for_non_boolean(self):
+        with pytest.raises(KnowledgeError):
+            PriorViewKnowledge(q("U(x) :- R(x, y)"))
+
+    def test_conjunction_knowledge(self, keyed_schema):
+        knowledge = ConjunctionKnowledge(
+            [
+                KeyConstraintKnowledge.from_schema(keyed_schema),
+                TupleStatusKnowledge(present=[Fact("R", ("a", "b"))]),
+            ]
+        )
+        event = knowledge.event(keyed_schema)
+        assert event.occurs(Instance.of(Fact("R", ("a", "b"))))
+        assert not event.occurs(Instance.of(Fact("R", ("b", "c"))))
+        assert "AND" in knowledge.describe()
+
+    def test_conjunction_knowledge_requires_parts(self):
+        with pytest.raises(KnowledgeError):
+            ConjunctionKnowledge([])
+
+
+class TestApplication2Keys:
+    def test_secure_without_keys_insecure_with_keys(self, kv_schema):
+        secret = q("S() :- R('a', 'b')")
+        view = q("V() :- R('a', 'c')")
+        assert decide_security(secret, view, kv_schema).secure
+        knowledge = KeyConstraintKnowledge({"R": (0,)})
+        decision = decide_with_key_constraints(secret, view, knowledge, kv_schema)
+        assert decision.secure is False
+        assert decision.conclusive
+
+    def test_distinct_keys_remain_secure(self, kv_schema):
+        secret = q("S() :- R('a', 'b')")
+        view = q("V() :- R('b', 'c')")
+        knowledge = KeyConstraintKnowledge({"R": (0,)})
+        decision = decide_with_key_constraints(secret, view, knowledge, kv_schema)
+        assert decision.secure is True
+
+    def test_numeric_check_agrees(self, kv_schema):
+        # The key-constraint verdicts are confirmed by the literal
+        # Definition 5.1 check on a concrete dictionary.
+        dictionary = Dictionary.uniform(
+            Schema([RelationSchema("R", ("k", "v"))], domain=Domain.of("a", "b", "c")),
+            Fraction(1, 3),
+        )
+        knowledge = KeyConstraintKnowledge({"R": (0,)})
+        insecure = verify_with_knowledge(
+            q("S() :- R('a', 'b')"), q("V() :- R('a', 'c')"), knowledge, dictionary
+        )
+        secure = verify_with_knowledge(
+            q("S() :- R('a', 'b')"), q("V() :- R('b', 'c')"), knowledge, dictionary
+        )
+        assert insecure is False
+        assert secure is True
+
+
+class TestApplication3Cardinality:
+    def test_cardinality_destroys_security(self, kv_schema):
+        secret = q("S() :- R('a', 'b')")
+        view = q("V() :- R('b', 'c')")
+        assert decide_security(secret, view, kv_schema).secure
+        knowledge = CardinalityConstraintKnowledge("exactly", 1)
+        decision = decide_with_cardinality_constraint(secret, view, knowledge, kv_schema)
+        assert decision.secure is False
+
+    def test_numeric_check_confirms_cardinality_leak(self, kv_schema):
+        small = Schema([RelationSchema("R", ("k", "v"))], domain=Domain.of("a", "b"))
+        dictionary = Dictionary.uniform(small, Fraction(1, 2))
+        knowledge = CardinalityConstraintKnowledge("exactly", 1)
+        assert not verify_with_knowledge(
+            q("S() :- R('a', 'b')"), q("V() :- R('b', 'a')"), knowledge, dictionary
+        )
+
+    def test_trivial_secret_stays_secure(self, kv_schema):
+        secret = q("S() :- R(x, y), x != x")  # unsatisfiable, hence trivial
+        view = q("V() :- R('b', 'c')")
+        knowledge = CardinalityConstraintKnowledge("at_most", 2)
+        decision = decide_with_cardinality_constraint(secret, view, knowledge, kv_schema)
+        assert decision.secure is True
+
+
+class TestApplication4TupleStatus:
+    def test_disclosing_common_critical_tuple_restores_security(self, binary_ab_schema):
+        secret = q("S() :- R('a', -)")
+        view = q("V() :- R(-, 'b')")
+        assert not decide_security(secret, view, binary_ab_schema).secure
+        knowledge = TupleStatusKnowledge(absent=[Fact("R", ("a", "b"))])
+        decision = decide_with_tuple_status(secret, view, knowledge, binary_ab_schema)
+        assert decision.secure is True
+
+    def test_disclosing_presence_also_works(self, binary_ab_schema):
+        secret = q("S() :- R('a', -)")
+        view = q("V() :- R(-, 'b')")
+        knowledge = TupleStatusKnowledge(present=[Fact("R", ("a", "b"))])
+        decision = decide_with_tuple_status(secret, view, knowledge, binary_ab_schema)
+        assert decision.secure is True
+        dictionary = Dictionary.uniform(binary_ab_schema, Fraction(1, 3))
+        assert verify_with_knowledge(secret, view, knowledge, dictionary)
+
+    def test_partial_disclosure_is_inconclusive(self, binary_ab_schema):
+        secret = q("S(x, y) :- R(x, y)")
+        view = q("V(y, x) :- R(x, y)")
+        knowledge = TupleStatusKnowledge(absent=[Fact("R", ("a", "b"))])
+        decision = decide_with_tuple_status(secret, view, knowledge, binary_ab_schema)
+        assert decision.secure is None
+        assert not decision.conclusive
+
+    def test_already_secure_pair(self, binary_ab_schema):
+        secret = q("S() :- R('a', 'a')")
+        view = q("V() :- R('b', 'b')")
+        knowledge = TupleStatusKnowledge()
+        decision = decide_with_tuple_status(secret, view, knowledge, binary_ab_schema)
+        assert decision.secure is True
+
+
+class TestApplication5PriorViews:
+    @pytest.fixture
+    def schema(self) -> Schema:
+        return Schema(
+            [
+                RelationSchema("R1", ("a1", "a2", "a3")),
+                RelationSchema("R2", ("a1", "a2", "a3")),
+            ],
+            domain=Domain.of("a", "b", "c", "d", "e", "f"),
+        )
+
+    def test_prior_view_absorbs_new_disclosure(self, schema):
+        # A three-column rendition of the paper's Application 5 example.
+        prior = q("U() :- R1('a', 'b', -), R2('d', 'e', -)")
+        secret = q("S() :- R1('a', -, -), R2('d', 'e', 'f')")
+        view = q("V() :- R1('a', 'b', 'c'), R2('d', -, -)")
+        assert not decide_security(secret, prior, schema).secure
+        assert not decide_security(secret, view, schema).secure
+        decision = decide_with_prior_view(secret, view, prior, schema)
+        assert decision.secure is True
+
+    def test_detects_additional_disclosure(self, schema):
+        prior = q("U() :- R2('d', 'e', -)")
+        secret = q("S() :- R1('a', -, -)")
+        view = q("V() :- R1('a', 'b', -)")
+        decision = decide_with_prior_view(secret, view, prior, schema)
+        assert decision.secure is False
+
+    def test_rejects_non_boolean_queries(self, schema):
+        with pytest.raises(KnowledgeError):
+            decide_with_prior_view(
+                q("S(x) :- R1(x, -, -)"), q("V() :- R1('a', -, -)"), q("U() :- R2('d', -, -)"), schema
+            )
+
+
+class TestDispatchAndNumericCheck:
+    def test_dispatch_selects_procedures(self, binary_ab_schema, kv_schema):
+        key_decision = decide_with_knowledge(
+            q("S() :- R('a', 'b')"),
+            q("V() :- R('a', 'c')"),
+            KeyConstraintKnowledge({"R": (0,)}),
+            kv_schema,
+        )
+        assert key_decision.method == "corollary-5.3-keys"
+
+        card_decision = decide_with_knowledge(
+            q("S() :- R('a', 'b')"),
+            q("V() :- R('b', 'c')"),
+            CardinalityConstraintKnowledge("exactly", 1),
+            kv_schema,
+        )
+        assert card_decision.method == "application-3-cardinality"
+
+        status_decision = decide_with_knowledge(
+            q("S() :- R('a', -)"),
+            q("V() :- R(-, 'b')"),
+            TupleStatusKnowledge(absent=[Fact("R", ("a", "b"))]),
+            binary_ab_schema,
+        )
+        assert status_decision.method == "corollary-5.4-tuple-status"
+
+    def test_dispatch_prior_view(self, binary_ab_schema):
+        prior = PriorViewKnowledge(q("U() :- R('a', 'a')"))
+        decision = decide_with_knowledge(
+            q("S() :- R('a', 'b')"), q("V() :- R('b', 'b')"), prior, binary_ab_schema
+        )
+        assert decision.method == "corollary-5.5-prior-view"
+        assert decision.secure is True
+
+    def test_dispatch_unsupported_combination_is_inconclusive(self, binary_ab_schema):
+        prior = PriorViewKnowledge(q("U(x) :- R(x, y)"), answer=[("a",)])
+        decision = decide_with_knowledge(
+            q("S(x) :- R(x, y)"), q("V(y) :- R(x, y)"), prior, binary_ab_schema
+        )
+        assert decision.secure is None
+
+    def test_verify_with_knowledge_rejects_zero_probability_knowledge(
+        self, binary_ab_schema
+    ):
+        dictionary = Dictionary.uniform(binary_ab_schema, 0)
+        knowledge = TupleStatusKnowledge(present=[Fact("R", ("a", "a"))])
+        with pytest.raises(KnowledgeError):
+            verify_with_knowledge(
+                q("S() :- R('a', 'b')"), q("V() :- R('b', 'b')"), knowledge, dictionary
+            )
+
+    def test_relative_security_numeric(self, binary_ab_schema):
+        # Relative security: once the prior view U (which equals the secret)
+        # has been published, publishing V discloses nothing *additional*
+        # about S even though S is insecure w.r.t. V in isolation.
+        dictionary = Dictionary.uniform(binary_ab_schema, Fraction(1, 2))
+        secret = q("S() :- R('a', 'a')")
+        view = q("V() :- R('a', 'a'), R('b', 'b')")
+        prior = PriorViewKnowledge(q("U() :- R('a', 'a')"))
+        assert not verify_security_probabilistically(secret, view, dictionary)
+        assert verify_with_knowledge(secret, view, prior, dictionary)

@@ -1,0 +1,123 @@
+"""Unit tests for the ConjunctiveQuery class."""
+
+import pytest
+
+from repro.cq import Atom, Comparison, ConjunctiveQuery, Constant, Variable, q
+from repro.exceptions import QueryError
+from repro.relational import Fact
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestConstruction:
+    def test_requires_a_body(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery((X,), ())
+
+    def test_head_variables_must_be_safe(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery((Y,), (Atom("R", (X,)),))
+
+    def test_comparison_variables_must_be_safe(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(
+                (), (Atom("R", (X,)),), (Comparison(Y, "=", Constant(1)),)
+            )
+
+    def test_constants_allowed_in_head(self):
+        query = ConjunctiveQuery((Constant("k"), X), (Atom("R", (X,)),))
+        assert query.arity == 2
+
+    def test_boolean_constructor(self):
+        query = ConjunctiveQuery.boolean((Atom("R", (X,)),))
+        assert query.is_boolean
+        assert query.arity == 0
+
+    def test_fact_query(self):
+        query = ConjunctiveQuery.fact_query(Fact("R", ("a", "b")))
+        assert query.is_boolean
+        assert query.body[0] == Atom("R", (Constant("a"), Constant("b")))
+
+
+class TestProperties:
+    def test_variable_sets(self):
+        query = q("Q(x) :- R(x, y), S(y, z), x != z")
+        assert query.head_variables == (Variable("x"),)
+        assert query.variables == {Variable("x"), Variable("y"), Variable("z")}
+        assert query.existential_variables == {Variable("y"), Variable("z")}
+
+    def test_constants_collects_everywhere(self):
+        query = q("Q('k', x) :- R(x, 'a'), x != 'b'")
+        assert query.constants == {"k", "a", "b"}
+
+    def test_relation_names(self):
+        query = q("Q() :- R(x), S(x), R(x)")
+        assert query.relation_names == {"R", "S"}
+
+    def test_order_predicate_detection(self):
+        assert q("Q() :- R(x, y), x < y").has_order_predicates
+        assert not q("Q() :- R(x, y), x != y").has_order_predicates
+
+    def test_symbol_count(self):
+        query = q("Q(x) :- R(x, y), S(y, 'a')")
+        assert query.symbol_count() == 3  # x, y and 'a'
+
+    def test_monotone_flag(self):
+        assert q("Q() :- R(x)").is_monotone
+
+    def test_repr_contains_name_and_body(self):
+        text = repr(q("MyQuery(x) :- R(x, y)"))
+        assert "MyQuery" in text and "R" in text
+
+
+class TestTransformations:
+    def test_substitute_replaces_everywhere(self):
+        query = q("Q(x) :- R(x, y), x != y")
+        result = query.substitute({Variable("x"): Constant(3)})
+        assert result.head == (Constant(3),)
+        assert result.body[0].terms[0] == Constant(3)
+        assert result.comparisons[0].left == Constant(3)
+
+    def test_rename_apart_avoids_collisions(self):
+        query = q("Q(x) :- R(x, y)")
+        renamed = query.rename_apart({Variable("x")})
+        assert Variable("x") not in renamed.variables
+        assert Variable("y") in renamed.variables
+
+    def test_rename_apart_without_collision_is_identity(self):
+        query = q("Q(x) :- R(x, y)")
+        assert query.rename_apart({Variable("z")}) is query
+
+    def test_with_name(self):
+        assert q("Q(x) :- R(x)").with_name("Other").name == "Other"
+
+
+class TestBooleanSpecialisation:
+    def test_binds_head_variables(self):
+        query = q("S(n, p) :- Emp(n, d, p)")
+        spec = query.boolean_specialisation(("ann", 42))
+        assert spec.is_boolean
+        atom = spec.body[0]
+        assert atom.terms[0] == Constant("ann")
+        assert atom.terms[2] == Constant(42)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(QueryError):
+            q("S(n) :- Emp(n, d, p)").boolean_specialisation(("a", "b"))
+
+    def test_conflicting_head_constant_rejected(self):
+        query = ConjunctiveQuery((Constant("k"),), (Atom("R", (X,)),))
+        with pytest.raises(QueryError):
+            query.boolean_specialisation(("other",))
+
+    def test_repeated_head_variable_must_bind_consistently(self):
+        query = ConjunctiveQuery((X, X), (Atom("R", (X,)),))
+        spec = query.boolean_specialisation(("a", "a"))
+        assert spec.body[0].terms[0] == Constant("a")
+        with pytest.raises(QueryError):
+            query.boolean_specialisation(("a", "b"))
+
+    def test_matching_head_constant_allowed(self):
+        query = ConjunctiveQuery((Constant("k"), X), (Atom("R", (X,)),))
+        spec = query.boolean_specialisation(("k", "v"))
+        assert spec.body[0].terms[0] == Constant("v")

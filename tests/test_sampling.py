@@ -1,0 +1,103 @@
+"""Unit tests for the Monte-Carlo sampler."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Dictionary, MonteCarloSampler, q
+from repro.exceptions import ProbabilityError
+from repro.probability import FactPresent, QueryTrue
+from repro.relational import Domain, Fact, RelationSchema, Schema
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema([RelationSchema("R", ("x", "y"))], domain=Domain.of("a", "b"))
+
+
+@pytest.fixture
+def dictionary(schema) -> Dictionary:
+    return Dictionary.uniform(schema, Fraction(1, 2))
+
+
+class TestSampling:
+    def test_determinism_with_seed(self, dictionary):
+        first = MonteCarloSampler(dictionary, seed=42).sample_instances(5)
+        second = MonteCarloSampler(dictionary, seed=42).sample_instances(5)
+        assert first == second
+
+    def test_different_seeds_differ(self, dictionary):
+        first = MonteCarloSampler(dictionary, seed=1).sample_instances(10)
+        second = MonteCarloSampler(dictionary, seed=2).sample_instances(10)
+        assert first != second
+
+    def test_extreme_probabilities(self, schema):
+        empty = MonteCarloSampler(Dictionary.uniform(schema, 0), seed=0).sample_instance()
+        full = MonteCarloSampler(Dictionary.uniform(schema, 1), seed=0).sample_instance()
+        assert len(empty) == 0
+        assert len(full) == 4
+
+    def test_restrict_to_subset_of_facts(self, dictionary):
+        fact = Fact("R", ("a", "a"))
+        sampler = MonteCarloSampler(dictionary, seed=0, restrict_to=[fact])
+        for instance in sampler.sample_instances(20):
+            assert instance.facts <= {fact}
+
+
+class TestEstimates:
+    def test_estimate_close_to_exact(self, dictionary):
+        sampler = MonteCarloSampler(dictionary, seed=7)
+        estimate = sampler.estimate_probability(FactPresent(Fact("R", ("a", "b"))), samples=4000)
+        assert abs(estimate.value - 0.5) < 0.05
+        low, high = estimate.confidence_interval()
+        assert low <= 0.5 <= high
+
+    def test_conditional_estimate(self, dictionary):
+        sampler = MonteCarloSampler(dictionary, seed=7)
+        target = FactPresent(Fact("R", ("a", "a")))
+        given = QueryTrue(q("Q() :- R('a', y)"))
+        estimate = sampler.estimate_conditional(target, given, samples=4000)
+        # Exact value: P(t1 | t1 or t2) = 0.5 / 0.75 = 2/3.
+        assert abs(estimate.value - 2 / 3) < 0.06
+
+    def test_conditional_on_impossible_event_raises(self, schema):
+        dictionary = Dictionary.uniform(schema, 0)
+        sampler = MonteCarloSampler(dictionary, seed=0)
+        with pytest.raises(ProbabilityError):
+            sampler.estimate_conditional(
+                FactPresent(Fact("R", ("a", "a"))),
+                FactPresent(Fact("R", ("b", "b"))),
+                samples=50,
+            )
+
+    def test_sample_counts_must_be_positive(self, dictionary):
+        sampler = MonteCarloSampler(dictionary, seed=0)
+        with pytest.raises(ProbabilityError):
+            sampler.estimate_probability(FactPresent(Fact("R", ("a", "a"))), samples=0)
+        with pytest.raises(ProbabilityError):
+            sampler.estimate_conditional(
+                FactPresent(Fact("R", ("a", "a"))),
+                FactPresent(Fact("R", ("b", "b"))),
+                samples=-1,
+            )
+        with pytest.raises(ProbabilityError):
+            sampler.appear_independent(
+                FactPresent(Fact("R", ("a", "a"))),
+                FactPresent(Fact("R", ("b", "b"))),
+                samples=0,
+            )
+
+    def test_appear_independent_screening(self, dictionary):
+        sampler = MonteCarloSampler(dictionary, seed=3)
+        independent = sampler.appear_independent(
+            FactPresent(Fact("R", ("a", "a"))),
+            FactPresent(Fact("R", ("b", "b"))),
+            samples=3000,
+        )
+        dependent = sampler.appear_independent(
+            QueryTrue(q("Q() :- R('a', 'a')")),
+            QueryTrue(q("P() :- R('a', x)")),
+            samples=3000,
+        )
+        assert independent
+        assert not dependent

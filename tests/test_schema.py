@@ -1,0 +1,104 @@
+"""Unit tests for relation and database schemas (repro.relational.schema)."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational import Domain, RelationSchema, Schema
+
+
+class TestRelationSchema:
+    def test_basic_properties(self):
+        relation = RelationSchema("Emp", ("name", "dept", "phone"))
+        assert relation.arity == 3
+        assert relation.attribute_index("dept") == 1
+
+    def test_unknown_attribute_raises(self):
+        relation = RelationSchema("Emp", ("name",))
+        with pytest.raises(SchemaError):
+            relation.attribute_index("phone")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", ("a",))
+
+    def test_empty_attribute_list_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ())
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("a", "a"))
+
+    def test_key_positions(self):
+        relation = RelationSchema("R", ("a", "b", "c"), key=("c", "a"))
+        assert relation.key_positions() == (2, 0)
+
+    def test_key_must_use_declared_attributes(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("a",), key=("b",))
+
+    def test_attribute_domain_must_reference_known_attribute(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("a",), {"b": Domain.of(1)})
+
+    def test_domain_for_falls_back_to_default(self):
+        default = Domain.of("x", "y")
+        relation = RelationSchema("R", ("a", "b"), {"a": Domain.of(1, 2)})
+        assert list(relation.domain_for("a", default)) == [1, 2]
+        assert relation.domain_for("b", default) is default
+
+    def test_position_domains_in_order(self):
+        default = Domain.of("x")
+        relation = RelationSchema("R", ("a", "b"), {"b": Domain.of(1)})
+        domains = relation.position_domains(default)
+        assert list(domains[0]) == ["x"]
+        assert list(domains[1]) == [1]
+
+
+class TestSchema:
+    def test_requires_at_least_one_relation(self):
+        with pytest.raises(SchemaError):
+            Schema([], domain=Domain.of("a"))
+
+    def test_duplicate_relation_names_rejected(self):
+        r = RelationSchema("R", ("a",))
+        with pytest.raises(SchemaError):
+            Schema([r, r], domain=Domain.of("a"))
+
+    def test_lookup_and_containment(self):
+        schema = Schema([RelationSchema("R", ("a",))], domain=Domain.of("x"))
+        assert "R" in schema
+        assert schema.relation("R").arity == 1
+        with pytest.raises(SchemaError):
+            schema.relation("missing")
+
+    def test_global_domain_derived_from_attribute_domains(self):
+        relation = RelationSchema(
+            "R", ("a", "b"), {"a": Domain.of(1, 2), "b": Domain.of(2, 3)}
+        )
+        schema = Schema([relation])
+        assert set(schema.domain) == {1, 2, 3}
+
+    def test_missing_domain_and_attribute_domains_raises(self):
+        with pytest.raises(SchemaError):
+            Schema([RelationSchema("R", ("a",))])
+
+    def test_with_domain_replaces_global_domain(self):
+        schema = Schema([RelationSchema("R", ("a",))], domain=Domain.of("x"))
+        replaced = schema.with_domain(Domain.of("y", "z"))
+        assert list(replaced.domain) == ["y", "z"]
+        assert list(schema.domain) == ["x"]
+
+    def test_with_relation_adds_relation(self):
+        schema = Schema([RelationSchema("R", ("a",))], domain=Domain.of("x"))
+        extended = schema.with_relation(RelationSchema("S", ("b", "c")))
+        assert "S" in extended
+        assert len(extended) == 2
+        assert len(schema) == 1
+
+    def test_iteration_order_is_declaration_order(self):
+        schema = Schema(
+            [RelationSchema("B", ("x",)), RelationSchema("A", ("y",))],
+            domain=Domain.of(1),
+        )
+        assert [r.name for r in schema] == ["B", "A"]

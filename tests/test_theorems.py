@@ -1,0 +1,198 @@
+"""Integration tests validating the paper's theorems on small random inputs.
+
+These tests cross-check the *logical* characterisation (Theorem 4.5) and
+its consequences (Theorem 4.8, the FKG-type inequality, Proposition 4.9)
+against the *probabilistic* definition computed by brute force, on a
+deterministic battery of small random query/view pairs.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Dictionary, q
+from repro.bench import WorkloadConfig, random_query_view_pair
+from repro.core import (
+    critical_tuples,
+    decide_security,
+    required_domain_size,
+    verify_security_probabilistically,
+)
+from repro.cq import conjoin
+from repro.probability import ExactEngine, QueryTrue, query_polynomial
+from repro.relational import Domain, RelationSchema, Schema, tuple_space
+
+
+def _small_pairs(count: int, seed_base: int = 100):
+    """Deterministic battery of small (schema, secret, view) triples."""
+    config = WorkloadConfig(
+        relations=1,
+        max_arity=2,
+        domain_size=2,
+        max_subgoals=2,
+        max_variables=2,
+        constant_probability=0.4,
+    )
+    return [random_query_view_pair(config, seed=seed_base + i) for i in range(count)]
+
+
+class TestTheorem45:
+    """crit-disjointness ⟺ security for every distribution (Theorem 4.5)."""
+
+    @pytest.mark.parametrize("seed_offset", range(12))
+    def test_logical_and_probabilistic_decisions_agree(self, seed_offset):
+        # Theorem 4.5 is stated for a fixed domain D: security for every
+        # distribution over D iff the critical tuples over D are disjoint.
+        schema, secret, view = _small_pairs(1, seed_base=200 + seed_offset)[0]
+        logical = not (
+            critical_tuples(secret, schema) & critical_tuples(view, schema)
+        )
+
+        agreement_dictionaries = [
+            Dictionary.uniform(schema, Fraction(1, 2)),
+            Dictionary.uniform(schema, Fraction(1, 3)),
+            Dictionary.uniform(schema, Fraction(3, 4)),
+        ]
+        probabilistic = all(
+            verify_security_probabilistically(secret, view, dictionary)
+            for dictionary in agreement_dictionaries
+        )
+        if logical:
+            # Secure for every distribution, in particular these three.
+            assert probabilistic
+        else:
+            # Some distribution must break independence; the uniform
+            # non-trivial ones do by Theorem 4.8.
+            assert not probabilistic
+
+    def test_security_for_one_view_at_a_time_implies_joint_security(self):
+        # Theorem 4.5's collusion corollary.
+        schema = Schema([RelationSchema("R", ("x", "y"))], domain=Domain.of("a", "b"))
+        secret = q("S() :- R('a', 'a')")
+        views = [q("V1() :- R('a', 'b')"), q("V2() :- R('b', 'b')")]
+        for view in views:
+            assert decide_security(secret, view, schema, domain=schema.domain).secure
+        assert decide_security(secret, views, schema, domain=schema.domain).secure
+        dictionary = Dictionary.uniform(schema, Fraction(1, 3))
+        assert verify_security_probabilistically(secret, views, dictionary)
+
+
+class TestTheorem48:
+    """Security under one non-trivial distribution implies all (Theorem 4.8)."""
+
+    @pytest.mark.parametrize("seed_offset", range(10))
+    def test_one_distribution_decides_all(self, seed_offset):
+        schema, secret, view = _small_pairs(1, seed_base=400 + seed_offset)[0]
+        reference = Dictionary.uniform(schema, Fraction(1, 2))
+        others = [
+            Dictionary.uniform(schema, Fraction(1, 5)),
+            Dictionary.uniform(schema, Fraction(9, 10)),
+        ]
+        secure_under_reference = verify_security_probabilistically(secret, view, reference)
+        for dictionary in others:
+            assert (
+                verify_security_probabilistically(secret, view, dictionary)
+                == secure_under_reference
+            )
+
+    def test_trivial_distributions_are_excluded(self):
+        # With P(t) = 1 everything is secure, which says nothing about
+        # non-trivial distributions — the hypothesis of Theorem 4.8.
+        schema = Schema([RelationSchema("R", ("x", "y"))], domain=Domain.of("a", "b"))
+        secret = q("S(y) :- R(x, y)")
+        view = q("V(x) :- R(x, y)")
+        assert verify_security_probabilistically(secret, view, Dictionary.uniform(schema, 1))
+        assert not verify_security_probabilistically(
+            secret, view, Dictionary.uniform(schema, Fraction(1, 2))
+        )
+
+
+class TestFKGInequality:
+    """P[V ∧ S] ≥ P[V]·P[S] for monotone boolean queries (Section 2.4)."""
+
+    @pytest.mark.parametrize("seed_offset", range(10))
+    def test_positive_correlation_of_monotone_queries(self, seed_offset):
+        config = WorkloadConfig(
+            relations=1, max_arity=2, domain_size=2, max_subgoals=2, max_variables=2
+        )
+        import random
+
+        rng = random.Random(800 + seed_offset)
+        from repro.bench import random_query, random_schema
+
+        schema = random_schema(config, rng)
+        secret = random_query(schema, config, rng, name="S", boolean=True)
+        view = random_query(schema, config, rng, name="V", boolean=True)
+        dictionary = Dictionary.uniform(schema, Fraction(1, 3))
+        engine = ExactEngine(dictionary)
+        joint = engine.joint_probability([QueryTrue(secret), QueryTrue(view)])
+        product = engine.probability(QueryTrue(secret)) * engine.probability(QueryTrue(view))
+        assert joint >= product
+
+    def test_equality_iff_disjoint_critical_tuples(self):
+        schema = Schema([RelationSchema("R", ("x", "y"))], domain=Domain.of("a", "b"))
+        dictionary = Dictionary.uniform(schema, Fraction(1, 3))
+        engine = ExactEngine(dictionary)
+        secure_pair = (q("S() :- R('a', 'a')"), q("V() :- R('b', 'b')"))
+        insecure_pair = (q("S() :- R('a', x)"), q("V() :- R(x, 'a')"))
+        for secret, view in (secure_pair, insecure_pair):
+            joint = engine.joint_probability([QueryTrue(secret), QueryTrue(view)])
+            product = engine.probability(QueryTrue(secret)) * engine.probability(
+                QueryTrue(view)
+            )
+            disjoint = not (
+                critical_tuples(secret, schema) & critical_tuples(view, schema)
+            )
+            assert (joint == product) == disjoint
+
+
+class TestProposition49:
+    """Domain-independence: verdicts agree across sufficiently large domains."""
+
+    @pytest.mark.parametrize("seed_offset", range(8))
+    def test_verdict_stable_across_domain_sizes(self, seed_offset):
+        config = WorkloadConfig(
+            relations=1, max_arity=2, domain_size=2, max_subgoals=2, max_variables=2
+        )
+        schema, secret, view = random_query_view_pair(config, seed=900 + seed_offset)
+        minimum = required_domain_size([secret, view])
+        base_values = [f"c{i}" for i in range(max(minimum, 2))]
+        small_domain = Domain(base_values)
+        large_domain = Domain(base_values + ["extra1", "extra2"])
+        small = decide_security(secret, view, schema, domain=small_domain).secure
+        large = decide_security(secret, view, schema, domain=large_domain).secure
+        assert small == large
+
+
+class TestProposition413Properties:
+    """Spot-checks of the polynomial properties used in the proofs."""
+
+    def test_shannon_expansion(self):
+        schema = Schema([RelationSchema("R", ("x", "y"))], domain=Domain.of("a", "b"))
+        facts = tuple_space(schema)
+        query = q("Q() :- R('a', x), R(x, x)")
+        poly = query_polynomial(query, facts)
+        target = facts[0]
+        # Setting x_t to 0/1 must equal the polynomial of Q with t fixed
+        # false/true — verified numerically at a probability assignment.
+        assignment = {fact: Fraction(1, 3) for fact in facts}
+        del assignment[target]
+        low = poly.substitute(target, 0).evaluate(assignment)
+        high = poly.substitute(target, 1).evaluate(assignment)
+        full = poly.evaluate({**assignment, target: Fraction(1, 3)})
+        assert full == Fraction(2, 3) * low + Fraction(1, 3) * high
+
+    def test_product_rule_requires_disjoint_critical_tuples(self):
+        schema = Schema([RelationSchema("R", ("x", "y"))], domain=Domain.of("a", "b"))
+        facts = tuple_space(schema)
+        left = q("A() :- R('a', x)")
+        right = q("B() :- R(x, 'b')")  # shares the tuple R(a, b) with `left`
+        joint = query_polynomial(conjoin(left, right), facts)
+        f_left = query_polynomial(left, facts)
+        f_right = query_polynomial(right, facts)
+        # The factorisation fails exactly because crit sets overlap.
+        product_value = f_left.evaluate(
+            {f: Fraction(1, 2) for f in facts}
+        ) * f_right.evaluate({f: Fraction(1, 2) for f in facts})
+        joint_value = joint.evaluate({f: Fraction(1, 2) for f in facts})
+        assert joint_value != product_value
