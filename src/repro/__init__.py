@@ -10,12 +10,33 @@ encrypted views and asymptotic ("practical") security.
 
 Quick start
 -----------
->>> from repro import q, decide_security
+The front door is the session API: compile queries once, analyse many
+times, and let the session memoize every critical-tuple set.
+
+>>> from repro import AnalysisSession
 >>> from repro.bench import employee_schema
->>> schema = employee_schema()
->>> secret = q("S(n) :- Emp(n, HR, p)")
->>> view = q("V(n) :- Emp(n, Mgmt, p)")
->>> decide_security(secret, view, schema).secure
+>>> session = AnalysisSession(employee_schema())
+>>> secret = session.compile("S(n) :- Emp(n, HR, p)")
+>>> session.decide(secret, "V(n) :- Emp(n, Mgmt, p)").secure
+True
+
+Batch audits share the cache across every secret × view pair:
+
+>>> from repro import PublishingPlan
+>>> plan = PublishingPlan(
+...     secrets={"hr_names": "S(n) :- Emp(n, HR, p)"},
+...     views={"bob": "V(n) :- Emp(n, Mgmt, p)"},
+... )
+>>> session.audit_plan(plan).secure
+True
+
+The legacy free functions remain fully supported and now delegate to a
+default session (see ``docs/API.md`` for the migration notes):
+
+>>> from repro import q, decide_security
+>>> decide_security(q("S(n) :- Emp(n, HR, p)"),
+...                 q("V(n) :- Emp(n, Mgmt, p)"),
+...                 employee_schema()).secure
 True
 """
 
@@ -80,6 +101,17 @@ from .exceptions import (
 )
 from .probability import Dictionary, ExactEngine, MonteCarloSampler, query_polynomial
 from .relational import Domain, Fact, Instance, RelationSchema, Schema
+from .session import (
+    AnalysisResult,
+    AnalysisSession,
+    CacheStats,
+    CompiledQuery,
+    CriticalTupleCache,
+    PlanAuditResult,
+    PublishingPlan,
+    available_engines,
+    register_engine,
+)
 
 __version__ = "1.0.0"
 
@@ -134,6 +166,16 @@ __all__ = [
     "PracticalSecurityReport",
     "asymptotic_order",
     "classify_practical_security",
+    # session API
+    "AnalysisSession",
+    "CompiledQuery",
+    "CriticalTupleCache",
+    "CacheStats",
+    "PublishingPlan",
+    "AnalysisResult",
+    "PlanAuditResult",
+    "register_engine",
+    "available_engines",
     # audit layer
     "SecurityAuditor",
     "DisclosureLevel",

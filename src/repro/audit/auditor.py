@@ -6,6 +6,14 @@ quick check, the leakage measurement, the qualitative classification and
 the collusion analysis behind a small number of methods, and produces
 :class:`~repro.audit.report.AuditReport` objects.
 
+Since the session redesign the auditor is a thin veneer over an
+:class:`~repro.session.AnalysisSession`: every critical-tuple set it
+computes is memoized in the session's LRU cache, so a multi-view audit
+(or repeated audits over the same schema) pays for each ``crit_D(Q)``
+exactly once.  The backing session is exposed as :attr:`session` for
+callers who want compiled queries, batch plan audits or cache
+statistics.
+
 Typical use::
 
     auditor = SecurityAuditor(schema)
@@ -17,18 +25,22 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from ..core.collusion import CollusionReport, analyse_collusion, largest_safe_view_set
-from ..core.leakage import LeakageResult, positive_leakage
+from ..core.collusion import CollusionReport, largest_safe_view_set
+from ..core.leakage import LeakageResult
 from ..core.practical import practical_security_check
-from ..core.prior import KnowledgeDecision, PriorKnowledge, decide_with_knowledge
-from ..core.security import SecurityDecision, decide_security
-from ..cq.parser import parse_query
+from ..core.prior import KnowledgeDecision, PriorKnowledge
+from ..core.security import SecurityDecision
 from ..cq.query import ConjunctiveQuery
 from ..cq.union import UnionQuery
-from ..exceptions import IntractableAnalysisError, SecurityAnalysisError
+from ..exceptions import SecurityAnalysisError
 from ..probability.dictionary import Dictionary
 from ..relational.domain import Domain
 from ..relational.schema import Schema
+from ..session.cache import schema_fingerprint
+from ..session.compile import as_query
+from ..session.plan import PublishingPlan
+from ..session.results import PlanAuditResult
+from ..session.session import AnalysisSession
 from .classification import DisclosureAssessment, classify_disclosure
 from .report import AuditFinding, AuditReport
 
@@ -38,9 +50,7 @@ QueryLike = Union[str, ConjunctiveQuery, UnionQuery]
 
 
 def _as_query(query: QueryLike) -> Union[ConjunctiveQuery, UnionQuery]:
-    if isinstance(query, (ConjunctiveQuery, UnionQuery)):
-        return query
-    return parse_query(query)
+    return as_query(query)
 
 
 class SecurityAuditor:
@@ -57,6 +67,11 @@ class SecurityAuditor:
     domain:
         Optional analysis domain override (defaults to the
         Proposition 4.9 domain synthesised per analysis).
+    session:
+        Optional pre-built :class:`AnalysisSession` to audit through
+        (shares its critical-tuple cache); one is created otherwise.
+    engine:
+        Verification-engine name forwarded to the session.
     """
 
     def __init__(
@@ -64,9 +79,21 @@ class SecurityAuditor:
         schema: Schema,
         dictionary: Optional[Dictionary] = None,
         domain: Optional[Domain] = None,
+        session: Optional[AnalysisSession] = None,
+        engine: str = "exact",
     ):
+        if session is None:
+            session = AnalysisSession(
+                schema, dictionary=dictionary, engine=engine, domain=domain
+            )
+        elif schema_fingerprint(session.schema) != schema_fingerprint(schema):
+            raise SecurityAnalysisError(
+                "the supplied session analyses a different schema than the "
+                "auditor; build the auditor and the session over the same schema"
+            )
+        self._session = session
         self._schema = schema
-        self._dictionary = dictionary
+        self._dictionary = dictionary if dictionary is not None else session.dictionary
         self._domain = domain
 
     @property
@@ -74,12 +101,17 @@ class SecurityAuditor:
         """The schema being audited."""
         return self._schema
 
+    @property
+    def session(self) -> AnalysisSession:
+        """The analysis session (cache, compiled queries, batch audits)."""
+        return self._session
+
     # -- single-pair primitives -------------------------------------------------
     def decide(self, secret: QueryLike, views: Sequence[QueryLike] | QueryLike) -> SecurityDecision:
         """Dictionary-independent security decision (Theorem 4.5)."""
-        return decide_security(
-            _as_query(secret), self._as_views(views), self._schema, domain=self._domain
-        )
+        return self._session.decide(
+            secret, self._as_views(views), domain=self._domain
+        ).decision
 
     def quick_check(self, secret: QueryLike, views: Sequence[QueryLike] | QueryLike):
         """The practical subgoal-unification check (Section 4.2)."""
@@ -95,6 +127,7 @@ class SecurityAuditor:
             self._schema,
             dictionary=self._dictionary,
             domain=self._domain,
+            critical_fn=self._session.critical_fn,
         )
 
     def measure_leakage(
@@ -111,7 +144,9 @@ class SecurityAuditor:
                 "measuring leakage requires a dictionary; pass one to the auditor "
                 "or to measure_leakage"
             )
-        return positive_leakage(_as_query(secret), self._as_views(views), dictionary, **kwargs)
+        return self._session.leakage(
+            secret, self._as_views(views), dictionary=dictionary, **kwargs
+        ).measurement
 
     def decide_with_knowledge(
         self,
@@ -120,9 +155,9 @@ class SecurityAuditor:
         knowledge: PriorKnowledge,
     ) -> KnowledgeDecision:
         """Security under prior knowledge (Section 5)."""
-        return decide_with_knowledge(
-            _as_query(secret), self._as_views(views), knowledge, self._schema, self._domain
-        )
+        return self._session.with_knowledge(
+            secret, self._as_views(views), knowledge, domain=self._domain
+        ).decision
 
     # -- multi-view audits --------------------------------------------------------
     def audit(
@@ -154,6 +189,7 @@ class SecurityAuditor:
             self._schema,
             dictionary=self._dictionary,
             domain=self._domain,
+            critical_fn=self._session.critical_fn,
         )
         practical = practical_security_check(secret_query, view_list)
         finding = AuditFinding(
@@ -165,9 +201,9 @@ class SecurityAuditor:
         )
         collusion: Optional[CollusionReport] = None
         if include_collusion and len(view_list) > 1:
-            collusion = analyse_collusion(
-                secret_query, named_views, self._schema, domain=self._domain
-            )
+            collusion = self._session.collusion(
+                secret_query, named_views, domain=self._domain
+            ).report
         notes: List[str] = []
         if practical.possibly_insecure and assessment.secure:
             notes.append(
@@ -195,6 +231,7 @@ class SecurityAuditor:
                 self._schema,
                 dictionary=self._dictionary,
                 domain=self._domain,
+                critical_fn=self._session.critical_fn,
             )
             practical = practical_security_check(secret_query, view_list)
             findings.append(
@@ -208,6 +245,14 @@ class SecurityAuditor:
             )
         return AuditReport(findings=tuple(findings))
 
+    def audit_plan(self, plan: PublishingPlan) -> PlanAuditResult:
+        """Batch audit of a multi-secret / multi-view publishing plan.
+
+        Delegates to :meth:`AnalysisSession.audit_plan`; every
+        critical-tuple computation is shared across the batch.
+        """
+        return self._session.audit_plan(plan, domain=self._domain)
+
     def safe_publishing_plan(
         self,
         secret: QueryLike,
@@ -220,6 +265,7 @@ class SecurityAuditor:
             [_as_query(v) for v in candidate_views],
             self._schema,
             domain=self._domain,
+            critical_fn=self._session.critical_fn,
         )
 
     # -- helpers --------------------------------------------------------------------

@@ -136,6 +136,7 @@ def classify_disclosure(
     domain: Optional[Domain] = None,
     minute_threshold: float = DEFAULT_MINUTE_THRESHOLD,
     answerability_max_tuples: int = 16,
+    critical_fn=None,
 ) -> DisclosureAssessment:
     """Grade a (secret, views) pair on the Total/Partial/Minute/None spectrum.
 
@@ -150,6 +151,10 @@ def classify_disclosure(
     minute_threshold:
         Relative-gain threshold below which a disclosure counts as
         minute.
+    critical_fn:
+        Optional cached critical-tuple provider (supplied by the
+        session-backed auditor); omitted, the underlying decision
+        delegates to the default session.
     """
     if isinstance(views, (ConjunctiveQuery, UnionQuery)):
         views = [views]
@@ -157,7 +162,9 @@ def classify_disclosure(
     if not views:
         raise SecurityAnalysisError("at least one view is required")
 
-    decision = decide_security(secret, views, schema, domain=domain)
+    decision = decide_security(
+        secret, views, schema, domain=domain, critical_fn=critical_fn
+    )
     if decision.secure:
         return DisclosureAssessment(
             level=DisclosureLevel.NONE,

@@ -1,7 +1,8 @@
 """Command-line interface for query-view security audits.
 
-The CLI wraps the :class:`~repro.audit.auditor.SecurityAuditor` so a data
-owner can audit a publishing plan without writing Python::
+The CLI wraps the session-backed
+:class:`~repro.audit.auditor.SecurityAuditor` so a data owner can audit
+a publishing plan without writing Python::
 
     repro-audit decide   --schema schema.json --secret "S(n,p) :- Emp(n,d,p)" \
                          --view "V(n,d) :- Emp(n,d,p)"
@@ -10,11 +11,14 @@ owner can audit a publishing plan without writing Python::
     repro-audit quick    --schema schema.json --secret "..." --view "..."
     repro-audit leakage  --schema schema.json --secret "..." --view "..." --probability 1/4
     repro-audit collusion --schema schema.json --secret "..." --view bob="..." --view carol="..."
+    repro-audit plan     --plan plan.json
 
-The schema JSON format is documented in :mod:`repro.io`.  Every command
-exits with status 0 when the secret is safe under the requested analysis
-and status 1 when a disclosure was found, so the tool can gate a CI
-pipeline or a publishing workflow.
+The schema JSON format is documented in :mod:`repro.io`; ``plan`` takes
+the same document extended with ``secrets`` and ``views`` mappings and
+runs the batch :meth:`~repro.session.AnalysisSession.audit_plan`.
+Every command exits with status 0 when the secret is safe under the
+requested analysis and status 1 when a disclosure was found, so the
+tool can gate a CI pipeline or a publishing workflow.
 """
 
 from __future__ import annotations
@@ -25,21 +29,30 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .audit.auditor import SecurityAuditor
-from .core.leakage import positive_leakage
 from .exceptions import ReproError
-from .io import load_audit_configuration
+from .io import load_audit_configuration, load_publishing_plan
 from .probability.dictionary import Dictionary
+from .session import AnalysisSession
 
 __all__ = ["main", "build_parser"]
 
 
 def _parse_views(raw_views: Sequence[str]) -> Dict[str, str]:
-    """Parse ``--view`` arguments of the form ``[recipient=]query``."""
+    """Parse ``--view`` arguments of the form ``[recipient=]query``.
+
+    A recipient prefix is recognised only when the first ``=`` occurs
+    *left of* the ``:-`` separator **and** the text before it looks like
+    a bare recipient name (no parentheses or quotes).  This keeps
+    queries whose head mentions an ``=``-containing constant — e.g.
+    ``V('a=b') :- R(x, y)`` — from being torn apart at the wrong place.
+    """
     views: Dict[str, str] = {}
     for index, raw in enumerate(raw_views):
-        if "=" in raw.split(":-")[0]:
-            recipient, query = raw.split("=", 1)
-            recipient = recipient.strip()
+        head = raw.partition(":-")[0]
+        separator = head.find("=")
+        prefix = raw[:separator] if separator != -1 else ""
+        if separator != -1 and prefix and not any(c in prefix for c in "()'\""):
+            recipient, query = prefix.strip(), raw[separator + 1 :]
         else:
             recipient, query = f"user{index + 1}", raw
         views[recipient] = query.strip()
@@ -85,11 +98,31 @@ def build_parser() -> argparse.ArgumentParser:
     collusion = subparsers.add_parser("collusion", help="multi-party collusion analysis")
     add_common(collusion, multi_view_names=True)
 
+    plan = subparsers.add_parser(
+        "plan",
+        help="batch audit of a multi-secret/multi-view publishing plan (session API)",
+    )
+    plan.add_argument(
+        "--plan",
+        required=True,
+        help="path to a JSON publishing plan (schema document plus 'secrets' and 'views')",
+    )
+    plan.add_argument(
+        "--engine",
+        default="exact",
+        help="verification engine for the session (default: exact)",
+    )
+    plan.add_argument(
+        "--show-cache-stats",
+        action="store_true",
+        help="print critical-tuple cache statistics after the audit",
+    )
+
     return parser
 
 
 def _dictionary_for(args, schema) -> Optional[Dictionary]:
-    if args.probability is not None:
+    if getattr(args, "probability", None) is not None:
         return Dictionary.uniform(schema, Fraction(args.probability))
     return None
 
@@ -100,6 +133,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     try:
+        if args.command == "plan":
+            schema, dictionary, plan = load_publishing_plan(args.plan)
+            session = AnalysisSession(schema, dictionary=dictionary, engine=args.engine)
+            result = session.audit_plan(plan)
+            print(result.render())
+            if args.show_cache_stats:
+                print(f"cache: {session.cache_stats!r}")
+            return 0 if result.secure else 1
+
         schema, configured_dictionary = load_audit_configuration(args.schema)
         dictionary = _dictionary_for(args, schema) or configured_dictionary
         auditor = SecurityAuditor(schema, dictionary=dictionary)
@@ -137,18 +179,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 0 if result.leakage == 0 else 1
 
         if args.command == "collusion":
-            from .core.collusion import analyse_collusion
-            from .cq.parser import parse_query
-
-            report = analyse_collusion(
-                parse_query(args.secret),
-                {name: parse_query(view) for name, view in named_views.items()},
-                schema,
-            )
-            print(report.summary())
-            return 0 if report.secure_overall else 1
+            outcome = auditor.session.collusion(args.secret, named_views)
+            print(outcome.report.summary())
+            return 0 if outcome.secure else 1
 
         parser.error(f"unknown command {args.command!r}")
+        return 2
+    except OSError as error:
+        # Unreadable schema/plan files must not exit 1: that status means
+        # "disclosure found" and is consumed by CI gates.
+        print(f"error: {error}", file=sys.stderr)
         return 2
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

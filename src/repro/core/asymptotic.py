@@ -363,6 +363,8 @@ def classify_practical_security(
     schema: Schema,
     expected_sizes: Mapping[str, float] | float = 1.0,
     zero_threshold: float = 1e-12,
+    *,
+    critical_fn=None,
 ) -> PracticalSecurityReport:
     """Classify a boolean (secret, view) pair per Section 6.2.
 
@@ -372,14 +374,32 @@ def classify_practical_security(
     * ``exponent(QV) > exponent(V)``  →  practical security (limit 0),
     * ``exponent(QV) = exponent(V)``  →  practical disclosure with limit
       ``coefficient(QV)/coefficient(V)``.
+
+    Without an explicit ``critical_fn`` the call delegates to the
+    default :class:`~repro.session.AnalysisSession`, which caches the
+    underlying Theorem 4.5 critical-tuple computation.
     """
     from .security import decide_security
+
+    if critical_fn is None:
+        from ..session.default import default_session
+
+        return (
+            default_session(schema)
+            .practical(
+                secret,
+                view,
+                expected_sizes=expected_sizes,
+                zero_threshold=zero_threshold,
+            )
+            .report
+        )
 
     if not secret.is_boolean or not view.is_boolean:
         raise SecurityAnalysisError(
             "classify_practical_security expects boolean secret and view queries"
         )
-    decision = decide_security(secret, view, schema)
+    decision = decide_security(secret, view, schema, critical_fn=critical_fn)
     if decision.secure:
         return PracticalSecurityReport(
             level=PracticalSecurityLevel.PERFECT,

@@ -123,12 +123,24 @@ def analyse_collusion(
     views: Sequence[ConjunctiveQuery] | Mapping[str, ConjunctiveQuery],
     schema: Schema,
     domain: Optional[Domain] = None,
+    *,
+    critical_fn=None,
 ) -> CollusionReport:
     """Analyse which recipients/coalitions violate the secret's security.
 
     ``views`` may be a sequence (recipients are auto-named ``user1..``)
     or a mapping ``recipient name → view``.
+
+    Without an explicit ``critical_fn`` the call delegates to the
+    default :class:`~repro.session.AnalysisSession`, whose cache makes
+    the per-view loop compute the secret's critical tuples once instead
+    of once per view.
     """
+    if critical_fn is None:
+        from ..session.default import default_session
+
+        return default_session(schema).collusion(secret, views, domain=domain).report
+
     if isinstance(views, Mapping):
         recipients = tuple(views.keys())
         view_list = tuple(views.values())
@@ -143,7 +155,8 @@ def analyse_collusion(
 
     domain = domain or analysis_domain([secret, *view_list])
     per_view = tuple(
-        decide_security(secret, view, schema, domain=domain) for view in view_list
+        decide_security(secret, view, schema, domain=domain, critical_fn=critical_fn)
+        for view in view_list
     )
     return CollusionReport(
         secret=secret,
@@ -159,6 +172,8 @@ def largest_safe_view_set(
     candidate_views: Sequence[ConjunctiveQuery],
     schema: Schema,
     domain: Optional[Domain] = None,
+    *,
+    critical_fn=None,
 ) -> Tuple[ConjunctiveQuery, ...]:
     """The largest subset of candidate views that can be published safely.
 
@@ -174,5 +189,7 @@ def largest_safe_view_set(
     return tuple(
         view
         for view in candidate_views
-        if decide_security(secret, view, schema, domain=domain).secure
+        if decide_security(
+            secret, view, schema, domain=domain, critical_fn=critical_fn
+        ).secure
     )

@@ -271,16 +271,23 @@ def common_critical_tuples(
     schema: Schema,
     domain: Optional[Domain] = None,
     constraint: Optional[InstanceConstraint] = None,
+    *,
+    critical_fn=None,
 ) -> FrozenSet[Fact]:
     """``crit_D(S) ∩ crit_D(V̄)`` where ``crit_D(V̄) = ∪_i crit_D(V_i)``.
 
     This is the set whose emptiness characterises query-view security
     (Theorem 4.5); it is also the set of tuples whose status must be
     disclosed to *restore* security via Corollary 5.4.
+
+    ``critical_fn`` (same signature as :func:`critical_tuples`) lets a
+    session supply its cached provider for the full-set computations;
+    the per-fact candidate filtering below stays direct either way.
     """
     if not views:
         raise SecurityAnalysisError("at least one view is required")
-    secret_critical = critical_tuples(secret, schema, domain, constraint)
+    critical_fn = critical_fn or critical_tuples
+    secret_critical = critical_fn(secret, schema, domain, constraint)
     if not secret_critical:
         return frozenset()
     common: Set[Fact] = set()

@@ -118,7 +118,36 @@ def positive_leakage(
     By default atomic statements are single rows (``|s| = |v_i| = 1``),
     matching the paper's worked Examples 6.2/6.3; ``max_secret_rows`` /
     ``max_view_rows`` widen the search to larger inclusion statements.
+
+    Delegates to the default :class:`~repro.session.AnalysisSession`
+    (see :meth:`~repro.session.AnalysisSession.leakage` for the
+    session-native form with timing and cache accounting).
     """
+    from ..session.default import default_session
+
+    return (
+        default_session(dictionary.schema)
+        .leakage(
+            secret,
+            views,
+            dictionary=dictionary,
+            max_secret_rows=max_secret_rows,
+            max_view_rows=max_view_rows,
+            max_support_size=max_support_size,
+        )
+        .measurement
+    )
+
+
+def _positive_leakage(
+    secret: ConjunctiveQuery,
+    views: Sequence[ConjunctiveQuery] | ConjunctiveQuery,
+    dictionary: Dictionary,
+    max_secret_rows: int = 1,
+    max_view_rows: int = 1,
+    max_support_size: int = 22,
+) -> LeakageResult:
+    """The Eq. (9) search itself (called by the session layer)."""
     if isinstance(views, (ConjunctiveQuery, UnionQuery)):
         views = [views]
     views = list(views)
@@ -178,6 +207,8 @@ def epsilon_of_theorem_6_1(
     max_secret_rows: int = 1,
     max_view_rows: int = 1,
     max_support_size: int = 22,
+    *,
+    critical_fn=None,
 ) -> Fraction:
     """The ε of Theorem 6.1: ``max_{s,v̄} P[L_{s,v̄} | S_s ∧ V_v̄]``.
 
@@ -186,6 +217,7 @@ def epsilon_of_theorem_6_1(
     the boolean specialisations.  The probabilities are computed over the
     dictionary's own domain.
     """
+    critical_fn = critical_fn or critical_tuples
     if isinstance(views, (ConjunctiveQuery, UnionQuery)):
         views = [views]
     views = list(views)
@@ -206,7 +238,7 @@ def epsilon_of_theorem_6_1(
         # per-row boolean queries; its critical tuples are the union.
         secret_specs = [secret.boolean_specialisation(row) for row in secret_combo]
         secret_crit: FrozenSet[Fact] = frozenset().union(
-            *(critical_tuples(spec, schema) for spec in secret_specs)
+            *(critical_fn(spec, schema) for spec in secret_specs)
         )
         secret_event = QueryContains(secret, secret_combo)
         for view_combo in itertools.product(*view_combo_lists):
@@ -216,7 +248,7 @@ def epsilon_of_theorem_6_1(
                 for row in rows
             ]
             view_crit: FrozenSet[Fact] = frozenset().union(
-                *(critical_tuples(spec, schema) for spec in view_specs)
+                *(critical_fn(spec, schema) for spec in view_specs)
             ) if view_specs else frozenset()
             common = secret_crit & view_crit
             view_event: Event = And(

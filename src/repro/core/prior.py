@@ -325,6 +325,8 @@ def decide_with_key_constraints(
     knowledge: KeyConstraintKnowledge,
     schema: Schema,
     domain: Optional[Domain] = None,
+    *,
+    critical_fn=None,
 ) -> KnowledgeDecision:
     """Corollary 5.3: security under key constraints.
 
@@ -332,6 +334,7 @@ def decide_with_key_constraints(
     ``crit_D(S, K)`` is key-equivalent (``≡_K``) to a tuple of
     ``crit_D(V̄, K)``.
     """
+    critical_fn = critical_fn or critical_tuples
     if isinstance(views, (ConjunctiveQuery, UnionQuery)):
         views = [views]
     views = list(views)
@@ -341,10 +344,10 @@ def decide_with_key_constraints(
     domain = working_schema.domain
     constraint = knowledge.instance_constraint()
 
-    secret_critical = critical_tuples(secret, working_schema, domain, constraint)
+    secret_critical = critical_fn(secret, working_schema, domain, constraint)
     view_critical: set[Fact] = set()
     for view in views:
-        view_critical |= critical_tuples(view, working_schema, domain, constraint)
+        view_critical |= critical_fn(view, working_schema, domain, constraint)
 
     violating = [
         (t, t2)
@@ -380,6 +383,8 @@ def decide_with_cardinality_constraint(
     knowledge: CardinalityConstraintKnowledge,
     schema: Schema,
     domain: Optional[Domain] = None,
+    *,
+    critical_fn=None,
 ) -> KnowledgeDecision:
     """Application 3: cardinality knowledge destroys all non-trivial security.
 
@@ -387,6 +392,7 @@ def decide_with_cardinality_constraint(
     fails unless the secret or the views are trivial (constant over all
     instances, i.e. have no critical tuples).
     """
+    critical_fn = critical_fn or critical_tuples
     if isinstance(views, (ConjunctiveQuery, UnionQuery)):
         views = [views]
     views = list(views)
@@ -394,8 +400,8 @@ def decide_with_cardinality_constraint(
         analysis_schema(schema, [secret, *views]) if domain is None else untyped_schema(schema, domain)
     )
     domain = working_schema.domain
-    secret_trivial = not critical_tuples(secret, working_schema, domain)
-    views_trivial = all(not critical_tuples(v, working_schema, domain) for v in views)
+    secret_trivial = not critical_fn(secret, working_schema, domain)
+    views_trivial = all(not critical_fn(v, working_schema, domain) for v in views)
     secure = secret_trivial or views_trivial
     explanation = (
         "the secret or the views are trivial (no critical tuples), so the cardinality "
@@ -420,6 +426,8 @@ def decide_with_tuple_status(
     knowledge: TupleStatusKnowledge,
     schema: Schema,
     domain: Optional[Domain] = None,
+    *,
+    critical_fn=None,
 ) -> KnowledgeDecision:
     """Corollary 5.4: disclosing the status of common critical tuples protects.
 
@@ -435,7 +443,9 @@ def decide_with_tuple_status(
         analysis_schema(schema, [secret, *views]) if domain is None else untyped_schema(schema, domain)
     )
     domain = working_schema.domain
-    common = common_critical_tuples(secret, views, working_schema, domain)
+    common = common_critical_tuples(
+        secret, views, working_schema, domain, critical_fn=critical_fn
+    )
     uncovered = frozenset(t for t in common if not knowledge.covers(t))
     if not common:
         return KnowledgeDecision(
@@ -512,11 +522,11 @@ def _implies(antecedent: Optional[ConjunctiveQuery], consequent: Optional[Conjun
 
 
 def _crit_or_empty(
-    query: Optional[ConjunctiveQuery], schema: Schema, domain: Domain
+    query: Optional[ConjunctiveQuery], schema: Schema, domain: Domain, critical_fn
 ) -> FrozenSet[Fact]:
     if query is None:
         return frozenset()
-    return critical_tuples(query, schema, domain)
+    return critical_fn(query, schema, domain)
 
 
 def decide_with_prior_view(
@@ -525,6 +535,8 @@ def decide_with_prior_view(
     prior: ConjunctiveQuery,
     schema: Schema,
     domain: Optional[Domain] = None,
+    *,
+    critical_fn=None,
 ) -> KnowledgeDecision:
     """Corollary 5.5: does publishing ``view`` leak anything beyond ``prior``?
 
@@ -536,6 +548,7 @@ def decide_with_prior_view(
     ``U2 ⇒ V2``.  Finding such splits certifies ``U : S | V`` for every
     distribution; exhausting them without success reports insecurity.
     """
+    critical_fn = critical_fn or critical_tuples
     for query, label in ((secret, "secret"), (view, "view"), (prior, "prior view")):
         if not query.is_boolean:
             raise KnowledgeError(
@@ -566,7 +579,7 @@ def decide_with_prior_view(
     def crit_of(query: Optional[ConjunctiveQuery]) -> FrozenSet[Fact]:
         key = None if query is None else tuple(sorted(repr(a) for a in query.body))
         if key not in crit_cache:
-            crit_cache[key] = _crit_or_empty(query, working_schema, domain)
+            crit_cache[key] = _crit_or_empty(query, working_schema, domain, critical_fn)
         return crit_cache[key]
 
     for prior1, prior2 in splits(prior, prior_components, "U"):
@@ -611,19 +624,37 @@ def decide_with_knowledge(
     knowledge: PriorKnowledge,
     schema: Schema,
     domain: Optional[Domain] = None,
+    *,
+    critical_fn=None,
 ) -> KnowledgeDecision:
     """Dispatch to the appropriate syntactic decision procedure.
 
     Falls back to an inconclusive decision (``secure=None``) for
     knowledge classes without a syntactic rule (use
-    :func:`verify_with_knowledge` in that case).
+    :func:`verify_with_knowledge` in that case).  Without an explicit
+    ``critical_fn`` the call delegates to the default
+    :class:`~repro.session.AnalysisSession` for critical-tuple caching.
     """
+    if critical_fn is None:
+        from ..session.default import default_session
+
+        return (
+            default_session(schema)
+            .with_knowledge(secret, views, knowledge, domain=domain)
+            .decision
+        )
     if isinstance(knowledge, KeyConstraintKnowledge):
-        return decide_with_key_constraints(secret, views, knowledge, schema, domain)
+        return decide_with_key_constraints(
+            secret, views, knowledge, schema, domain, critical_fn=critical_fn
+        )
     if isinstance(knowledge, CardinalityConstraintKnowledge):
-        return decide_with_cardinality_constraint(secret, views, knowledge, schema, domain)
+        return decide_with_cardinality_constraint(
+            secret, views, knowledge, schema, domain, critical_fn=critical_fn
+        )
     if isinstance(knowledge, TupleStatusKnowledge):
-        return decide_with_tuple_status(secret, views, knowledge, schema, domain)
+        return decide_with_tuple_status(
+            secret, views, knowledge, schema, domain, critical_fn=critical_fn
+        )
     if isinstance(knowledge, PriorViewKnowledge):
         view_list = (
             [views] if isinstance(views, (ConjunctiveQuery, UnionQuery)) else list(views)
@@ -635,7 +666,14 @@ def decide_with_knowledge(
             and secret.is_boolean
             and knowledge.answer == frozenset({()})
         ):
-            return decide_with_prior_view(secret, view_list[0], knowledge.view, schema, domain)
+            return decide_with_prior_view(
+                secret,
+                view_list[0],
+                knowledge.view,
+                schema,
+                domain,
+                critical_fn=critical_fn,
+            )
     return KnowledgeDecision(
         secure=None,
         method="unsupported-knowledge",

@@ -102,11 +102,30 @@ class SecurityDecision:
         )
 
 
+def _require_query(value, role: str):
+    """Uniform type validation for secrets and views.
+
+    The legacy normalisation accepted a :class:`UnionQuery` secret only
+    implicitly (through an ``isinstance`` tuple meant for views); this
+    makes the contract explicit and the failure mode a clear
+    :class:`SecurityAnalysisError` rather than an ``AttributeError``
+    deep inside the critical-tuple search.
+    """
+    if isinstance(value, (ConjunctiveQuery, UnionQuery)):
+        return value
+    raise SecurityAnalysisError(
+        f"the {role} must be a ConjunctiveQuery or a UnionQuery, "
+        f"got {type(value).__name__}: {value!r}"
+    )
+
+
 def decide_security(
     secret: ConjunctiveQuery,
     views: Sequence[ConjunctiveQuery] | ConjunctiveQuery,
     schema: Schema,
     domain: Optional[Domain] = None,
+    *,
+    critical_fn=None,
 ) -> SecurityDecision:
     """Dictionary-independent security decision via Theorem 4.5.
 
@@ -121,10 +140,23 @@ def decide_security(
     domain:
         Analysis domain.  When omitted, a domain satisfying
         Proposition 4.9 is synthesised from the queries' constants.
+    critical_fn:
+        Critical-tuple provider with the signature of
+        :func:`~repro.core.critical.critical_tuples`.  When omitted the
+        call delegates to the module-level default
+        :class:`~repro.session.AnalysisSession`, which memoizes every
+        ``crit_D(Q)`` in a shared LRU cache; sessions pass their own
+        cached provider here.
     """
+    if critical_fn is None:
+        from ..session.default import default_session
+
+        return default_session(schema).decide(secret, views, domain=domain).decision
+
+    _require_query(secret, "secret")
     if isinstance(views, (ConjunctiveQuery, UnionQuery)):
         views = [views]
-    views = list(views)
+    views = [_require_query(view, "view") for view in views]
     if not views:
         raise SecurityAnalysisError("at least one view is required")
 
@@ -140,9 +172,9 @@ def decide_security(
                 f"requires at least {minimum} for a domain-independent verdict"
             )
 
-    secret_critical = critical_tuples(secret, working_schema, domain)
+    secret_critical = critical_fn(secret, working_schema, domain)
     view_critical = tuple(
-        critical_tuples(view, working_schema, domain) for view in views
+        critical_fn(view, working_schema, domain) for view in views
     )
     all_view_critical: set[Fact] = set()
     for crit in view_critical:

@@ -44,6 +44,8 @@ __all__ = [
     "load_schema",
     "dictionary_from_dict",
     "load_audit_configuration",
+    "publishing_plan_from_dict",
+    "load_publishing_plan",
 ]
 
 
@@ -134,3 +136,43 @@ def load_audit_configuration(
         document = json.load(handle)
     schema = schema_from_dict(document)
     return schema, dictionary_from_dict(document, schema)
+
+
+def publishing_plan_from_dict(document: Mapping[str, Any]):
+    """Build a :class:`~repro.session.PublishingPlan` from a JSON document.
+
+    The document extends the schema format with two mappings of datalog
+    query strings::
+
+        {
+          "relations": [...],
+          "secrets": {"phones": "S(n, p) :- Emp(n, d, p)"},
+          "views":   {"bob": "V(n, d) :- Emp(n, d, p)",
+                      "carol": "W(d) :- Emp(n, d, p)"}
+        }
+
+    ``secrets`` and ``views`` may also be plain lists (names are then
+    auto-generated).  ``tuple_probability`` / ``expected_size`` keep
+    their schema-document meaning.
+    """
+    from .session.plan import PublishingPlan
+
+    secrets = document.get("secrets")
+    views = document.get("views")
+    if not secrets:
+        raise SchemaError("the publishing plan must declare at least one secret")
+    if not views:
+        raise SchemaError("the publishing plan must declare at least one view")
+    return PublishingPlan(secrets=secrets, views=views)
+
+
+def load_publishing_plan(path: Union[str, Path]):
+    """Load ``(schema, dictionary, plan)`` from one publishing-plan JSON file."""
+    with open(path, "r", encoding="utf8") as handle:
+        document = json.load(handle)
+    schema = schema_from_dict(document)
+    return (
+        schema,
+        dictionary_from_dict(document, schema),
+        publishing_plan_from_dict(document),
+    )

@@ -1,0 +1,75 @@
+"""Session-based analysis API: compile once, analyse many times.
+
+The package separates query *compilation* (normal form, analysis-domain
+fingerprint, memoized critical tuples) from *analysis* (cheap set
+operations over the cached artifacts):
+
+* :class:`AnalysisSession` — the front door; one per schema.
+* :class:`CompiledQuery` — a prepared query with lazily-cached
+  ``crit_D(Q)``.
+* :class:`CriticalTupleCache` / :class:`CacheStats` — the bounded LRU
+  sharing layer.
+* :class:`PublishingPlan` / ``AnalysisSession.audit_plan`` — batch
+  audits of secrets × views × coalitions.
+* :mod:`~repro.session.engines` — named per-dictionary verification
+  engines (``"exact"``, ``"sampling"``).
+* :mod:`~repro.session.results` — the unified :class:`AnalysisResult`
+  hierarchy every session method returns.
+"""
+
+from .cache import CacheStats, CriticalTupleCache, schema_fingerprint
+from .compile import CompiledQuery, as_query, canonical_query_key, query_fingerprint
+from .default import default_cache, default_session, reset_default_sessions
+from .engines import (
+    ExactVerificationEngine,
+    SamplingVerificationEngine,
+    VerificationEngine,
+    available_engines,
+    create_engine,
+    register_engine,
+)
+from .plan import PublishingPlan
+from .results import (
+    AnalysisResult,
+    CollusionResult,
+    DecisionResult,
+    KnowledgeResult,
+    LeakageAnalysis,
+    PlanAuditResult,
+    PlanEntry,
+    PracticalResult,
+    QuickCheckResult,
+    VerificationResult,
+)
+from .session import AnalysisSession
+
+__all__ = [
+    "AnalysisSession",
+    "CompiledQuery",
+    "CriticalTupleCache",
+    "CacheStats",
+    "PublishingPlan",
+    "canonical_query_key",
+    "query_fingerprint",
+    "schema_fingerprint",
+    "as_query",
+    "default_session",
+    "default_cache",
+    "reset_default_sessions",
+    "VerificationEngine",
+    "ExactVerificationEngine",
+    "SamplingVerificationEngine",
+    "register_engine",
+    "create_engine",
+    "available_engines",
+    "AnalysisResult",
+    "DecisionResult",
+    "CollusionResult",
+    "KnowledgeResult",
+    "LeakageAnalysis",
+    "PracticalResult",
+    "QuickCheckResult",
+    "VerificationResult",
+    "PlanEntry",
+    "PlanAuditResult",
+]

@@ -1,0 +1,188 @@
+"""A bounded LRU cache for critical-tuple sets.
+
+Critical tuples are the single hot artifact of every analysis in this
+library: ``crit_D(Q)`` is recomputed by each security decision, each
+collusion coalition, each knowledge corollary and each batch audit.  The
+cache memoizes them under a key that is insensitive to everything that
+cannot change the result — query display names and variable spellings
+are normalised away by :func:`repro.session.compile.canonical_query_key`
+— while being fully sensitive to everything that can: the canonical
+query form, the tuple-space (schema fingerprint) and the analysis
+domain.
+
+The cache is bounded (LRU eviction) and keeps hit/miss/eviction
+statistics so callers can verify the sharing they expect actually
+happens (see ``benchmarks/bench_session_cache.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Hashable, Optional, Tuple
+
+from ..exceptions import SecurityAnalysisError
+from ..relational.schema import Schema
+from ..relational.tuples import Fact
+
+__all__ = ["CacheStats", "CriticalTupleCache", "schema_fingerprint"]
+
+#: Default number of critical-tuple sets kept by a session cache.
+DEFAULT_CACHE_SIZE = 512
+
+
+def schema_fingerprint(schema: Schema) -> Tuple:
+    """A hashable fingerprint of everything that shapes a tuple space.
+
+    Two schemas with the same fingerprint have identical ``tup(D)`` and
+    therefore identical critical-tuple sets for any query, so the
+    fingerprint (together with the analysis domain and the canonical
+    query form) is a sound cache key component.
+    """
+    relations = tuple(
+        (
+            relation.name,
+            relation.attributes,
+            relation.key or (),
+            tuple(
+                sorted(
+                    (attribute, tuple(domain.values))
+                    for attribute, domain in relation.attribute_domains.items()
+                )
+            ),
+        )
+        for relation in sorted(schema, key=lambda r: r.name)
+    )
+    domain = getattr(schema, "domain", None)
+    return (relations, tuple(domain.values) if domain is not None else ())
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of a cache's counters.
+
+    Attributes
+    ----------
+    hits / misses:
+        Lookups answered from the cache vs. computed fresh.
+    evictions:
+        Entries dropped because the cache was full (LRU order).
+    size / maxsize:
+        Current and maximum number of cached critical-tuple sets.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def lookups(self) -> int:
+        """Total number of lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        """The counter increments accumulated since an ``earlier`` snapshot."""
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            evictions=self.evictions - earlier.evictions,
+            size=self.size,
+            maxsize=self.maxsize,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, size={self.size}/{self.maxsize})"
+        )
+
+
+class CriticalTupleCache:
+    """A thread-safe bounded LRU cache of ``crit_D(Q)`` sets.
+
+    Keys are arbitrary hashable tuples assembled by the session layer
+    (schema fingerprint, canonical query form, domain values); values are
+    the frozen critical-tuple sets.  ``get_or_compute`` is the only way
+    entries are created, which keeps the hit/miss accounting exact.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE):
+        if maxsize < 1:
+            raise SecurityAnalysisError("critical-tuple cache size must be at least 1")
+        self._maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, FrozenSet[Fact]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def maxsize(self) -> int:
+        """Maximum number of entries kept."""
+        return self._maxsize
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[FrozenSet[Fact]]:
+        """The cached set for ``key``, or ``None`` (does not count as a lookup)."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+            return value
+
+    def get_or_compute(
+        self, key: Hashable, compute: Callable[[], FrozenSet[Fact]]
+    ) -> FrozenSet[Fact]:
+        """The cached set for ``key``, computing and inserting it on a miss."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return value
+        # Compute outside the lock: critical-tuple searches can be slow and
+        # must not serialise unrelated lookups.  A concurrent duplicate
+        # computation is possible but harmless (same deterministic result).
+        value = frozenset(compute())
+        with self._lock:
+            self._misses += 1
+            if key not in self._entries and len(self._entries) >= self._maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            return value
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """A snapshot of the current counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                maxsize=self._maxsize,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CriticalTupleCache({self.stats()!r})"

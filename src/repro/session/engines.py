@@ -1,0 +1,153 @@
+"""The verification-engine registry.
+
+Qualitative security verdicts (Theorem 4.5) are dictionary-independent,
+but the library also ships *verifiers* that check Definition 4.1 against
+one concrete dictionary: the exact rational engine (enumerates the joint
+answer distribution) and the Monte-Carlo sampling verifier (estimates
+independence from random instances).  Sessions select one by name::
+
+    AnalysisSession(schema, dictionary=d, engine="exact")
+    AnalysisSession(schema, dictionary=d, engine="sampling")
+
+Third parties can plug in their own with :func:`register_engine`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..cq.evaluation import evaluate
+from ..cq.query import ConjunctiveQuery
+from ..exceptions import SecurityAnalysisError
+from ..probability.dictionary import Dictionary
+from ..probability.sampling import MonteCarloSampler
+
+__all__ = [
+    "VerificationEngine",
+    "ExactVerificationEngine",
+    "SamplingVerificationEngine",
+    "register_engine",
+    "create_engine",
+    "available_engines",
+]
+
+
+class VerificationEngine:
+    """Interface of a per-dictionary security verifier."""
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    def verify(
+        self,
+        secret,
+        views: Sequence,
+        dictionary: Dictionary,
+        **options,
+    ) -> bool:
+        """``True`` when the secret appears secure w.r.t. the views under
+        this dictionary, by this engine's criterion."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable one-liner used in reports."""
+        return f"{self.name} verification engine"
+
+
+class ExactVerificationEngine(VerificationEngine):
+    """Literal Definition 4.1 with exact rational arithmetic.
+
+    Exponential in the query support size; authoritative on small
+    domains.  ``max_support_size`` bounds the enumerated support.
+    """
+
+    name = "exact"
+
+    def verify(self, secret, views, dictionary, max_support_size: int = 22, **_):
+        from ..core.security import verify_security_probabilistically
+
+        return verify_security_probabilistically(
+            secret, list(views), dictionary, max_support_size=max_support_size
+        )
+
+
+class SamplingVerificationEngine(VerificationEngine):
+    """Monte-Carlo independence screening (Definition 4.1, estimated).
+
+    Draws random instances from the dictionary, records the answers of
+    the secret and the views, and checks that the empirical joint
+    distribution factorises within ``tolerance_sigmas`` standard errors.
+    A screening tool: ``True`` means "no dependence detected", not a
+    proof of security.
+    """
+
+    name = "sampling"
+
+    def verify(
+        self,
+        secret,
+        views,
+        dictionary,
+        samples: int = 4000,
+        seed: int = 0,
+        tolerance_sigmas: float = 4.0,
+        **_,
+    ) -> bool:
+        if samples <= 0:
+            raise SecurityAnalysisError("sampling verification needs a positive sample count")
+        sampler = MonteCarloSampler(dictionary, seed=seed)
+        views = list(views)
+        joint: Dict[Tuple, int] = {}
+        secret_marginal: Dict[frozenset, int] = {}
+        view_marginal: Dict[Tuple, int] = {}
+        for _ in range(samples):
+            instance = sampler.sample_instance()
+            secret_answer = frozenset(evaluate(secret, instance))
+            view_answers = tuple(frozenset(evaluate(view, instance)) for view in views)
+            joint[(secret_answer, view_answers)] = joint.get((secret_answer, view_answers), 0) + 1
+            secret_marginal[secret_answer] = secret_marginal.get(secret_answer, 0) + 1
+            view_marginal[view_answers] = view_marginal.get(view_answers, 0) + 1
+        for secret_answer, secret_count in secret_marginal.items():
+            for view_answers, view_count in view_marginal.items():
+                p_joint = joint.get((secret_answer, view_answers), 0) / samples
+                p_product = (secret_count / samples) * (view_count / samples)
+                difference = abs(p_joint - p_product)
+                stderr = max(p_joint * (1 - p_joint), 1e-12) ** 0.5 / samples**0.5
+                if difference > tolerance_sigmas * max(stderr, 1e-9):
+                    return False
+        return True
+
+
+_REGISTRY: Dict[str, Callable[[], VerificationEngine]] = {}
+
+
+def register_engine(name: str, factory: Callable[[], VerificationEngine]) -> None:
+    """Register (or replace) an engine factory under ``name``."""
+    if not name:
+        raise SecurityAnalysisError("engine name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def available_engines() -> List[str]:
+    """The registered engine names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def create_engine(name: str) -> VerificationEngine:
+    """Instantiate the engine registered under ``name``.
+
+    Raises :class:`SecurityAnalysisError` listing the available names
+    when ``name`` is unknown.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise SecurityAnalysisError(
+            f"unknown verification engine {name!r}; available engines: "
+            f"{', '.join(available_engines())}"
+        ) from None
+    return factory()
+
+
+register_engine(ExactVerificationEngine.name, ExactVerificationEngine)
+register_engine(SamplingVerificationEngine.name, SamplingVerificationEngine)

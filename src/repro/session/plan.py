@@ -1,0 +1,78 @@
+"""Publishing plans: the batch unit of a data-owner audit.
+
+A real audit is rarely one (secret, view) pair: the owner holds several
+secrets, proposes several views for several recipients, and wants every
+secret checked against every coalition of recipients.
+:class:`PublishingPlan` names the two sides; the session's
+``audit_plan`` runs the batch while sharing every critical-tuple
+computation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple, Union
+
+from ..cq.query import ConjunctiveQuery
+from ..cq.union import UnionQuery
+from ..exceptions import SecurityAnalysisError
+
+__all__ = ["PublishingPlan"]
+
+_PlanQueries = Union[
+    Mapping[str, Union[str, ConjunctiveQuery, UnionQuery]],
+    Sequence[Union[str, ConjunctiveQuery, UnionQuery]],
+]
+
+
+def _named(queries: _PlanQueries, prefix: str) -> Dict[str, object]:
+    if isinstance(queries, Mapping):
+        return dict(queries)
+    return {f"{prefix}{index + 1}": query for index, query in enumerate(queries)}
+
+
+class PublishingPlan:
+    """A batch of secrets and named views to audit together.
+
+    Parameters
+    ----------
+    secrets:
+        ``name → query`` (or a sequence; names are auto-generated as
+        ``secret1, ...``).  Each query may be an object or a datalog
+        string.
+    views:
+        ``recipient → view`` (or a sequence, auto-named ``user1, ...``).
+    """
+
+    def __init__(self, secrets: _PlanQueries, views: _PlanQueries):
+        self._secrets = _named(secrets, "secret")
+        self._views = _named(views, "user")
+        if not self._secrets:
+            raise SecurityAnalysisError("a publishing plan needs at least one secret")
+        if not self._views:
+            raise SecurityAnalysisError("a publishing plan needs at least one view")
+
+    @property
+    def secrets(self) -> Dict[str, object]:
+        """``name → query`` for every secret."""
+        return dict(self._secrets)
+
+    @property
+    def views(self) -> Dict[str, object]:
+        """``recipient → view`` for every proposed view."""
+        return dict(self._views)
+
+    @property
+    def secret_names(self) -> Tuple[str, ...]:
+        """Secret names in declaration order."""
+        return tuple(self._secrets)
+
+    @property
+    def recipients(self) -> Tuple[str, ...]:
+        """Recipient names in declaration order."""
+        return tuple(self._views)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PublishingPlan(secrets={list(self._secrets)}, "
+            f"views={list(self._views)})"
+        )

@@ -201,3 +201,113 @@ class TestCLI:
     def test_missing_view_argument_is_an_argparse_error(self, schema_file):
         with pytest.raises(SystemExit):
             main(["decide", "--schema", schema_file, "--secret", "S(n) :- Emp(n, HR, p)"])
+
+
+class TestParseViews:
+    """Regression tests for ``_parse_views`` recipient detection."""
+
+    def test_named_and_unnamed_views(self):
+        from repro.cli import _parse_views
+
+        views = _parse_views(
+            ["bob=V(n) :- Emp(n, Mgmt, p)", "W(d) :- Emp(n, d, p)"]
+        )
+        assert views == {
+            "bob": "V(n) :- Emp(n, Mgmt, p)",
+            "user2": "W(d) :- Emp(n, d, p)",
+        }
+
+    def test_equals_in_head_constant_is_not_a_recipient(self):
+        # A '=' inside a quoted head constant used to tear the query apart
+        # at the wrong place; only a bare name left of ':-' is a recipient.
+        from repro.cli import _parse_views
+
+        views = _parse_views(["V('a=b', x) :- R(x, y)"])
+        assert views == {"user1": "V('a=b', x) :- R(x, y)"}
+
+    def test_recipient_with_comparison_in_body(self):
+        from repro.cli import _parse_views
+
+        views = _parse_views(["carol=W(d, p) :- Emp(n, d, p), d = 'HR'"])
+        assert views == {"carol": "W(d, p) :- Emp(n, d, p), d = 'HR'"}
+
+    def test_unnamed_view_with_comparison_in_body(self):
+        from repro.cli import _parse_views
+
+        views = _parse_views(["W(d, p) :- Emp(n, d, p), d = 'HR'"])
+        assert views == {"user1": "W(d, p) :- Emp(n, d, p), d = 'HR'"}
+
+    def test_named_view_with_equals_constant_in_head(self):
+        from repro.cli import _parse_views
+
+        views = _parse_views(["bob=V('x=y') :- R(a, b)"])
+        assert views == {"bob": "V('x=y') :- R(a, b)"}
+
+
+PLAN_DOCUMENT = {
+    **EMPLOYEE_DOCUMENT,
+    "secrets": {"hr_names": "S(n) :- Emp(n, HR, p)"},
+    "views": {
+        "bob": "V(n) :- Emp(n, Mgmt, p)",
+        "carol": "W(d) :- Emp(n, d, p)",
+    },
+}
+
+
+@pytest.fixture
+def plan_file(tmp_path):
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps(PLAN_DOCUMENT))
+    return str(path)
+
+
+class TestPublishingPlanIO:
+    def test_load_publishing_plan(self, plan_file):
+        from repro.io import load_publishing_plan
+
+        schema, dictionary, plan = load_publishing_plan(plan_file)
+        assert "Emp" in schema
+        assert dictionary is not None
+        assert plan.secret_names == ("hr_names",)
+        assert plan.recipients == ("bob", "carol")
+
+    def test_plan_document_requires_secrets_and_views(self):
+        from repro.io import publishing_plan_from_dict
+
+        with pytest.raises(SchemaError):
+            publishing_plan_from_dict({**EMPLOYEE_DOCUMENT, "views": {"b": "V(x) :- Emp(x, d, p)"}})
+        with pytest.raises(SchemaError):
+            publishing_plan_from_dict({**EMPLOYEE_DOCUMENT, "secrets": {"s": "S(x) :- Emp(x, d, p)"}})
+
+
+class TestPlanCommand:
+    def test_plan_with_disclosure_exits_one(self, plan_file, capsys):
+        code = main(["plan", "--plan", plan_file])
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "NOT secure" in output
+        assert "carol" in output
+
+    def test_safe_plan_exits_zero(self, tmp_path, capsys):
+        document = {
+            **EMPLOYEE_DOCUMENT,
+            "secrets": {"hr_names": "S(n) :- Emp(n, HR, p)"},
+            "views": {"bob": "V(n) :- Emp(n, Mgmt, p)"},
+        }
+        path = tmp_path / "safe_plan.json"
+        path.write_text(json.dumps(document))
+        code = main(["plan", "--plan", str(path), "--show-cache-stats"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "secure against every coalition" in output
+        assert "cache:" in output
+
+    def test_plan_with_unknown_engine_exits_two(self, plan_file, capsys):
+        code = main(["plan", "--plan", plan_file, "--engine", "quantum"])
+        assert code == 2
+        assert "available engines" in capsys.readouterr().err
+
+    def test_missing_plan_file_exits_two(self, capsys):
+        code = main(["plan", "--plan", "/nonexistent/plan.json"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
