@@ -51,6 +51,7 @@ from .audit import (
 from .core import (
     CardinalityConstraintKnowledge,
     CollusionReport,
+    CriticalityEngine,
     EncryptedView,
     KeyConstraintKnowledge,
     KnowledgeDecision,
@@ -64,8 +65,10 @@ from .core import (
     analyse_collusion,
     analysis_domain,
     asymptotic_order,
+    available_criticality_engines,
     classify_practical_security,
     common_critical_tuples,
+    create_criticality_engine,
     critical_tuples,
     decide_security,
     decide_with_knowledge,
@@ -74,6 +77,7 @@ from .core import (
     is_secure,
     positive_leakage,
     practical_security_check,
+    register_criticality_engine,
     verify_security_probabilistically,
     verify_with_knowledge,
 )
@@ -142,6 +146,10 @@ __all__ = [
     "critical_tuples",
     "is_critical",
     "common_critical_tuples",
+    "CriticalityEngine",
+    "register_criticality_engine",
+    "available_criticality_engines",
+    "create_criticality_engine",
     "SecurityDecision",
     "decide_security",
     "is_secure",

@@ -72,6 +72,10 @@ class SecurityAuditor:
         (shares its critical-tuple cache); one is created otherwise.
     engine:
         Verification-engine name forwarded to the session.
+    criticality_engine:
+        Criticality-engine name forwarded to the session (see
+        :mod:`repro.core.criticality`); ignored when a pre-built
+        ``session`` is supplied.
     """
 
     def __init__(
@@ -81,10 +85,15 @@ class SecurityAuditor:
         domain: Optional[Domain] = None,
         session: Optional[AnalysisSession] = None,
         engine: str = "exact",
+        criticality_engine: Optional[str] = None,
     ):
         if session is None:
             session = AnalysisSession(
-                schema, dictionary=dictionary, engine=engine, domain=domain
+                schema,
+                dictionary=dictionary,
+                engine=engine,
+                domain=domain,
+                criticality_engine=criticality_engine,
             )
         elif schema_fingerprint(session.schema) != schema_fingerprint(schema):
             raise SecurityAnalysisError(

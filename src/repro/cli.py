@@ -82,6 +82,14 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="uniform tuple probability for quantitative measures (e.g. 1/4)",
         )
+        subparser.add_argument(
+            "--criticality-engine",
+            default=None,
+            help=(
+                "critical-tuple computation engine: pruned-parallel (default), "
+                "minimal, or naive"
+            ),
+        )
 
     decide = subparsers.add_parser("decide", help="dictionary-independent decision (Theorem 4.5)")
     add_common(decide, multi_view_names=False)
@@ -113,6 +121,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="verification engine for the session (default: exact)",
     )
     plan.add_argument(
+        "--criticality-engine",
+        default=None,
+        help=(
+            "critical-tuple computation engine: pruned-parallel (default), "
+            "minimal, or naive"
+        ),
+    )
+    plan.add_argument(
         "--show-cache-stats",
         action="store_true",
         help="print critical-tuple cache statistics after the audit",
@@ -135,7 +151,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "plan":
             schema, dictionary, plan = load_publishing_plan(args.plan)
-            session = AnalysisSession(schema, dictionary=dictionary, engine=args.engine)
+            session = AnalysisSession(
+                schema,
+                dictionary=dictionary,
+                engine=args.engine,
+                criticality_engine=args.criticality_engine,
+            )
             result = session.audit_plan(plan)
             print(result.render())
             if args.show_cache_stats:
@@ -144,7 +165,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         schema, configured_dictionary = load_audit_configuration(args.schema)
         dictionary = _dictionary_for(args, schema) or configured_dictionary
-        auditor = SecurityAuditor(schema, dictionary=dictionary)
+        auditor = SecurityAuditor(
+            schema,
+            dictionary=dictionary,
+            criticality_engine=args.criticality_engine,
+        )
         named_views = _parse_views(args.view)
         view_queries = list(named_views.values())
 

@@ -2,7 +2,8 @@
 
 Modules
 -------
-``critical``      critical tuples (Definition 4.4) and ``crit_D(Q, K)``
+``criticality``   pluggable ``crit_D`` engines (minimal / naive / pruned-parallel)
+``critical``      compatibility shim re-exporting the minimal engine
 ``security``      Theorem 4.5 decisions and Definition 4.1 verification
 ``practical``     the subgoal-unification quick check (Section 4.2)
 ``domain_bounds`` Proposition 4.9 analysis domains
@@ -36,6 +37,16 @@ from .critical import (
     critical_tuples_naive,
     is_critical,
     is_critical_naive,
+)
+from .criticality import (
+    DEFAULT_CRITICALITY_ENGINE,
+    CriticalityEngine,
+    MinimalEngine,
+    NaiveEngine,
+    PrunedParallelEngine,
+    available_criticality_engines,
+    create_criticality_engine,
+    register_criticality_engine,
 )
 from .domain_bounds import (
     analysis_domain,
@@ -91,6 +102,14 @@ __all__ = [
     "is_critical_naive",
     "candidate_critical_facts",
     "common_critical_tuples",
+    "CriticalityEngine",
+    "MinimalEngine",
+    "NaiveEngine",
+    "PrunedParallelEngine",
+    "DEFAULT_CRITICALITY_ENGINE",
+    "register_criticality_engine",
+    "available_criticality_engines",
+    "create_criticality_engine",
     "SecurityDecision",
     "decide_security",
     "is_secure",

@@ -125,6 +125,7 @@ def analyse_collusion(
     domain: Optional[Domain] = None,
     *,
     critical_fn=None,
+    criticality_engine=None,
 ) -> CollusionReport:
     """Analyse which recipients/coalitions violate the secret's security.
 
@@ -134,12 +135,17 @@ def analyse_collusion(
     Without an explicit ``critical_fn`` the call delegates to the
     default :class:`~repro.session.AnalysisSession`, whose cache makes
     the per-view loop compute the secret's critical tuples once instead
-    of once per view.
+    of once per view; ``criticality_engine`` selects which engine that
+    session computes with (see :mod:`repro.core.criticality`).
     """
     if critical_fn is None:
         from ..session.default import default_session
 
-        return default_session(schema).collusion(secret, views, domain=domain).report
+        return (
+            default_session(schema, criticality_engine)
+            .collusion(secret, views, domain=domain)
+            .report
+        )
 
     if isinstance(views, Mapping):
         recipients = tuple(views.keys())
@@ -174,6 +180,7 @@ def largest_safe_view_set(
     domain: Optional[Domain] = None,
     *,
     critical_fn=None,
+    criticality_engine=None,
 ) -> Tuple[ConjunctiveQuery, ...]:
     """The largest subset of candidate views that can be published safely.
 
@@ -190,6 +197,11 @@ def largest_safe_view_set(
         view
         for view in candidate_views
         if decide_security(
-            secret, view, schema, domain=domain, critical_fn=critical_fn
+            secret,
+            view,
+            schema,
+            domain=domain,
+            critical_fn=critical_fn,
+            criticality_engine=criticality_engine,
         ).secure
     )

@@ -1,43 +1,37 @@
-"""Critical tuples (Definition 4.4) and their computation.
+"""Critical tuples (Definition 4.4) — compatibility shim.
 
-A tuple ``t ∈ tup(D)`` is *critical* for a query ``Q`` if there is an
-instance ``I`` with ``Q(I − {t}) ≠ Q(I)``.  Critical tuples are the
-bridge between the probabilistic definition of query-view security and
-a purely logical criterion: Theorem 4.5 states that ``S`` is secure with
-respect to ``V̄`` for every distribution iff
-``crit_D(S) ∩ crit_D(V̄) = ∅``.
-
-Two procedures are provided:
-
-* :func:`is_critical` / :func:`critical_tuples` — the *minimal-instance*
-  search justified by Appendix A: for monotone queries it suffices to
-  consider instances that are homomorphic images of the query body, so a
-  tuple is critical iff some valuation maps a subgoal onto it and the
-  produced answer disappears when the tuple is removed.  Cost is
-  ``O(|body| · |D|^{#vars})`` per candidate tuple.
-* :func:`is_critical_naive` — literal enumeration of all instances
-  (``2^|tup(D)|``); exists for cross-validation and for the ablation
-  benchmark, and supports arbitrary (subset-closed) instance constraints.
-
-Both accept an optional *instance constraint* (a predicate closed under
-subsets, e.g. key constraints) which yields the relativised notion
-``crit_D(Q, K)`` used by Corollary 5.3.
+The implementation moved to the :mod:`repro.core.criticality`
+subpackage, which hosts the pluggable engine registry (``minimal``,
+``naive``, ``pruned-parallel``).  This module re-exports the *minimal*
+engine's per-query functions (``is_critical``, ``critical_tuples`` and
+the naive variants) under their historical names so that existing
+imports — ``from repro.core.critical import critical_tuples`` — keep
+their exact semantics: the single-threaded minimal-instance search with
+no symmetry reduction.  ``common_critical_tuples`` is the one
+exception: it routes through the engine layer and therefore uses the
+package default (``pruned-parallel``, cross-validated to return
+identical sets) unless a ``critical_fn`` or ``criticality_engine`` is
+passed.  New code should go through
+:func:`repro.core.criticality.create_criticality_engine` (or the
+session layer) instead.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set
-
-from ..cq.atoms import Atom
-from ..cq.evaluation import answer_tuple, evaluate, satisfying_assignments
-from ..cq.query import ConjunctiveQuery
-from ..cq.terms import Variable, is_constant, is_variable
-from ..exceptions import IntractableAnalysisError, SecurityAnalysisError
-from ..relational.domain import Domain
-from ..relational.instance import Instance, enumerate_instances
-from ..relational.schema import Schema
-from ..relational.tuples import Fact, tuple_space
+from .criticality.base import (  # noqa: F401  (re-exported compatibility names)
+    DEFAULT_MAX_VALUATIONS,
+    InstanceConstraint,
+)
+from .criticality.common import common_critical_tuples  # noqa: F401
+from .criticality.minimal import (  # noqa: F401
+    candidate_critical_facts,
+    critical_tuples,
+    is_critical,
+)
+from .criticality.naive import (  # noqa: F401
+    critical_tuples_naive,
+    is_critical_naive,
+)
 
 __all__ = [
     "candidate_critical_facts",
@@ -46,255 +40,6 @@ __all__ = [
     "critical_tuples",
     "critical_tuples_naive",
     "common_critical_tuples",
+    "InstanceConstraint",
+    "DEFAULT_MAX_VALUATIONS",
 ]
-
-#: Predicate on instances used to relativise criticality (must be closed
-#: under subsets for the minimal-instance search to remain complete).
-InstanceConstraint = Callable[[Instance], bool]
-
-#: Guard on the number of valuations explored per subgoal.
-DEFAULT_MAX_VALUATIONS = 2_000_000
-
-
-def _tuple_space_set(schema: Schema, domain: Optional[Domain]) -> FrozenSet[Fact]:
-    return frozenset(tuple_space(schema, domain))
-
-
-def _subgoal_groundings(
-    atom: Atom, domain: Domain, allowed: FrozenSet[Fact]
-) -> Iterator[Fact]:
-    """All facts of ``tup(D)`` that are homomorphic images of one subgoal."""
-    positions_by_variable: Dict[Variable, List[int]] = {}
-    fixed: Dict[int, object] = {}
-    for index, term in enumerate(atom.terms):
-        if is_constant(term):
-            fixed[index] = term.value
-        else:
-            positions_by_variable.setdefault(term, []).append(index)
-    variables = sorted(positions_by_variable)
-    for combo in itertools.product(domain.values, repeat=len(variables)):
-        values: List[object] = [None] * atom.arity
-        for index, value in fixed.items():
-            values[index] = value
-        for variable, value in zip(variables, combo):
-            for index in positions_by_variable[variable]:
-                values[index] = value
-        fact = Fact(atom.relation, values)
-        if fact in allowed:
-            yield fact
-
-
-def candidate_critical_facts(
-    query: ConjunctiveQuery,
-    schema: Schema,
-    domain: Optional[Domain] = None,
-) -> FrozenSet[Fact]:
-    """Facts that are homomorphic images of some subgoal of the query.
-
-    Every critical tuple must be such an image (a minimal witnessing
-    instance is an image of the body), so this set is a superset of
-    ``crit_D(Q)`` and is the candidate pool scanned by
-    :func:`critical_tuples`.  The converse fails in general — the paper's
-    example ``Q():-R(x,y,z,z,u),R(x,x,x,y,y)`` has the non-critical image
-    ``R(a,a,b,b,c)`` — which is exactly why the full check below exists.
-    """
-    domain = domain or schema.domain
-    allowed = _tuple_space_set(schema, domain)
-    candidates: Set[Fact] = set()
-    for atom in query.body:
-        candidates.update(_subgoal_groundings(atom, domain, allowed))
-    return frozenset(candidates)
-
-
-def _valuations_mapping_subgoal_to_fact(
-    query: ConjunctiveQuery,
-    atom_index: int,
-    fact: Fact,
-    domain: Domain,
-    max_valuations: int,
-) -> Iterator[Dict[Variable, object]]:
-    """All total valuations of the query's variables that map one subgoal onto ``fact``."""
-    atom = query.body[atom_index]
-    if atom.relation != fact.relation or atom.arity != fact.arity:
-        return
-    seed: Dict[Variable, object] = {}
-    for term, value in zip(atom.terms, fact.values):
-        if is_constant(term):
-            if term.value != value:
-                return
-        else:
-            bound = seed.get(term, _UNBOUND)
-            if bound is _UNBOUND:
-                seed[term] = value
-            elif bound != value:
-                return
-    remaining = sorted(v for v in query.variables if v not in seed)
-    total = len(domain) ** len(remaining) if remaining else 1
-    if total > max_valuations:
-        raise IntractableAnalysisError(
-            f"critical-tuple search would enumerate {total} valuations for one subgoal; "
-            f"exceeds the configured bound ({max_valuations}); shrink the domain",
-            size_estimate=total,
-        )
-    for combo in itertools.product(domain.values, repeat=len(remaining)):
-        valuation = dict(seed)
-        valuation.update(zip(remaining, combo))
-        yield valuation
-
-
-class _Unbound:
-    __repr__ = lambda self: "<unbound>"  # noqa: E731  # pragma: no cover
-
-
-_UNBOUND = _Unbound()
-
-
-def _comparisons_hold(query: ConjunctiveQuery, valuation: Dict[Variable, object]) -> bool:
-    return all(comparison.evaluate(valuation) for comparison in query.comparisons)
-
-
-def is_critical(
-    fact: Fact,
-    query: ConjunctiveQuery,
-    schema: Schema,
-    domain: Optional[Domain] = None,
-    constraint: Optional[InstanceConstraint] = None,
-    max_valuations: int = DEFAULT_MAX_VALUATIONS,
-) -> bool:
-    """Decide ``fact ∈ crit_D(Q)`` via the minimal-instance search.
-
-    ``constraint``, when given, must be closed under subsets (keys,
-    denial constraints); criticality is then relative to instances
-    satisfying it (the ``crit_D(Q, K)`` of Corollary 5.3).
-
-    Unions of conjunctive queries are supported: the minimal witnessing
-    instance is then an image of one disjunct's body, but the answer
-    must disappear from the *whole union* when the fact is removed.
-    """
-    domain = domain or schema.domain
-    allowed = _tuple_space_set(schema, domain)
-    if fact not in allowed:
-        return False
-    disjuncts = getattr(query, "disjuncts", None) or (query,)
-    for disjunct in disjuncts:
-        for atom_index in range(len(disjunct.body)):
-            for valuation in _valuations_mapping_subgoal_to_fact(
-                disjunct, atom_index, fact, domain, max_valuations
-            ):
-                if not _comparisons_hold(disjunct, valuation):
-                    continue
-                body_facts = [atom.ground(valuation) for atom in disjunct.body]
-                if any(f not in allowed for f in body_facts):
-                    continue
-                witness = Instance(body_facts)
-                if fact not in witness:
-                    continue
-                if constraint is not None and not constraint(witness):
-                    continue
-                produced = answer_tuple(disjunct, valuation)
-                without = witness.remove(fact)
-                if constraint is not None and not constraint(without):
-                    # A subset-closed constraint can never rule the smaller
-                    # instance out, but guard anyway for caller-supplied
-                    # predicates that are not actually subset-closed.
-                    continue
-                if produced not in evaluate(query, without):
-                    return True
-    return False
-
-
-def is_critical_naive(
-    fact: Fact,
-    query: ConjunctiveQuery,
-    schema: Schema,
-    domain: Optional[Domain] = None,
-    constraint: Optional[InstanceConstraint] = None,
-    max_tuples: int = 16,
-) -> bool:
-    """Literal Definition 4.4: enumerate every instance of ``inst(D)``.
-
-    Exponential in ``|tup(D)|``; used for cross-validation in tests and
-    for the ablation benchmark.
-    """
-    domain = domain or schema.domain
-    facts = tuple_space(schema, domain)
-    if fact not in facts:
-        return False
-    for instance in enumerate_instances(schema, domain, max_tuples=max_tuples):
-        if constraint is not None and not constraint(instance):
-            continue
-        with_fact = instance.add(fact)
-        if constraint is not None and not constraint(with_fact):
-            continue
-        if evaluate(query, with_fact) != evaluate(query, with_fact.remove(fact)):
-            return True
-    return False
-
-
-def critical_tuples(
-    query: ConjunctiveQuery,
-    schema: Schema,
-    domain: Optional[Domain] = None,
-    constraint: Optional[InstanceConstraint] = None,
-    max_valuations: int = DEFAULT_MAX_VALUATIONS,
-) -> FrozenSet[Fact]:
-    """``crit_D(Q)`` (or ``crit_D(Q, K)`` when a constraint is given)."""
-    domain = domain or schema.domain
-    result = {
-        fact
-        for fact in candidate_critical_facts(query, schema, domain)
-        if is_critical(fact, query, schema, domain, constraint, max_valuations)
-    }
-    return frozenset(result)
-
-
-def critical_tuples_naive(
-    query: ConjunctiveQuery,
-    schema: Schema,
-    domain: Optional[Domain] = None,
-    constraint: Optional[InstanceConstraint] = None,
-    max_tuples: int = 16,
-) -> FrozenSet[Fact]:
-    """``crit_D(Q)`` computed with the naive instance enumeration."""
-    domain = domain or schema.domain
-    result = {
-        fact
-        for fact in tuple_space(schema, domain)
-        if is_critical_naive(fact, query, schema, domain, constraint, max_tuples)
-    }
-    return frozenset(result)
-
-
-def common_critical_tuples(
-    secret: ConjunctiveQuery,
-    views: Sequence[ConjunctiveQuery],
-    schema: Schema,
-    domain: Optional[Domain] = None,
-    constraint: Optional[InstanceConstraint] = None,
-    *,
-    critical_fn=None,
-) -> FrozenSet[Fact]:
-    """``crit_D(S) ∩ crit_D(V̄)`` where ``crit_D(V̄) = ∪_i crit_D(V_i)``.
-
-    This is the set whose emptiness characterises query-view security
-    (Theorem 4.5); it is also the set of tuples whose status must be
-    disclosed to *restore* security via Corollary 5.4.
-
-    ``critical_fn`` (same signature as :func:`critical_tuples`) lets a
-    session supply its cached provider for the full-set computations;
-    the per-fact candidate filtering below stays direct either way.
-    """
-    if not views:
-        raise SecurityAnalysisError("at least one view is required")
-    critical_fn = critical_fn or critical_tuples
-    secret_critical = critical_fn(secret, schema, domain, constraint)
-    if not secret_critical:
-        return frozenset()
-    common: Set[Fact] = set()
-    for view in views:
-        view_candidates = candidate_critical_facts(view, schema, domain)
-        overlap = secret_critical & view_candidates
-        for fact in overlap:
-            if is_critical(fact, view, schema, domain, constraint):
-                common.add(fact)
-    return frozenset(common)

@@ -1,0 +1,145 @@
+"""The criticality-engine interface and registry.
+
+Every verdict this library produces — Theorem 4.5 security, collusion,
+prior knowledge, leakage bounds, practical security — funnels through
+the computation of critical-tuple sets ``crit_D(Q)`` (Definition 4.4).
+That computation is therefore a *pluggable engine*, mirroring the
+verification-engine registry of :mod:`repro.session.engines`:
+
+* ``minimal`` — the Appendix A minimal-instance search, scanning every
+  candidate fact with a full valuation enumeration (the historical
+  behaviour of :func:`repro.core.critical.critical_tuples`);
+* ``naive`` — the literal Definition 4.4 instance enumeration, kept for
+  cross-validation and ablation benchmarks;
+* ``pruned-parallel`` — the default: the minimal-instance search with
+  early comparison/constant propagation, symmetry reduction over
+  interchangeable domain values, and an optional process-pool fan-out
+  over candidate facts (see :mod:`repro.core.criticality.pruned`).
+
+Engines are selected by name — ``AnalysisSession(criticality_engine=
+"minimal")``, ``decide_security(..., criticality_engine="naive")``, or
+``repro-audit --criticality-engine pruned-parallel`` — and third
+parties can plug in their own with :func:`register_criticality_engine`.
+All registered engines must return *identical* critical-tuple sets;
+only their cost profile may differ.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional, Union
+
+from ...exceptions import SecurityAnalysisError
+from ...relational.domain import Domain
+from ...relational.instance import Instance
+from ...relational.schema import Schema
+from ...relational.tuples import Fact
+
+__all__ = [
+    "InstanceConstraint",
+    "DEFAULT_MAX_VALUATIONS",
+    "DEFAULT_CRITICALITY_ENGINE",
+    "CriticalityEngine",
+    "register_criticality_engine",
+    "available_criticality_engines",
+    "create_criticality_engine",
+]
+
+#: Predicate on instances used to relativise criticality (must be closed
+#: under subsets for the minimal-instance search to remain complete).
+InstanceConstraint = Callable[[Instance], bool]
+
+#: Guard on the number of valuations explored per subgoal.
+DEFAULT_MAX_VALUATIONS = 2_000_000
+
+#: Engine used when no explicit selection is made anywhere in the stack.
+DEFAULT_CRITICALITY_ENGINE = "pruned-parallel"
+
+
+class CriticalityEngine:
+    """Interface of a ``crit_D(Q)`` computation strategy.
+
+    Subclasses implement :meth:`is_critical` and :meth:`critical_tuples`
+    with the exact semantics of Definition 4.4 (relativised to an
+    instance constraint when one is given).  Engines are interchangeable
+    — the test suite cross-validates them against each other — and a
+    bound :meth:`critical_tuples` is a valid ``critical_fn`` provider
+    for every core decision procedure.
+    """
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    def is_critical(
+        self,
+        fact: Fact,
+        query,
+        schema: Schema,
+        domain: Optional[Domain] = None,
+        constraint: Optional[InstanceConstraint] = None,
+        max_valuations: int = DEFAULT_MAX_VALUATIONS,
+        *,
+        allowed: Optional[FrozenSet[Fact]] = None,
+    ) -> bool:
+        """Decide ``fact ∈ crit_D(Q)`` (or ``crit_D(Q, K)``).
+
+        ``allowed`` optionally passes a pre-materialised ``tup(D)`` so
+        batch callers don't re-enumerate the tuple space per fact.
+        """
+        raise NotImplementedError
+
+    def critical_tuples(
+        self,
+        query,
+        schema: Schema,
+        domain: Optional[Domain] = None,
+        constraint: Optional[InstanceConstraint] = None,
+        max_valuations: int = DEFAULT_MAX_VALUATIONS,
+    ) -> FrozenSet[Fact]:
+        """``crit_D(Q)`` (or ``crit_D(Q, K)`` when a constraint is given)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable one-liner used in reports."""
+        return f"{self.name} criticality engine"
+
+
+_REGISTRY: Dict[str, Callable[[], CriticalityEngine]] = {}
+
+
+def register_criticality_engine(
+    name: str, factory: Callable[[], CriticalityEngine]
+) -> None:
+    """Register (or replace) a criticality-engine factory under ``name``."""
+    if not name:
+        raise SecurityAnalysisError("criticality engine name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def available_criticality_engines() -> List[str]:
+    """The registered criticality-engine names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def create_criticality_engine(
+    engine: Union[str, CriticalityEngine, None] = None,
+) -> CriticalityEngine:
+    """Instantiate a criticality engine.
+
+    ``None`` selects :data:`DEFAULT_CRITICALITY_ENGINE`; an existing
+    :class:`CriticalityEngine` instance passes through unchanged; a
+    string is looked up in the registry, raising a
+    :class:`SecurityAnalysisError` listing the available names when
+    unknown.
+    """
+    if engine is None:
+        engine = DEFAULT_CRITICALITY_ENGINE
+    if isinstance(engine, CriticalityEngine):
+        return engine
+    try:
+        factory = _REGISTRY[engine]
+    except (KeyError, TypeError):
+        raise SecurityAnalysisError(
+            f"unknown criticality engine {engine!r}; available engines: "
+            f"{', '.join(available_criticality_engines())}"
+        ) from None
+    return factory()

@@ -1,0 +1,80 @@
+"""The shared-critical-tuple computation behind Theorem 4.5 verdicts."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Sequence, Set
+
+from ...cq.query import ConjunctiveQuery
+from ...exceptions import SecurityAnalysisError
+from ...relational.domain import Domain
+from ...relational.schema import Schema
+from ...relational.tuples import Fact
+from .base import (
+    DEFAULT_MAX_VALUATIONS,
+    InstanceConstraint,
+    create_criticality_engine,
+)
+from .minimal import _tuple_space_set, candidate_critical_facts
+
+__all__ = ["common_critical_tuples"]
+
+
+def common_critical_tuples(
+    secret: ConjunctiveQuery,
+    views: Sequence[ConjunctiveQuery],
+    schema: Schema,
+    domain: Optional[Domain] = None,
+    constraint: Optional[InstanceConstraint] = None,
+    *,
+    critical_fn=None,
+    criticality_engine=None,
+    max_valuations: int = DEFAULT_MAX_VALUATIONS,
+) -> FrozenSet[Fact]:
+    """``crit_D(S) ∩ crit_D(V̄)`` where ``crit_D(V̄) = ∪_i crit_D(V_i)``.
+
+    This is the set whose emptiness characterises query-view security
+    (Theorem 4.5); it is also the set of tuples whose status must be
+    disclosed to *restore* security via Corollary 5.4.
+
+    ``critical_fn`` (same signature as the engines'
+    :meth:`~repro.core.criticality.CriticalityEngine.critical_tuples`)
+    lets a session supply its cached provider for the full-set
+    computations; ``criticality_engine`` names the engine used for the
+    per-fact candidate filtering (and for the full sets when no
+    ``critical_fn`` is given).  ``max_valuations`` bounds the valuation
+    space of *every* criticality check performed here — the full secret
+    set and the per-view re-checks alike.  (When ``critical_fn`` is a
+    session's cached provider, a warm cache may serve the secret's set
+    without re-checking the bound; the bound guards computation cost,
+    not the result.)
+    """
+    if not views:
+        raise SecurityAnalysisError("at least one view is required")
+    engine = create_criticality_engine(criticality_engine)
+    if critical_fn is None:
+        critical_fn = engine.critical_tuples
+    secret_critical = critical_fn(
+        secret, schema, domain, constraint, max_valuations=max_valuations
+    )
+    if not secret_critical:
+        return frozenset()
+    # One tuple space for every candidate filter and per-fact re-check
+    # below — re-enumerating it per overlapping fact dominates the loop
+    # on larger domains.
+    allowed = _tuple_space_set(schema, domain or schema.domain)
+    common: Set[Fact] = set()
+    for view in views:
+        view_candidates = candidate_critical_facts(view, schema, domain, allowed=allowed)
+        overlap = secret_critical & view_candidates
+        for fact in overlap:
+            if engine.is_critical(
+                fact,
+                view,
+                schema,
+                domain,
+                constraint,
+                max_valuations=max_valuations,
+                allowed=allowed,
+            ):
+                common.add(fact)
+    return frozenset(common)

@@ -1,0 +1,250 @@
+"""The ``minimal`` criticality engine: the Appendix A minimal-instance search.
+
+This is the historical implementation of
+:func:`repro.core.critical.critical_tuples`, moved verbatim into the
+engine layer: for monotone queries it suffices to consider instances
+that are homomorphic images of the query body, so a tuple is critical
+iff some valuation maps a subgoal onto it and the produced answer
+disappears when the tuple is removed.  Cost is
+``O(|body| · |D|^{#vars})`` per candidate tuple.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set
+
+from ...cq.atoms import Atom
+from ...cq.evaluation import answer_tuple, evaluate
+from ...cq.query import ConjunctiveQuery
+from ...cq.terms import Variable, is_constant
+from ...exceptions import IntractableAnalysisError
+from ...relational.domain import Domain
+from ...relational.instance import Instance
+from ...relational.schema import Schema
+from ...relational.tuples import Fact, tuple_space
+from .base import DEFAULT_MAX_VALUATIONS, CriticalityEngine, InstanceConstraint
+
+__all__ = [
+    "candidate_critical_facts",
+    "is_critical",
+    "critical_tuples",
+    "MinimalEngine",
+]
+
+
+def _tuple_space_set(schema: Schema, domain: Optional[Domain]) -> FrozenSet[Fact]:
+    return frozenset(tuple_space(schema, domain))
+
+
+def _subgoal_groundings(
+    atom: Atom, domain: Domain, allowed: FrozenSet[Fact]
+) -> Iterator[Fact]:
+    """All facts of ``tup(D)`` that are homomorphic images of one subgoal."""
+    positions_by_variable: Dict[Variable, List[int]] = {}
+    fixed: Dict[int, object] = {}
+    for index, term in enumerate(atom.terms):
+        if is_constant(term):
+            fixed[index] = term.value
+        else:
+            positions_by_variable.setdefault(term, []).append(index)
+    variables = sorted(positions_by_variable)
+    for combo in itertools.product(domain.values, repeat=len(variables)):
+        values: List[object] = [None] * atom.arity
+        for index, value in fixed.items():
+            values[index] = value
+        for variable, value in zip(variables, combo):
+            for index in positions_by_variable[variable]:
+                values[index] = value
+        fact = Fact(atom.relation, values)
+        if fact in allowed:
+            yield fact
+
+
+def candidate_critical_facts(
+    query: ConjunctiveQuery,
+    schema: Schema,
+    domain: Optional[Domain] = None,
+    *,
+    allowed: Optional[FrozenSet[Fact]] = None,
+) -> FrozenSet[Fact]:
+    """Facts that are homomorphic images of some subgoal of the query.
+
+    Every critical tuple must be such an image (a minimal witnessing
+    instance is an image of the body), so this set is a superset of
+    ``crit_D(Q)`` and is the candidate pool scanned by
+    :func:`critical_tuples`.  The converse fails in general — the paper's
+    example ``Q():-R(x,y,z,z,u),R(x,x,x,y,y)`` has the non-critical image
+    ``R(a,a,b,b,c)`` — which is exactly why the full check below exists.
+
+    ``allowed`` lets a caller that already materialised the tuple space
+    pass it in instead of paying for a second enumeration.
+    """
+    domain = domain or schema.domain
+    if allowed is None:
+        allowed = _tuple_space_set(schema, domain)
+    candidates: Set[Fact] = set()
+    for atom in query.body:
+        candidates.update(_subgoal_groundings(atom, domain, allowed))
+    return frozenset(candidates)
+
+
+def _seed_valuation(atom: Atom, fact: Fact) -> Optional[Dict[Variable, object]]:
+    """The partial valuation mapping ``atom`` onto ``fact`` (None on mismatch).
+
+    Shared by every engine's subgoal-to-fact matching so the engines can
+    never diverge on what counts as a homomorphic image.
+    """
+    if atom.relation != fact.relation or atom.arity != fact.arity:
+        return None
+    seed: Dict[Variable, object] = {}
+    for term, value in zip(atom.terms, fact.values):
+        if is_constant(term):
+            if term.value != value:
+                return None
+        else:
+            bound = seed.get(term, _UNBOUND)
+            if bound is _UNBOUND:
+                seed[term] = value
+            elif bound != value:
+                return None
+    return seed
+
+
+def _valuations_mapping_subgoal_to_fact(
+    query: ConjunctiveQuery,
+    atom_index: int,
+    fact: Fact,
+    domain: Domain,
+    max_valuations: int,
+) -> Iterator[Dict[Variable, object]]:
+    """All total valuations of the query's variables that map one subgoal onto ``fact``."""
+    seed = _seed_valuation(query.body[atom_index], fact)
+    if seed is None:
+        return
+    remaining = sorted(v for v in query.variables if v not in seed)
+    total = len(domain) ** len(remaining) if remaining else 1
+    if total > max_valuations:
+        raise IntractableAnalysisError(
+            f"critical-tuple search would enumerate {total} valuations for one subgoal; "
+            f"exceeds the configured bound ({max_valuations}); shrink the domain",
+            size_estimate=total,
+        )
+    for combo in itertools.product(domain.values, repeat=len(remaining)):
+        valuation = dict(seed)
+        valuation.update(zip(remaining, combo))
+        yield valuation
+
+
+class _Unbound:
+    __repr__ = lambda self: "<unbound>"  # noqa: E731  # pragma: no cover
+
+
+_UNBOUND = _Unbound()
+
+
+def _comparisons_hold(query: ConjunctiveQuery, valuation: Dict[Variable, object]) -> bool:
+    return all(comparison.evaluate(valuation) for comparison in query.comparisons)
+
+
+def is_critical(
+    fact: Fact,
+    query: ConjunctiveQuery,
+    schema: Schema,
+    domain: Optional[Domain] = None,
+    constraint: Optional[InstanceConstraint] = None,
+    max_valuations: int = DEFAULT_MAX_VALUATIONS,
+    *,
+    allowed: Optional[FrozenSet[Fact]] = None,
+) -> bool:
+    """Decide ``fact ∈ crit_D(Q)`` via the minimal-instance search.
+
+    ``constraint``, when given, must be closed under subsets (keys,
+    denial constraints); criticality is then relative to instances
+    satisfying it (the ``crit_D(Q, K)`` of Corollary 5.3).
+
+    Unions of conjunctive queries are supported: the minimal witnessing
+    instance is then an image of one disjunct's body, but the answer
+    must disappear from the *whole union* when the fact is removed.
+
+    ``allowed`` lets a batch caller pass a pre-materialised ``tup(D)``.
+    """
+    domain = domain or schema.domain
+    if allowed is None:
+        allowed = _tuple_space_set(schema, domain)
+    if fact not in allowed:
+        return False
+    disjuncts = getattr(query, "disjuncts", None) or (query,)
+    for disjunct in disjuncts:
+        for atom_index in range(len(disjunct.body)):
+            for valuation in _valuations_mapping_subgoal_to_fact(
+                disjunct, atom_index, fact, domain, max_valuations
+            ):
+                if not _comparisons_hold(disjunct, valuation):
+                    continue
+                body_facts = [atom.ground(valuation) for atom in disjunct.body]
+                if any(f not in allowed for f in body_facts):
+                    continue
+                witness = Instance(body_facts)
+                if fact not in witness:
+                    continue
+                if constraint is not None and not constraint(witness):
+                    continue
+                produced = answer_tuple(disjunct, valuation)
+                without = witness.remove(fact)
+                if constraint is not None and not constraint(without):
+                    # A subset-closed constraint can never rule the smaller
+                    # instance out, but guard anyway for caller-supplied
+                    # predicates that are not actually subset-closed.
+                    continue
+                if produced not in evaluate(query, without):
+                    return True
+    return False
+
+
+def critical_tuples(
+    query: ConjunctiveQuery,
+    schema: Schema,
+    domain: Optional[Domain] = None,
+    constraint: Optional[InstanceConstraint] = None,
+    max_valuations: int = DEFAULT_MAX_VALUATIONS,
+) -> FrozenSet[Fact]:
+    """``crit_D(Q)`` (or ``crit_D(Q, K)`` when a constraint is given)."""
+    domain = domain or schema.domain
+    result = {
+        fact
+        for fact in candidate_critical_facts(query, schema, domain)
+        if is_critical(fact, query, schema, domain, constraint, max_valuations)
+    }
+    return frozenset(result)
+
+
+class MinimalEngine(CriticalityEngine):
+    """The behaviour-identical minimal-instance search engine."""
+
+    name = "minimal"
+
+    def is_critical(
+        self,
+        fact,
+        query,
+        schema,
+        domain=None,
+        constraint=None,
+        max_valuations=DEFAULT_MAX_VALUATIONS,
+        *,
+        allowed=None,
+    ):
+        return is_critical(
+            fact, query, schema, domain, constraint, max_valuations, allowed=allowed
+        )
+
+    def critical_tuples(
+        self,
+        query,
+        schema,
+        domain=None,
+        constraint=None,
+        max_valuations=DEFAULT_MAX_VALUATIONS,
+    ):
+        return critical_tuples(query, schema, domain, constraint, max_valuations)

@@ -1,0 +1,112 @@
+"""The ``naive`` criticality engine: literal Definition 4.4 enumeration.
+
+Enumerates every instance of ``inst(D)`` (``2^|tup(D)|`` of them), so it
+is exponential in the tuple-space size; it exists for cross-validation
+in tests and for the ablation benchmark, and supports arbitrary
+(subset-closed) instance constraints.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from ...cq.evaluation import evaluate
+from ...cq.query import ConjunctiveQuery
+from ...relational.domain import Domain
+from ...relational.instance import enumerate_instances
+from ...relational.schema import Schema
+from ...relational.tuples import Fact, tuple_space
+from .base import DEFAULT_MAX_VALUATIONS, CriticalityEngine, InstanceConstraint
+
+__all__ = ["is_critical_naive", "critical_tuples_naive", "NaiveEngine"]
+
+
+def is_critical_naive(
+    fact: Fact,
+    query: ConjunctiveQuery,
+    schema: Schema,
+    domain: Optional[Domain] = None,
+    constraint: Optional[InstanceConstraint] = None,
+    max_tuples: int = 16,
+) -> bool:
+    """Literal Definition 4.4: enumerate every instance of ``inst(D)``.
+
+    Exponential in ``|tup(D)|``; used for cross-validation in tests and
+    for the ablation benchmark.
+    """
+    domain = domain or schema.domain
+    facts = tuple_space(schema, domain)
+    if fact not in facts:
+        return False
+    for instance in enumerate_instances(schema, domain, max_tuples=max_tuples):
+        if constraint is not None and not constraint(instance):
+            continue
+        with_fact = instance.add(fact)
+        if constraint is not None and not constraint(with_fact):
+            continue
+        if evaluate(query, with_fact) != evaluate(query, with_fact.remove(fact)):
+            return True
+    return False
+
+
+def critical_tuples_naive(
+    query: ConjunctiveQuery,
+    schema: Schema,
+    domain: Optional[Domain] = None,
+    constraint: Optional[InstanceConstraint] = None,
+    max_tuples: int = 16,
+) -> FrozenSet[Fact]:
+    """``crit_D(Q)`` computed with the naive instance enumeration."""
+    domain = domain or schema.domain
+    result = {
+        fact
+        for fact in tuple_space(schema, domain)
+        if is_critical_naive(fact, query, schema, domain, constraint, max_tuples)
+    }
+    return frozenset(result)
+
+
+class NaiveEngine(CriticalityEngine):
+    """The literal Definition 4.4 enumeration engine (ablation only).
+
+    The engine-interface ``max_valuations`` bound does not apply to the
+    instance enumeration; its cost is governed by ``max_tuples`` (the
+    largest tuple-space size enumerated), set at construction.
+    """
+
+    name = "naive"
+
+    def __init__(self, max_tuples: int = 16):
+        self._max_tuples = max_tuples
+
+    def is_critical(
+        self,
+        fact,
+        query,
+        schema,
+        domain=None,
+        constraint=None,
+        max_valuations=DEFAULT_MAX_VALUATIONS,
+        *,
+        allowed=None,
+    ):
+        # max_valuations does not apply (the naive search is bounded by
+        # max_tuples) and `allowed` is a batch-caller hint the instance
+        # enumeration cannot exploit.
+        del max_valuations, allowed
+        return is_critical_naive(
+            fact, query, schema, domain, constraint, self._max_tuples
+        )
+
+    def critical_tuples(
+        self,
+        query,
+        schema,
+        domain=None,
+        constraint=None,
+        max_valuations=DEFAULT_MAX_VALUATIONS,
+    ):
+        del max_valuations  # the naive search is bounded by max_tuples instead
+        return critical_tuples_naive(
+            query, schema, domain, constraint, self._max_tuples
+        )

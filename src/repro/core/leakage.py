@@ -33,7 +33,7 @@ from ..probability.engine import ExactEngine
 from ..probability.events import And, Event, FactPresent, Or, QueryContains, query_support
 from ..relational.instance import Instance
 from ..relational.tuples import Fact
-from .critical import critical_tuples
+from .criticality import create_criticality_engine
 
 __all__ = [
     "LeakageResult",
@@ -112,6 +112,8 @@ def positive_leakage(
     max_secret_rows: int = 1,
     max_view_rows: int = 1,
     max_support_size: int = 22,
+    *,
+    criticality_engine=None,
 ) -> LeakageResult:
     """Compute ``leak(S, V̄)`` of Eq. (9) by exhaustive search.
 
@@ -121,12 +123,15 @@ def positive_leakage(
 
     Delegates to the default :class:`~repro.session.AnalysisSession`
     (see :meth:`~repro.session.AnalysisSession.leakage` for the
-    session-native form with timing and cache accounting).
+    session-native form with timing and cache accounting);
+    ``criticality_engine`` selects that session's critical-tuple engine
+    — the Eq. (9) search itself is probabilistic, but the keyword keeps
+    engine selection uniform across the legacy entry points.
     """
     from ..session.default import default_session
 
     return (
-        default_session(dictionary.schema)
+        default_session(dictionary.schema, criticality_engine)
         .leakage(
             secret,
             views,
@@ -217,7 +222,7 @@ def epsilon_of_theorem_6_1(
     the boolean specialisations.  The probabilities are computed over the
     dictionary's own domain.
     """
-    critical_fn = critical_fn or critical_tuples
+    critical_fn = critical_fn or create_criticality_engine().critical_tuples
     if isinstance(views, (ConjunctiveQuery, UnionQuery)):
         views = [views]
     views = list(views)
@@ -260,7 +265,7 @@ def epsilon_of_theorem_6_1(
                 continue
             if not common:
                 continue
-            touches_common = Or(tuple(FactPresent(t) for t in sorted(common)))
+            touches_common = Or(tuple(FactPresent(t) for t in sorted(common, key=repr)))
             p_joint = engine.joint_probability([touches_common, conditioning])
             epsilon = max(epsilon, p_joint / p_conditioning)
     return epsilon

@@ -30,7 +30,6 @@ from ..probability.engine import ExactEngine
 from ..relational.domain import Domain
 from ..relational.schema import Schema
 from ..relational.tuples import Fact
-from .critical import critical_tuples
 from .domain_bounds import analysis_schema, required_domain_size, untyped_schema
 
 __all__ = [
@@ -92,7 +91,7 @@ class SecurityDecision:
                 f"crit({self.secret.name}) and crit(views) are disjoint "
                 f"(Theorem 4.5), for every probability distribution."
             )
-        witnesses = ", ".join(repr(f) for f in sorted(self.common_critical)[:5])
+        witnesses = ", ".join(repr(f) for f in sorted(self.common_critical, key=repr)[:5])
         more = "" if len(self.common_critical) <= 5 else ", ..."
         return (
             f"{self.secret.name} is NOT secure w.r.t. "
@@ -126,6 +125,7 @@ def decide_security(
     domain: Optional[Domain] = None,
     *,
     critical_fn=None,
+    criticality_engine=None,
 ) -> SecurityDecision:
     """Dictionary-independent security decision via Theorem 4.5.
 
@@ -141,17 +141,27 @@ def decide_security(
         Analysis domain.  When omitted, a domain satisfying
         Proposition 4.9 is synthesised from the queries' constants.
     critical_fn:
-        Critical-tuple provider with the signature of
-        :func:`~repro.core.critical.critical_tuples`.  When omitted the
-        call delegates to the module-level default
+        Critical-tuple provider with the signature of the engines'
+        :meth:`~repro.core.criticality.CriticalityEngine.critical_tuples`.
+        When omitted the call delegates to the module-level default
         :class:`~repro.session.AnalysisSession`, which memoizes every
         ``crit_D(Q)`` in a shared LRU cache; sessions pass their own
         cached provider here.
+    criticality_engine:
+        Name of the criticality engine (see
+        :mod:`repro.core.criticality`) the default session should
+        compute with; ignored when an explicit ``critical_fn`` is given
+        (selection precedence: call-level provider → session engine →
+        package default).
     """
     if critical_fn is None:
         from ..session.default import default_session
 
-        return default_session(schema).decide(secret, views, domain=domain).decision
+        return (
+            default_session(schema, criticality_engine)
+            .decide(secret, views, domain=domain)
+            .decision
+        )
 
     _require_query(secret, "secret")
     if isinstance(views, (ConjunctiveQuery, UnionQuery)):
@@ -196,10 +206,14 @@ def is_secure(
     views: Sequence[ConjunctiveQuery] | ConjunctiveQuery,
     schema: Schema,
     domain: Optional[Domain] = None,
+    *,
+    criticality_engine=None,
 ) -> bool:
     """Convenience wrapper returning only the boolean verdict of
     :func:`decide_security`."""
-    return decide_security(secret, views, schema, domain).secure
+    return decide_security(
+        secret, views, schema, domain, criticality_engine=criticality_engine
+    ).secure
 
 
 def verify_security_probabilistically(

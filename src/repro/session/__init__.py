@@ -13,6 +13,9 @@ operations over the cached artifacts):
   audits of secrets × views × coalitions.
 * :mod:`~repro.session.engines` — named per-dictionary verification
   engines (``"exact"``, ``"sampling"``).
+* :mod:`repro.core.criticality` — named ``crit_D`` computation engines
+  (``"pruned-parallel"`` — the default — ``"minimal"``, ``"naive"``),
+  selected per session via ``AnalysisSession(criticality_engine=...)``.
 * :mod:`~repro.session.results` — the unified :class:`AnalysisResult`
   hierarchy every session method returns.
 """

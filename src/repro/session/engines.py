@@ -14,6 +14,7 @@ Third parties can plug in their own with :func:`register_engine`.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..cq.evaluation import evaluate
@@ -93,8 +94,23 @@ class SamplingVerificationEngine(VerificationEngine):
         tolerance_sigmas: float = 4.0,
         **_,
     ) -> bool:
-        if samples <= 0:
-            raise SecurityAnalysisError("sampling verification needs a positive sample count")
+        # Uniform option validation: both tuning knobs are checked the same
+        # way, and the error always names the offending value.
+        if not isinstance(samples, int) or isinstance(samples, bool) or samples <= 0:
+            raise SecurityAnalysisError(
+                f"sampling verification needs a positive integer sample count, "
+                f"got {samples!r}"
+            )
+        if (
+            not isinstance(tolerance_sigmas, (int, float))
+            or isinstance(tolerance_sigmas, bool)
+            or not math.isfinite(tolerance_sigmas)
+            or tolerance_sigmas <= 0
+        ):
+            raise SecurityAnalysisError(
+                f"sampling verification needs a positive finite tolerance_sigmas, "
+                f"got {tolerance_sigmas!r}"
+            )
         sampler = MonteCarloSampler(dictionary, seed=seed)
         views = list(views)
         joint: Dict[Tuple, int] = {}

@@ -26,7 +26,7 @@ import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core import domain_bounds
-from ..core.critical import critical_tuples
+from ..core.criticality import CriticalityEngine, create_criticality_engine
 from ..core.practical import practical_security_check
 from ..core.prior import PriorKnowledge
 from ..exceptions import SecurityAnalysisError
@@ -68,6 +68,14 @@ class AnalysisSession:
     engine:
         Name of the per-dictionary verification engine (``"exact"`` or
         ``"sampling"``; see :mod:`repro.session.engines`).
+    criticality_engine:
+        Name (or instance) of the critical-tuple computation engine
+        (``"pruned-parallel"`` — the default — ``"minimal"`` or
+        ``"naive"``; see :mod:`repro.core.criticality`).  Every
+        ``crit_D(Q)`` this session computes, including those behind the
+        legacy free functions, goes through it; cache entries are keyed
+        by the engine name so sessions with different engines never
+        share (potentially engine-specific) results.
     domain:
         Optional analysis-domain override applied to every analysis
         (defaults to per-analysis Proposition 4.9 domains).
@@ -84,6 +92,7 @@ class AnalysisSession:
         domain: Optional[Domain] = None,
         cache: Optional[CriticalTupleCache] = None,
         cache_size: int = 512,
+        criticality_engine: Union[str, CriticalityEngine, None] = None,
     ):
         if not isinstance(schema, Schema):
             raise SecurityAnalysisError(
@@ -94,6 +103,9 @@ class AnalysisSession:
         self._dictionary = dictionary
         self._engine_name = engine
         self._engine: VerificationEngine = create_engine(engine)
+        self._criticality_engine: CriticalityEngine = create_criticality_engine(
+            criticality_engine
+        )
         self._domain = domain
         self._cache = cache if cache is not None else CriticalTupleCache(cache_size)
         self._compiled: Dict[Tuple, CompiledQuery] = {}
@@ -118,6 +130,16 @@ class AnalysisSession:
     def engine_name(self) -> str:
         """Registry name of the verification engine."""
         return self._engine_name
+
+    @property
+    def criticality_engine(self) -> CriticalityEngine:
+        """The configured critical-tuple computation engine."""
+        return self._criticality_engine
+
+    @property
+    def criticality_engine_name(self) -> str:
+        """Registry name of the criticality engine."""
+        return self._criticality_engine.name
 
     @property
     def cache(self) -> CriticalTupleCache:
@@ -178,23 +200,32 @@ class AnalysisSession:
         return as_query(query, role)
 
     def _critical_fn(self, query, schema, domain=None, constraint=None, **options):
-        """The cached drop-in for :func:`repro.core.critical.critical_tuples`.
+        """The cached drop-in for the engines' ``critical_tuples``.
 
         Constraint-relative sets (``crit_D(Q, K)``) are computed directly:
         constraints are opaque callables and cannot be part of a sound
-        cache key.
+        cache key.  The key includes the criticality-engine name so a
+        (hypothetically buggy or third-party) engine can never poison a
+        cache shared with sessions running a different engine.
+
+        Cost-guard options such as ``max_valuations`` are deliberately
+        *not* part of the key: they bound the computation, not the
+        result, so a warm cache may serve a set that a colder cache
+        would have refused to compute under a tighter bound.
         """
+        compute = self._criticality_engine.critical_tuples
         if constraint is not None:
-            return critical_tuples(query, schema, domain, constraint, **options)
+            return compute(query, schema, domain, constraint, **options)
         if domain is None:
             domain = schema.domain
         key = (
+            self._criticality_engine.name,
             schema_fingerprint(schema),
             canonical_query_key(query),
             tuple(domain.values),
         )
         return self._cache.get_or_compute(
-            key, lambda: critical_tuples(query, schema, domain, None, **options)
+            key, lambda: compute(query, schema, domain, None, **options)
         )
 
     # -- result plumbing ---------------------------------------------------------
@@ -363,6 +394,7 @@ class AnalysisSession:
             self._schema,
             domain=domain or self._domain,
             critical_fn=self._critical_fn,
+            criticality_engine=self._criticality_engine,
         )
         return self._finish(
             KnowledgeResult,
@@ -514,5 +546,6 @@ class AnalysisSession:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"AnalysisSession(schema={self._schema!r}, engine={self._engine_name!r}, "
+            f"criticality_engine={self._criticality_engine.name!r}, "
             f"cache={self._cache.stats()!r})"
         )

@@ -1,0 +1,585 @@
+"""Tests for the pluggable criticality-engine layer.
+
+Covers the engine registry, cross-validation of every engine against
+every other (including a property-style sweep over random small
+conjunctive queries and a key-constraint predicate), the serial and
+process-pool execution paths of the ``pruned-parallel`` default, the
+``max_valuations`` forwarding of ``common_critical_tuples``, the
+uniform option validation of the sampling verification engine, and the
+engine threading through sessions, free functions and the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    AnalysisSession,
+    Dictionary,
+    decide_security,
+    q,
+)
+from repro.cli import main
+from repro.core.critical import common_critical_tuples
+from repro.core.criticality import (
+    DEFAULT_CRITICALITY_ENGINE,
+    CriticalityEngine,
+    MinimalEngine,
+    NaiveEngine,
+    PrunedParallelEngine,
+    WORKERS_ENV,
+    available_criticality_engines,
+    create_criticality_engine,
+    register_criticality_engine,
+)
+from repro.cq.atoms import Atom, Comparison
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.terms import Constant, Variable
+from repro.exceptions import IntractableAnalysisError, SecurityAnalysisError
+from repro.session import CriticalTupleCache
+from repro.session.engines import SamplingVerificationEngine
+from repro.relational import Domain, RelationSchema, Schema
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_builtin_engines_registered(self):
+        names = available_criticality_engines()
+        assert {"minimal", "naive", "pruned-parallel"} <= set(names)
+
+    def test_default_is_pruned_parallel(self):
+        assert DEFAULT_CRITICALITY_ENGINE == "pruned-parallel"
+        assert create_criticality_engine().name == "pruned-parallel"
+
+    def test_unknown_engine_lists_available(self):
+        with pytest.raises(SecurityAnalysisError, match="minimal"):
+            create_criticality_engine("no-such-engine")
+
+    def test_instance_passes_through(self):
+        engine = MinimalEngine()
+        assert create_criticality_engine(engine) is engine
+
+    def test_custom_engine_registration(self, binary_ab_schema):
+        class Recording(MinimalEngine):
+            name = "recording"
+            calls = 0
+
+            def critical_tuples(self, *args, **kwargs):
+                Recording.calls += 1
+                return super().critical_tuples(*args, **kwargs)
+
+        register_criticality_engine("recording", Recording)
+        try:
+            session = AnalysisSession(
+                binary_ab_schema, criticality_engine="recording"
+            )
+            result = session.decide("S(y) :- R(y, 'a')", "V(x) :- R(x, 'b')")
+            assert result.secure
+            assert Recording.calls > 0
+        finally:
+            from repro.core.criticality.base import _REGISTRY
+
+            _REGISTRY.pop("recording", None)
+
+    def test_describe(self):
+        assert "pruned-parallel" in PrunedParallelEngine().describe()
+
+
+# ---------------------------------------------------------------------------
+# Property-style cross-validation
+# ---------------------------------------------------------------------------
+def _random_query(rng: random.Random, values) -> ConjunctiveQuery:
+    """A random CQ with ≤2 atoms over ``R/2``, ≤3 variables, few constants."""
+    variables = [Variable(name) for name in ("x", "y", "z")]
+
+    def term():
+        if rng.random() < 0.25:
+            return Constant(rng.choice(values))
+        return rng.choice(variables)
+
+    atoms = [
+        Atom("R", (term(), term()))
+        for _ in range(rng.choice([1, 1, 2]))
+    ]
+    used = sorted({v for atom in atoms for v in atom.variables})
+    comparisons = []
+    if len(used) >= 2 and rng.random() < 0.4:
+        left, right = rng.sample(used, 2)
+        comparisons.append(Comparison(left, rng.choice(["!=", "=", "<"]), right))
+    if rng.random() < 0.5 or not used:
+        head = ()
+    else:
+        head = tuple(rng.sample(used, rng.randint(1, len(used))))
+    return ConjunctiveQuery(head, atoms, comparisons, name="Qrand")
+
+
+def _key_constraint(instance) -> bool:
+    """At most one ``R`` fact per first-position value (subset-closed)."""
+    seen = {}
+    for fact in instance.relation("R"):
+        if fact.values[0] in seen and seen[fact.values[0]] != fact:
+            return False
+        seen[fact.values[0]] = fact
+    return True
+
+
+class TestCrossValidation:
+    @pytest.fixture(scope="class")
+    def engines(self):
+        return (
+            create_criticality_engine("minimal"),
+            create_criticality_engine("naive"),
+            create_criticality_engine("pruned-parallel"),
+        )
+
+    def test_random_queries_agree_across_engines(self, engines):
+        values = ("a", "b", "c")
+        schema = Schema([RelationSchema("R", ("u", "v"))], domain=Domain(values))
+        rng = random.Random(20260727)
+        minimal, naive, pruned = engines
+        for index in range(25):
+            query = _random_query(rng, values)
+            expected = minimal.critical_tuples(query, schema)
+            assert naive.critical_tuples(query, schema) == expected, (
+                f"naive disagrees on #{index}: {query!r}"
+            )
+            assert pruned.critical_tuples(query, schema) == expected, (
+                f"pruned-parallel disagrees on #{index}: {query!r}"
+            )
+
+    def test_random_queries_agree_under_key_constraint(self, engines):
+        values = ("a", "b")
+        schema = Schema([RelationSchema("R", ("u", "v"))], domain=Domain(values))
+        rng = random.Random(42)
+        minimal, naive, pruned = engines
+        for index in range(12):
+            query = _random_query(rng, values)
+            expected = minimal.critical_tuples(
+                query, schema, constraint=_key_constraint
+            )
+            assert (
+                naive.critical_tuples(query, schema, constraint=_key_constraint)
+                == expected
+            ), f"naive disagrees on constrained #{index}: {query!r}"
+            assert (
+                pruned.critical_tuples(query, schema, constraint=_key_constraint)
+                == expected
+            ), f"pruned-parallel disagrees on constrained #{index}: {query!r}"
+
+    def test_union_queries_agree(self, engines, binary_ab_schema):
+        from repro import union_of
+
+        union = union_of(q("V1() :- R('a', x)"), q("V2() :- R(x, x)"))
+        minimal, naive, pruned = engines
+        expected = minimal.critical_tuples(union, binary_ab_schema)
+        assert naive.critical_tuples(union, binary_ab_schema) == expected
+        assert pruned.critical_tuples(union, binary_ab_schema) == expected
+
+    def test_mixed_type_analysis_domain(self, engines):
+        # A numeric query constant padded with string fresh constants
+        # (the Proposition 4.9 construction) yields a mixed-type domain;
+        # candidate ordering must not rely on cross-type comparisons.
+        from repro.core.security import decide_security
+        from repro.core.criticality import critical_tuples
+
+        schema = Schema([RelationSchema("R", ("u", "v"))], domain=Domain.of(1, "d0"))
+        query = q("Q(x) :- R(x, 1)")
+        minimal, _, pruned = engines
+        assert pruned.critical_tuples(query, schema) == minimal.critical_tuples(
+            query, schema
+        )
+        # End to end through the default engine and a synthesised domain;
+        # the explanation must render even when the witnessing tuples mix
+        # numeric and string constants.
+        decision = decide_security(query, q("V(x) :- R(x, y)"), schema)
+        assert decision.secure is not None
+        assert decision.explain()
+
+    def test_typed_schema_disables_symmetry_but_agrees(self, engines, emp_schema):
+        # Per-attribute domains restrict the tuple space, so the orbit
+        # reduction must deactivate — results still have to be identical.
+        minimal, _, pruned = engines
+        query = q("V(n) :- Emp(n, d, p)")
+        assert pruned.critical_tuples(query, emp_schema) == minimal.critical_tuples(
+            query, emp_schema
+        )
+
+    def test_typed_schema_join_checks_tuple_space(self, engines):
+        # Regression: a witness grounding a *different* atom to a fact
+        # outside the per-attribute tuple space must be rejected (the
+        # pruned engine used to skip the membership check here).
+        schema = Schema(
+            [
+                RelationSchema("R", ("x",)),
+                RelationSchema("S", ("x",), {"x": Domain.of("a")}),
+            ],
+            domain=Domain.of("a", "b"),
+        )
+        query = q("Q() :- R(x), S(x)")
+        minimal, naive, pruned = engines
+        expected = minimal.critical_tuples(query, schema)
+        assert naive.critical_tuples(query, schema) == expected
+        assert pruned.critical_tuples(query, schema) == expected
+
+    def test_out_of_domain_constant_checks_tuple_space(self, engines):
+        # Regression: a body constant outside the analysis domain makes
+        # the query unsatisfiable over tup(D); the engines must agree
+        # that nothing is critical.
+        schema = Schema(
+            [RelationSchema("R", ("x",)), RelationSchema("S", ("x",))],
+            domain=Domain.of("a", "b"),
+        )
+        query = q("Q() :- R(x), S('z')")
+        minimal, naive, pruned = engines
+        assert minimal.critical_tuples(query, schema) == frozenset()
+        assert naive.critical_tuples(query, schema) == frozenset()
+        assert pruned.critical_tuples(query, schema) == frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Parallel execution paths
+# ---------------------------------------------------------------------------
+class TestParallelPaths:
+    def test_forced_pool_matches_serial(self, monkeypatch, binary_abc_schema):
+        query = q("V(x) :- R(x, y)")
+        serial_engine = PrunedParallelEngine(parallel=False)
+        expected = serial_engine.critical_tuples(query, binary_abc_schema)
+
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        pooled = PrunedParallelEngine().critical_tuples(query, binary_abc_schema)
+        assert pooled == expected
+
+    def test_workers_zero_forces_serial(self, monkeypatch, binary_ab_schema):
+        monkeypatch.setenv(WORKERS_ENV, "0")
+        engine = PrunedParallelEngine()
+        assert engine._resolve_workers(1000, q("V(x) :- R(x, y)"), Domain.of("a")) == 0
+        assert engine.critical_tuples(q("V(x) :- R(x, y)"), binary_ab_schema)
+
+    def test_invalid_workers_value_rejected(self, monkeypatch, binary_ab_schema):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(SecurityAnalysisError, match="many"):
+            PrunedParallelEngine().critical_tuples(
+                q("V(x) :- R(x, y)"), binary_ab_schema
+            )
+
+    def test_auto_mode_stays_serial_on_small_work(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        workers = PrunedParallelEngine._resolve_workers(
+            4, q("V(x) :- R(x, y)"), Domain.of("a", "b")
+        )
+        assert workers == 0
+
+    def test_intractable_bound_raised_in_pool(self, monkeypatch):
+        # The pre-enumeration bound must survive the process-pool path.
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        schema = Schema(
+            [RelationSchema("R", ("u", "v"))], domain=Domain.of("a", "b", "c")
+        )
+        query = q("Q() :- R(x, y), R(y, z), R(z, w)")
+        with pytest.raises(IntractableAnalysisError):
+            PrunedParallelEngine().critical_tuples(
+                query, schema, max_valuations=2
+            )
+
+
+# ---------------------------------------------------------------------------
+# common_critical_tuples: max_valuations forwarding (regression)
+# ---------------------------------------------------------------------------
+class TestMaxValuationsForwarding:
+    def test_bound_reaches_per_view_recheck(self, binary_abc_schema):
+        # The secret's own search binds every variable from the seed
+        # (total = 1 valuation), so only the per-view re-check can
+        # exceed the bound — exactly the path that used to drop it.
+        secret = q("S(x, y) :- R(x, y)")
+        view = q("V() :- R(x, y), R(y, z)")
+        with pytest.raises(IntractableAnalysisError):
+            common_critical_tuples(
+                secret, [view], binary_abc_schema, max_valuations=1
+            )
+
+    def test_bound_reaches_secret_computation(self, binary_abc_schema):
+        secret = q("S() :- R(x, y), R(y, z)")
+        view = q("V(x, y) :- R(x, y)")
+        with pytest.raises(IntractableAnalysisError):
+            common_critical_tuples(
+                secret, [view], binary_abc_schema, max_valuations=1
+            )
+
+    def test_generous_bound_unchanged(self, binary_abc_schema):
+        secret = q("S(x, y) :- R(x, y)")
+        view = q("V() :- R(x, y), R(y, z)")
+        bounded = common_critical_tuples(
+            secret, [view], binary_abc_schema, max_valuations=10_000
+        )
+        unbounded = common_critical_tuples(secret, [view], binary_abc_schema)
+        assert bounded == unbounded and bounded
+
+    def test_engine_selection(self, binary_ab_schema):
+        secret = q("S() :- R('a', x)")
+        view = q("V() :- R(x, 'b')")
+        default = common_critical_tuples(secret, [view], binary_ab_schema)
+        for name in ("minimal", "naive", "pruned-parallel"):
+            assert (
+                common_critical_tuples(
+                    secret, [view], binary_ab_schema, criticality_engine=name
+                )
+                == default
+            )
+
+
+# ---------------------------------------------------------------------------
+# Sampling-engine option validation (regression)
+# ---------------------------------------------------------------------------
+class TestSamplingOptionValidation:
+    @pytest.fixture
+    def engine(self):
+        return SamplingVerificationEngine()
+
+    @pytest.mark.parametrize("samples", [0, -5, 2.5, "100", True])
+    def test_bad_sample_counts_rejected(self, engine, samples):
+        with pytest.raises(SecurityAnalysisError) as excinfo:
+            engine.verify(None, [], None, samples=samples)
+        assert repr(samples) in str(excinfo.value)
+
+    @pytest.mark.parametrize(
+        "tolerance", [float("nan"), float("inf"), float("-inf"), -1.0, 0, "4", True]
+    )
+    def test_bad_tolerances_rejected(self, engine, tolerance):
+        with pytest.raises(SecurityAnalysisError) as excinfo:
+            engine.verify(None, [], None, tolerance_sigmas=tolerance)
+        assert repr(tolerance) in str(excinfo.value)
+
+    def test_valid_options_still_verify(self, engine, binary_ab_schema):
+        dictionary = Dictionary.uniform(binary_ab_schema, Fraction(1, 2))
+        secret = q("S(y) :- R(y, 'a')")
+        view = q("V(x) :- R(x, 'b')")
+        assert engine.verify(
+            secret, [view], dictionary, samples=200, tolerance_sigmas=6.0
+        )
+
+
+# ---------------------------------------------------------------------------
+# Stack threading: sessions, free functions, cache keys, CLI
+# ---------------------------------------------------------------------------
+class TestStackThreading:
+    def test_session_default_engine(self, emp_schema):
+        session = AnalysisSession(emp_schema)
+        assert session.criticality_engine_name == "pruned-parallel"
+        assert isinstance(session.criticality_engine, CriticalityEngine)
+
+    def test_session_engine_selection_changes_provider(self, emp_schema):
+        minimal = AnalysisSession(emp_schema, criticality_engine="minimal")
+        assert minimal.criticality_engine_name == "minimal"
+        naive_engine = NaiveEngine(max_tuples=8)
+        session = AnalysisSession(emp_schema, criticality_engine=naive_engine)
+        assert session.criticality_engine is naive_engine
+
+    def test_sessions_agree_across_engines(self, emp_schema):
+        secret = "S(n, p) :- Emp(n, d, p)"
+        views = ["V(n, d) :- Emp(n, d, p)", "W(n) :- Emp(n, 'Mgmt', p)"]
+        verdicts = {}
+        for name in ("minimal", "pruned-parallel"):
+            session = AnalysisSession(emp_schema, criticality_engine=name)
+            result = session.decide(secret, views)
+            verdicts[name] = (
+                result.secure,
+                result.decision.common_critical,
+                result.decision.secret_critical,
+            )
+        assert verdicts["minimal"] == verdicts["pruned-parallel"]
+
+    def test_cache_keys_isolate_engines(self, emp_schema):
+        shared = CriticalTupleCache(64)
+        first = AnalysisSession(
+            emp_schema, cache=shared, criticality_engine="minimal"
+        )
+        second = AnalysisSession(
+            emp_schema, cache=shared, criticality_engine="pruned-parallel"
+        )
+        first.decide("S(n) :- Emp(n, 'HR', p)", "V(n) :- Emp(n, 'Mgmt', p)")
+        outcome = second.decide("S(n) :- Emp(n, 'HR', p)", "V(n) :- Emp(n, 'Mgmt', p)")
+        # Different engine name => different keys => no cross-engine hits.
+        assert outcome.cache_used.hits == 0
+        assert outcome.cache_used.misses > 0
+
+        # The same engine on the shared cache does hit.
+        third = AnalysisSession(
+            emp_schema, cache=shared, criticality_engine="pruned-parallel"
+        )
+        warm = third.decide("S(n) :- Emp(n, 'HR', p)", "V(n) :- Emp(n, 'Mgmt', p)")
+        assert warm.cache_used.misses == 0
+
+    def test_free_functions_accept_engine(self, emp_schema):
+        secret = q("S(n) :- Emp(n, 'HR', p)")
+        view = q("V(n) :- Emp(n, 'Mgmt', p)")
+        default = decide_security(secret, view, emp_schema)
+        for name in ("minimal", "pruned-parallel"):
+            decision = decide_security(
+                secret, view, emp_schema, criticality_engine=name
+            )
+            assert decision.secure == default.secure
+            assert decision.common_critical == default.common_critical
+
+    def test_collusion_and_knowledge_accept_engine(self, emp_schema):
+        from repro import analyse_collusion, decide_with_knowledge
+        from repro.core.prior import CardinalityConstraintKnowledge
+
+        secret = q("S(n, p) :- Emp(n, d, p)")
+        views = [q("V(n, d) :- Emp(n, d, p)"), q("W(n) :- Emp(n, 'Mgmt', p)")]
+        baseline = analyse_collusion(secret, views, emp_schema)
+        report = analyse_collusion(
+            secret, views, emp_schema, criticality_engine="minimal"
+        )
+        assert [d.secure for d in report.per_view] == [
+            d.secure for d in baseline.per_view
+        ]
+
+        knowledge = CardinalityConstraintKnowledge("exactly", 2)
+        decision = decide_with_knowledge(
+            secret, views, knowledge, emp_schema, criticality_engine="minimal"
+        )
+        assert decision.secure == decide_with_knowledge(
+            secret, views, knowledge, emp_schema
+        ).secure
+
+    def test_session_engine_used_for_common_critical_rechecks(self, binary_ab_schema):
+        # Regression: the per-view is_critical re-checks inside
+        # common_critical_tuples must run on the session's engine, not
+        # silently fall back to the package default.
+        from repro.core.prior import TupleStatusKnowledge
+
+        class Recording(MinimalEngine):
+            name = "recording-rechecks"
+            is_critical_calls = 0
+
+            def is_critical(self, *args, **kwargs):
+                Recording.is_critical_calls += 1
+                return super().is_critical(*args, **kwargs)
+
+        session = AnalysisSession(binary_ab_schema, criticality_engine=Recording())
+        outcome = session.with_knowledge(
+            "S(x, y) :- R(x, y)", "V(x) :- R(x, y)", TupleStatusKnowledge()
+        )
+        assert outcome.decision.secure is None  # insecure pair, nothing disclosed
+        assert Recording.is_critical_calls > 0
+
+    def test_positive_leakage_accepts_engine(self, binary_ab_schema):
+        from repro import positive_leakage
+
+        dictionary = Dictionary.uniform(binary_ab_schema, Fraction(1, 2))
+        secret = q("S() :- R('a', 'a')")
+        view = q("V() :- R('a', x)")
+        baseline = positive_leakage(secret, view, dictionary)
+        result = positive_leakage(
+            secret, view, dictionary, criticality_engine="minimal"
+        )
+        assert result.leakage == baseline.leakage
+
+    def test_unknown_engine_raises_everywhere(self, emp_schema):
+        with pytest.raises(SecurityAnalysisError, match="pruned-parallel"):
+            AnalysisSession(emp_schema, criticality_engine="bogus")
+        with pytest.raises(SecurityAnalysisError, match="pruned-parallel"):
+            decide_security(
+                q("S(n) :- Emp(n, 'HR', p)"),
+                q("V(n) :- Emp(n, 'Mgmt', p)"),
+                emp_schema,
+                criticality_engine="bogus",
+            )
+
+
+class TestCLIFlag:
+    @pytest.fixture
+    def schema_file(self, tmp_path):
+        document = {
+            "relations": [
+                {
+                    "name": "Emp",
+                    "attributes": ["name", "department", "phone"],
+                    "attribute_domains": {
+                        "name": ["n0", "n1"],
+                        "department": ["d0", "d1"],
+                        "phone": ["p0", "p1"],
+                    },
+                }
+            ]
+        }
+        path = tmp_path / "schema.json"
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    @pytest.mark.parametrize("engine", ["minimal", "pruned-parallel"])
+    def test_decide_with_engine_flag(self, schema_file, capsys, engine):
+        exit_code = main(
+            [
+                "decide",
+                "--schema", schema_file,
+                "--secret", "S(n) :- Emp(n, HR, p)",
+                "--view", "V(n) :- Emp(n, Mgmt, p)",
+                "--criticality-engine", engine,
+            ]
+        )
+        assert exit_code == 0
+        assert "secure" in capsys.readouterr().out
+
+    def test_decide_with_naive_engine_on_tiny_schema(self, tmp_path, capsys):
+        # The naive ablation engine enumerates 2^|tup(D)| instances, so it
+        # only fits the smallest schemas; over R(X,Y) with two variables the
+        # analysis tuple space is 4 and the CLI path works end to end.
+        document = {"relations": [{"name": "R", "attributes": ["X", "Y"]}],
+                    "domain": ["a", "b"]}
+        path = tmp_path / "binary.json"
+        path.write_text(json.dumps(document))
+        exit_code = main(
+            [
+                "decide",
+                "--schema", str(path),
+                "--secret", "S(y) :- R(y, 'a')",
+                "--view", "V(x) :- R(x, 'b')",
+                "--criticality-engine", "naive",
+            ]
+        )
+        assert exit_code == 0
+        assert "secure" in capsys.readouterr().out
+
+    def test_unknown_engine_exits_two(self, schema_file, capsys):
+        exit_code = main(
+            [
+                "decide",
+                "--schema", schema_file,
+                "--secret", "S(n) :- Emp(n, HR, p)",
+                "--view", "V(n) :- Emp(n, Mgmt, p)",
+                "--criticality-engine", "bogus",
+            ]
+        )
+        assert exit_code == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_plan_with_engine_flag(self, tmp_path, capsys):
+        document = {
+            "relations": [
+                {
+                    "name": "Emp",
+                    "attributes": ["name", "department", "phone"],
+                    "attribute_domains": {
+                        "name": ["n0", "n1"],
+                        "department": ["d0", "d1"],
+                        "phone": ["p0", "p1"],
+                    },
+                }
+            ],
+            "secrets": {"hr_names": "S(n) :- Emp(n, HR, p)"},
+            "views": {"bob": "V(n) :- Emp(n, Mgmt, p)"},
+        }
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(document))
+        exit_code = main(
+            ["plan", "--plan", str(path), "--criticality-engine", "minimal"]
+        )
+        assert exit_code == 0
+        assert "hr_names" in capsys.readouterr().out
