@@ -103,7 +103,14 @@ from .exceptions import (
     SchemaError,
     SecurityAnalysisError,
 )
-from .probability import Dictionary, ExactEngine, MonteCarloSampler, query_polynomial
+from .probability import (
+    Dictionary,
+    ExactEngine,
+    MonteCarloSampler,
+    NaiveExactEngine,
+    ProbabilityKernel,
+    query_polynomial,
+)
 from .relational import Domain, Fact, Instance, RelationSchema, Schema
 from .session import (
     AnalysisResult,
@@ -140,6 +147,8 @@ __all__ = [
     # probability
     "Dictionary",
     "ExactEngine",
+    "NaiveExactEngine",
+    "ProbabilityKernel",
     "MonteCarloSampler",
     "query_polynomial",
     # core security analysis

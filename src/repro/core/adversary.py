@@ -58,7 +58,7 @@ def posterior_answer_distribution(
     views: Sequence[Query] | Query,
     view_answers: Sequence[Iterable[Row]] | Iterable[Row],
     dictionary: Dictionary,
-    max_support_size: int = 22,
+    max_support_size: Optional[int] = None,
 ) -> Dict[FrozenSet[Row], Fraction]:
     """The adversary's posterior over full secret answers, ``P[S(I)=s | V̄(I)=v̄]``.
 
@@ -91,7 +91,7 @@ def row_posteriors(
     views: Sequence[Query] | Query,
     view_answers: Sequence[Iterable[Row]] | Iterable[Row],
     dictionary: Dictionary,
-    max_support_size: int = 22,
+    max_support_size: Optional[int] = None,
 ) -> Dict[Row, Tuple[Fraction, Fraction]]:
     """Per secret row ``s``: ``(P[s ⊆ S(I)], P[s ⊆ S(I) | V̄(I)=v̄])``.
 
@@ -163,7 +163,7 @@ def guessing_report(
     view_answers: Sequence[Iterable[Row]] | Iterable[Row],
     dictionary: Dictionary,
     restrict_to_rows: Optional[Iterable[Row]] = None,
-    max_support_size: int = 22,
+    max_support_size: Optional[int] = None,
 ) -> GuessingReport:
     """How well can the adversary now guess a secret row?
 

@@ -218,9 +218,12 @@ def answerable_from_encrypted_view(
     schema = dictionary.schema
     engine = ExactEngine(dictionary, max_support_size=max_support_size)
     relation = schema.relation(view.relation)
+    # key=repr: analysis domains may mix numeric and string constants,
+    # which Python refuses to order directly.
     support = sorted(
         set(facts_of_relation(relation, schema.domain))
-        | set(query_support(query, schema))
+        | set(query_support(query, schema)),
+        key=repr,
     )
     if len(support) > max_support_size:
         raise SecurityAnalysisError(

@@ -90,7 +90,9 @@ def possible_answer_tuples(
     evaluation suffices.
     """
     schema = dictionary.schema
-    support = sorted(query_support(query, schema))
+    # key=repr: analysis domains may mix numeric and string constants,
+    # which Python refuses to order directly.
+    support = sorted(query_support(query, schema), key=repr)
     full = Instance(support)
     return sorted(evaluate(query, full), key=repr)
 
@@ -111,7 +113,7 @@ def positive_leakage(
     dictionary: Dictionary,
     max_secret_rows: int = 1,
     max_view_rows: int = 1,
-    max_support_size: int = 22,
+    max_support_size: Optional[int] = None,
     *,
     criticality_engine=None,
 ) -> LeakageResult:
@@ -150,7 +152,7 @@ def _positive_leakage(
     dictionary: Dictionary,
     max_secret_rows: int = 1,
     max_view_rows: int = 1,
-    max_support_size: int = 22,
+    max_support_size: Optional[int] = None,
 ) -> LeakageResult:
     """The Eq. (9) search itself (called by the session layer)."""
     if isinstance(views, (ConjunctiveQuery, UnionQuery)):
@@ -211,7 +213,7 @@ def epsilon_of_theorem_6_1(
     dictionary: Dictionary,
     max_secret_rows: int = 1,
     max_view_rows: int = 1,
-    max_support_size: int = 22,
+    max_support_size: Optional[int] = None,
     *,
     critical_fn=None,
 ) -> Fraction:

@@ -34,7 +34,6 @@ from ..cq.query import ConjunctiveQuery
 from ..cq.union import UnionQuery
 from ..exceptions import KnowledgeError, SecurityAnalysisError
 from ..probability.dictionary import Dictionary
-from ..probability.engine import ExactEngine
 from ..probability.events import (
     And,
     Event,
@@ -43,6 +42,7 @@ from ..probability.events import (
     PredicateEvent,
     QueryAnswerIs,
 )
+from ..probability.kernel import ProbabilityKernel
 from ..relational.domain import Domain
 from ..relational.instance import Instance
 from ..relational.schema import Schema
@@ -704,7 +704,7 @@ def verify_with_knowledge(
     views: Sequence[ConjunctiveQuery] | ConjunctiveQuery,
     knowledge: PriorKnowledge | Event,
     dictionary: Dictionary,
-    max_support_size: int = 22,
+    max_support_size: Optional[int] = None,
 ) -> bool:
     """Literal Definition 5.1 / Eq. (7) check for one concrete dictionary.
 
@@ -712,6 +712,11 @@ def verify_with_knowledge(
     with non-zero probability together with ``K``), check
 
         P[S=s ∧ V̄=v̄ ∧ K]·P[K] = P[S=s ∧ K]·P[V̄=v̄ ∧ K].
+
+    The compiled kernel enumerates **one** joint distribution over the
+    secret's answers, the views' answers and the truth of ``K``; every
+    probability of Eq. (7) is then a marginal of it, where the seed
+    implementation re-enumerated the support for each answer combination.
     """
     if isinstance(views, (ConjunctiveQuery, UnionQuery)):
         views = [views]
@@ -722,26 +727,39 @@ def verify_with_knowledge(
     knowledge_event = (
         knowledge if isinstance(knowledge, Event) else knowledge.event(schema)
     )
-    engine = ExactEngine(dictionary, max_support_size=max_support_size)
+    kernel = ProbabilityKernel.shared(dictionary)
+    joint = kernel.joint_distribution(
+        [secret, *views], [knowledge_event], max_support_size=max_support_size
+    )
 
-    p_knowledge = engine.probability(knowledge_event)
+    zero = Fraction(0)
+    p_knowledge = zero
+    p_secret_k: Dict[FrozenSet, Fraction] = {}
+    p_views_k: Dict[Tuple, Fraction] = {}
+    p_all_k: Dict[Tuple, Fraction] = {}
+    for key, probability in joint.items():
+        if not key[-1]:  # K fails on this outcome class
+            continue
+        secret_answer, view_answers = key[0], key[1:-1]
+        p_knowledge += probability
+        p_secret_k[secret_answer] = p_secret_k.get(secret_answer, zero) + probability
+        p_views_k[view_answers] = p_views_k.get(view_answers, zero) + probability
+        p_all_k[(secret_answer, view_answers)] = (
+            p_all_k.get((secret_answer, view_answers), zero) + probability
+        )
     if p_knowledge == 0:
         raise KnowledgeError("the prior knowledge has probability zero under this dictionary")
 
-    secret_answers = engine.possible_answers(secret)
-    view_answer_lists = [engine.possible_answers(view) for view in views]
-
+    secret_answers = kernel.possible_answers(secret, max_support_size=max_support_size)
+    view_answer_lists = [
+        kernel.possible_answers(view, max_support_size=max_support_size)
+        for view in views
+    ]
     for secret_answer in secret_answers:
-        secret_event = QueryAnswerIs(secret, secret_answer)
-        p_secret_k = engine.joint_probability([secret_event, knowledge_event])
         for view_answers in itertools.product(*view_answer_lists):
-            view_events = [
-                QueryAnswerIs(view, answer) for view, answer in zip(views, view_answers)
-            ]
-            p_views_k = engine.joint_probability([*view_events, knowledge_event])
-            p_all = engine.joint_probability(
-                [secret_event, *view_events, knowledge_event]
-            )
-            if p_all * p_knowledge != p_secret_k * p_views_k:
+            p_all = p_all_k.get((secret_answer, view_answers), zero)
+            if p_all * p_knowledge != p_secret_k.get(secret_answer, zero) * p_views_k.get(
+                view_answers, zero
+            ):
                 return False
     return True

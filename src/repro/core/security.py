@@ -26,7 +26,7 @@ from ..cq.query import ConjunctiveQuery
 from ..cq.union import UnionQuery
 from ..exceptions import SecurityAnalysisError
 from ..probability.dictionary import Dictionary
-from ..probability.engine import ExactEngine
+from ..probability.kernel import ProbabilityKernel
 from ..relational.domain import Domain
 from ..relational.schema import Schema
 from ..relational.tuples import Fact
@@ -220,20 +220,26 @@ def verify_security_probabilistically(
     secret: ConjunctiveQuery,
     views: Sequence[ConjunctiveQuery] | ConjunctiveQuery,
     dictionary: Dictionary,
-    max_support_size: int = 22,
+    max_support_size: Optional[int] = None,
 ) -> bool:
     """Literal Definition 4.1 check for one concrete dictionary.
 
     Uses Eq. (4): for every pair of answers ``(s, v̄)`` attained over the
-    support, check ``P[S=s ∧ V̄=v̄] = P[S=s]·P[V̄=v̄]`` exactly.
+    support, check ``P[S=s ∧ V̄=v̄] = P[S=s]·P[V̄=v̄]`` exactly.  The
+    joint answer distribution comes from the compiled kernel shared per
+    dictionary, so repeated verification of the same pair — or a
+    follow-up :func:`independence_gap` on it — enumerates the support
+    only once.
     """
     if isinstance(views, (ConjunctiveQuery, UnionQuery)):
         views = [views]
     views = list(views)
     if not views:
         raise SecurityAnalysisError("at least one view is required")
-    engine = ExactEngine(dictionary, max_support_size=max_support_size)
-    joint = engine.joint_answer_distribution([secret, *views])
+    kernel = ProbabilityKernel.shared(dictionary)
+    joint = kernel.joint_answer_distribution(
+        [secret, *views], max_support_size=max_support_size
+    )
 
     secret_marginal: Dict[FrozenSet, Fraction] = {}
     views_marginal: Dict[Tuple, Fraction] = {}
@@ -258,19 +264,23 @@ def independence_gap(
     secret: ConjunctiveQuery,
     views: Sequence[ConjunctiveQuery] | ConjunctiveQuery,
     dictionary: Dictionary,
-    max_support_size: int = 22,
+    max_support_size: Optional[int] = None,
 ) -> Fraction:
     """The largest violation of Eq. (4) over all answer pairs.
 
     ``max_{s, v̄} |P[S=s ∧ V̄=v̄] − P[S=s]·P[V̄=v̄]|`` — zero iff the secret
     is secure for this dictionary.  Useful for quantifying *how far* an
     insecure pair is from independence under a specific distribution.
+    Shares the kernel's memoized joint distribution with
+    :func:`verify_security_probabilistically`.
     """
     if isinstance(views, (ConjunctiveQuery, UnionQuery)):
         views = [views]
     views = list(views)
-    engine = ExactEngine(dictionary, max_support_size=max_support_size)
-    joint = engine.joint_answer_distribution([secret, *views])
+    kernel = ProbabilityKernel.shared(dictionary)
+    joint = kernel.joint_answer_distribution(
+        [secret, *views], max_support_size=max_support_size
+    )
 
     secret_marginal: Dict[FrozenSet, Fraction] = {}
     views_marginal: Dict[Tuple, Fraction] = {}

@@ -6,8 +6,9 @@ enumeration engine (Eq. 1–2), Monte-Carlo sampling and the multilinear
 query polynomials ``f_Q`` of Section 4.3.
 """
 
+from .compiled_event import CompiledQueryTable, compile_query_table, query_truth_bits
 from .dictionary import Dictionary, Probability
-from .engine import ExactEngine
+from .engine import DEFAULT_MAX_SUPPORT, ExactEngine, NaiveExactEngine
 from .events import (
     And,
     Event,
@@ -22,6 +23,7 @@ from .events import (
     query_support,
     views_answer_event,
 )
+from .kernel import MassTable, ProbabilityKernel
 from .polynomial import MultilinearPolynomial, query_polynomial, truth_table
 from .sampling import Estimate, MonteCarloSampler
 
@@ -29,6 +31,13 @@ __all__ = [
     "Dictionary",
     "Probability",
     "ExactEngine",
+    "NaiveExactEngine",
+    "ProbabilityKernel",
+    "MassTable",
+    "CompiledQueryTable",
+    "compile_query_table",
+    "query_truth_bits",
+    "DEFAULT_MAX_SUPPORT",
     "Event",
     "And",
     "Or",

@@ -1,18 +1,29 @@
-"""Exact probability computations by enumeration of the instance space.
+"""Exact probability computations over the instance space.
 
 The engine computes probabilities of :class:`~repro.probability.events.Event`
-objects exactly (with rational arithmetic) by enumerating the subsets of
-the events' joint support — Eq. (2) of the paper.  It is deliberately
-faithful to the paper's exponential definitions; the guard
-``max_support_size`` protects against accidental blow-ups and callers can
-fall back to :mod:`repro.probability.sampling` for larger spaces.
+objects exactly (with rational arithmetic) over the subsets of the
+events' joint support — Eq. (2) of the paper.  Since the kernel rewrite,
+:class:`ExactEngine` is a thin façade over the compiled
+:class:`~repro.probability.kernel.ProbabilityKernel` shared per
+dictionary: queries are compiled once into bitset mask tables, subset
+probabilities come from meet-in-the-middle mass tables, and disconnected
+supports are factorized into independent components.  Results in the
+default exact mode are equal, as :class:`~fractions.Fraction` values, to
+the seed enumeration's.
+
+:class:`NaiveExactEngine` preserves that seed enumeration — a fresh
+backtracking evaluation and an ``n``-term probability product on each of
+the ``2^n`` sub-instances — as the reference implementation for
+cross-validation tests and the ``bench_exact_kernel`` ablation.
+``max_support_size`` guards against accidental blow-ups in both; callers
+can fall back to :mod:`repro.probability.sampling` for larger spaces.
 """
 
 from __future__ import annotations
 
 import itertools
 from fractions import Fraction
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from ..cq.evaluation import evaluate
 from ..cq.query import ConjunctiveQuery
@@ -20,18 +31,121 @@ from ..exceptions import IntractableAnalysisError, ProbabilityError
 from ..relational.instance import Instance
 from ..relational.tuples import Fact
 from .dictionary import Dictionary
-from .events import And, Event, QueryAnswerIs, query_support
+from .events import Event, query_support
+from .kernel import DEFAULT_MAX_SUPPORT, ProbabilityKernel
 
-__all__ = ["ExactEngine"]
+__all__ = ["ExactEngine", "NaiveExactEngine", "DEFAULT_MAX_SUPPORT", "SEED_MAX_SUPPORT"]
 
-#: Default bound on the number of facts whose subsets are enumerated.
-DEFAULT_MAX_SUPPORT = 22
+#: The seed engine's original support bound.  :class:`NaiveExactEngine`
+#: keeps it: per-subset re-evaluation gets none of the compiled speedup,
+#: so the raised kernel default would gut its blow-up guard.
+SEED_MAX_SUPPORT = 22
 
 
 class ExactEngine:
-    """Exact, enumeration-based probability engine over a dictionary."""
+    """Exact probability engine over a dictionary (kernel-backed).
 
-    def __init__(self, dictionary: Dictionary, max_support_size: int = DEFAULT_MAX_SUPPORT):
+    Engines with the same dictionary object share one
+    :class:`~repro.probability.kernel.ProbabilityKernel`, so compiled
+    query tables and joint distributions are computed once per process
+    regardless of how many engines are constructed.  ``exact=False``
+    selects the kernel's fast float mode (probabilities become floats;
+    compilation and structural results are unchanged).
+    """
+
+    def __init__(
+        self,
+        dictionary: Dictionary,
+        max_support_size: Optional[int] = None,
+        exact: bool = True,
+    ):
+        # The shared kernel holds its dictionary weakly; this strong
+        # reference keeps it alive for as long as the engine is.
+        self._dictionary = dictionary
+        self._kernel = ProbabilityKernel.shared(dictionary, exact=exact)
+        # None defers to the kernel defaults: DEFAULT_MAX_SUPPORT per
+        # structural component, PREDICATE_MAX_SUPPORT per component that
+        # needs the opaque-predicate fallback.  An explicit bound is
+        # honoured verbatim, as the seed engine honoured its.
+        self._max_support_size = max_support_size
+
+    @property
+    def dictionary(self) -> Dictionary:
+        """The dictionary (domain + tuple probabilities) in use."""
+        return self._dictionary
+
+    @property
+    def kernel(self) -> ProbabilityKernel:
+        """The shared compiled kernel answering this engine's queries."""
+        return self._kernel
+
+    # -- probabilities ----------------------------------------------------------
+    def probability(self, event: Event) -> Fraction:
+        """``P[event]`` computed exactly."""
+        return self._kernel.probability(event, max_support_size=self._max_support_size)
+
+    def joint_probability(self, events: Sequence[Event]) -> Fraction:
+        """``P[e1 ∧ e2 ∧ ...]`` computed exactly."""
+        return self._kernel.joint_probability(
+            events, max_support_size=self._max_support_size
+        )
+
+    def conditional_probability(self, event: Event, given: Event) -> Fraction:
+        """``P[event | given]``; raises when ``P[given] = 0``."""
+        return self._kernel.conditional_probability(
+            event, given, max_support_size=self._max_support_size
+        )
+
+    def are_independent(self, left: Event, right: Event) -> bool:
+        """Exact test of ``P[left ∧ right] = P[left]·P[right]``."""
+        return self._kernel.are_independent(
+            left, right, max_support_size=self._max_support_size
+        )
+
+    # -- query-answer distributions ---------------------------------------------
+    def answer_distribution(
+        self, query: ConjunctiveQuery
+    ) -> Dict[FrozenSet[Tuple[object, ...]], Fraction]:
+        """The full distribution of ``Q(I)``: answer set → probability (Eq. 2)."""
+        return self._kernel.answer_distribution(
+            query, max_support_size=self._max_support_size
+        )
+
+    def possible_answers(
+        self, query: ConjunctiveQuery
+    ) -> List[FrozenSet[Tuple[object, ...]]]:
+        """All answers the query attains with non-zero structural possibility.
+
+        "Structurally possible" means attained on *some* instance of the
+        support's powerset, irrespective of the probabilities (matching
+        the ∀s,v̄ quantification of Definition 4.1, which ranges over all
+        possible answers).
+        """
+        return self._kernel.possible_answers(
+            query, max_support_size=self._max_support_size
+        )
+
+    def joint_answer_distribution(
+        self, queries: Sequence[ConjunctiveQuery]
+    ) -> Dict[Tuple[FrozenSet[Tuple[object, ...]], ...], Fraction]:
+        """Joint distribution of several queries' answers."""
+        return self._kernel.joint_answer_distribution(
+            queries, max_support_size=self._max_support_size
+        )
+
+
+class NaiveExactEngine:
+    """The seed enumeration engine, kept as the cross-validation reference.
+
+    Every question re-evaluates the queries on each of the ``2^n``
+    sub-instances and recomputes the Eq. (1) product per subset.  It is
+    deliberately faithful to the paper's exponential definitions; the
+    compiled kernel must agree with it Fraction-for-Fraction, which is
+    exactly what ``tests/test_exact_kernel.py`` and
+    ``benchmarks/bench_exact_kernel.py`` check.
+    """
+
+    def __init__(self, dictionary: Dictionary, max_support_size: int = SEED_MAX_SUPPORT):
         self._dictionary = dictionary
         self._max_support_size = max_support_size
 
@@ -50,7 +164,9 @@ class ExactEngine:
             union: set[Fact] = set()
             for s in supports:
                 union |= s  # type: ignore[arg-type]
-            facts = sorted(union)
+            # key=repr: analysis domains may mix numeric and string
+            # constants, which Python refuses to order directly.
+            facts = sorted(union, key=repr)
         if len(facts) > self._max_support_size:
             raise IntractableAnalysisError(
                 f"event support has {len(facts)} facts; exact enumeration of "
@@ -100,7 +216,7 @@ class ExactEngine:
     ) -> Dict[FrozenSet[Tuple[object, ...]], Fraction]:
         """The full distribution of ``Q(I)``: answer set → probability (Eq. 2)."""
         schema = self._dictionary.schema
-        facts = sorted(query_support(query, schema))
+        facts = sorted(query_support(query, schema), key=repr)
         if len(facts) > self._max_support_size:
             raise IntractableAnalysisError(
                 f"query support has {len(facts)} facts; distribution enumeration "
@@ -117,15 +233,9 @@ class ExactEngine:
     def possible_answers(
         self, query: ConjunctiveQuery
     ) -> List[FrozenSet[Tuple[object, ...]]]:
-        """All answers the query attains with non-zero structural possibility.
-
-        "Structurally possible" means attained on *some* instance of the
-        support's powerset, irrespective of the probabilities (matching
-        the ∀s,v̄ quantification of Definition 4.1, which ranges over all
-        possible answers).
-        """
+        """All answers the query attains with non-zero structural possibility."""
         schema = self._dictionary.schema
-        facts = sorted(query_support(query, schema))
+        facts = sorted(query_support(query, schema), key=repr)
         if len(facts) > self._max_support_size:
             raise IntractableAnalysisError(
                 f"query support has {len(facts)} facts; answer enumeration "
@@ -149,7 +259,7 @@ class ExactEngine:
         union: set[Fact] = set()
         for query in queries:
             union |= query_support(query, schema)
-        facts = sorted(union)
+        facts = sorted(union, key=repr)
         if len(facts) > self._max_support_size:
             raise IntractableAnalysisError(
                 f"joint support has {len(facts)} facts; enumeration exceeds the "

@@ -26,10 +26,8 @@ import itertools
 from fractions import Fraction
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from ..cq.evaluation import evaluate_boolean
 from ..cq.query import ConjunctiveQuery
 from ..exceptions import IntractableAnalysisError, ProbabilityError
-from ..relational.instance import Instance
 from ..relational.tuples import Fact
 
 __all__ = ["MultilinearPolynomial", "query_polynomial", "truth_table"]
@@ -213,13 +211,24 @@ def truth_table(
     """Truth value of the boolean query on every subset of ``facts``.
 
     Entry ``i`` corresponds to the subset whose bitmask is ``i`` with
-    bit ``j`` meaning ``facts[j]`` is present.
+    bit ``j`` meaning ``facts[j]`` is present.  Computed through the
+    compiled kernel: one satisfying-assignment enumeration on the full
+    support plus a subset zeta transform, instead of ``2^n`` backtracking
+    evaluations.
     """
+    from .compiled_event import query_truth_bits
+
     n = len(facts)
+    size = 1 << n
+    bits = query_truth_bits(query, list(facts))
+    # Unpack via one to_bytes pass: per-mask `bits >> mask & 1` would
+    # re-copy the whole 2^n-bit integer for every mask (Θ(4^n) traffic).
+    data = bits.to_bytes((size + 7) >> 3, "little")
     table: List[bool] = []
-    for mask in range(1 << n):
-        instance = Instance(facts[j] for j in range(n) if mask >> j & 1)
-        table.append(evaluate_boolean(query, instance))
+    for byte in data:
+        for bit in range(8):
+            table.append(bool(byte >> bit & 1))
+    del table[size:]
     return table
 
 

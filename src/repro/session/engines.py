@@ -58,13 +58,19 @@ class VerificationEngine:
 class ExactVerificationEngine(VerificationEngine):
     """Literal Definition 4.1 with exact rational arithmetic.
 
-    Exponential in the query support size; authoritative on small
-    domains.  ``max_support_size`` bounds the enumerated support.
+    Backed by the compiled probability kernel shared per dictionary
+    (:class:`~repro.probability.kernel.ProbabilityKernel`): the joint
+    answer distribution of ``(secret, views)`` is compiled and
+    enumerated once per dictionary and memoized, so repeated session
+    verifications of the same pair are cache hits.  Exponential in the
+    per-component support size; authoritative on small domains.
+    ``max_support_size`` bounds the enumerated support per connected
+    component.
     """
 
     name = "exact"
 
-    def verify(self, secret, views, dictionary, max_support_size: int = 22, **_):
+    def verify(self, secret, views, dictionary, max_support_size=None, **_):
         from ..core.security import verify_security_probabilistically
 
         return verify_security_probabilistically(
@@ -94,12 +100,16 @@ class SamplingVerificationEngine(VerificationEngine):
         tolerance_sigmas: float = 4.0,
         **_,
     ) -> bool:
-        # Uniform option validation: both tuning knobs are checked the same
+        # Uniform option validation: every tuning knob is checked the same
         # way, and the error always names the offending value.
         if not isinstance(samples, int) or isinstance(samples, bool) or samples <= 0:
             raise SecurityAnalysisError(
                 f"sampling verification needs a positive integer sample count, "
                 f"got {samples!r}"
+            )
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise SecurityAnalysisError(
+                f"sampling verification needs an integer seed, got {seed!r}"
             )
         if (
             not isinstance(tolerance_sigmas, (int, float))

@@ -300,7 +300,7 @@ class AnalysisSession:
         dictionary: Optional[Dictionary] = None,
         max_secret_rows: int = 1,
         max_view_rows: int = 1,
-        max_support_size: int = 22,
+        max_support_size: Optional[int] = None,
     ) -> LeakageAnalysis:
         """Measure the positive disclosure ``leak(S, V̄)`` (Section 6.1)."""
         from ..core.leakage import _positive_leakage
