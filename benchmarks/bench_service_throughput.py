@@ -1,0 +1,173 @@
+"""Service throughput and coalescing: the audit daemon under load.
+
+Two acceptance gates (wired into CI), both end-to-end over real TCP:
+
+* **Coalescing burst** — ``BURST_SIZE`` byte-identical ``audit``
+  requests fired concurrently must complete with at least
+  ``BURST_SIZE − 1`` duplicate hits (coalesced in-flight or served from
+  the result cache) reported by the server's metrics: the burst costs
+  one computation no matter how it interleaves.
+
+* **Mixed-workload throughput** — a seeded
+  :func:`~repro.workload.generate_workload` mix over the paper's
+  3-variable Table 1 query-view pairs (decide / quick / audit /
+  collusion / leakage / verify / with_knowledge / plan, 30% duplicates)
+  replayed over ``CONCURRENCY`` connections must sustain at least
+  ``MIN_THROUGHPUT`` requests/sec with zero hard errors.
+
+The run writes ``BENCH_service.json`` (requests/sec, p50/p95 latency,
+coalescing hit rate) so the serving-tier trajectory is machine-readable
+across PRs, mirroring ``BENCH_exact_kernel.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+
+from repro.service import AsyncAuditServiceClient, ServerThread
+from repro.workload import WorkloadSpec, generate_workload, replay_workload, table1_templates
+
+#: Identical requests fired concurrently in the coalescing burst.
+BURST_SIZE = 32
+
+#: Required duplicate hits for the burst (the acceptance criterion).
+MIN_DUPLICATE_HITS = BURST_SIZE - 1
+
+#: Required sustained mixed-workload throughput, requests per second.
+MIN_THROUGHPUT = 100.0
+
+#: Mixed-workload size and replay fan-out.
+WORKLOAD_REQUESTS = 300
+CONCURRENCY = 12
+
+#: Where the machine-readable results land (repo root under CI).
+JSON_PATH = Path("BENCH_service.json")
+
+
+def _merge_results(section: str, payload: dict) -> None:
+    """Read-modify-write one section of ``BENCH_service.json``."""
+    document = {"benchmark": "service_throughput"}
+    if JSON_PATH.exists():
+        document.update(json.loads(JSON_PATH.read_text()))
+    document[section] = payload
+    JSON_PATH.write_text(json.dumps(document, indent=2) + "\n")
+
+
+def _fire_burst(address, document: dict) -> list:
+    """Send BURST_SIZE copies of one request concurrently (own connections)."""
+
+    async def _run():
+        clients = [AsyncAuditServiceClient(*address) for _ in range(BURST_SIZE)]
+        try:
+            return await asyncio.gather(
+                *(client.request(**document) for client in clients)
+            )
+        finally:
+            for client in clients:
+                await client.close()
+
+    return asyncio.run(_run())
+
+
+def test_identical_burst_coalesces(experiment_report):
+    report = experiment_report(
+        "Audit service — coalescing burst (N identical audit requests)",
+        ("burst", "computed", "coalesced", "cached", "duplicate hits", "required"),
+    )
+    burst_request = dict(table1_templates()[2])  # Table 1 row 1, op=audit
+    assert burst_request["op"] == "audit"
+    with ServerThread(workers=4) as server:
+        responses = _fire_burst(server.address, burst_request)
+        snapshot = server.server.metrics.snapshot()
+
+    assert all(response["ok"] for response in responses)
+    results = [json.dumps(response["result"], sort_keys=True) for response in responses]
+    assert len(set(results)) == 1, "coalesced answers must be identical"
+
+    audit_ops = snapshot["operations"]["audit"]
+    duplicates = audit_ops["coalesced"] + audit_ops["cached"]
+    report.add_row(
+        BURST_SIZE,
+        audit_ops["computed"],
+        audit_ops["coalesced"],
+        audit_ops["cached"],
+        duplicates,
+        f"≥ {MIN_DUPLICATE_HITS}",
+    )
+    _merge_results(
+        "coalescing_burst",
+        {
+            "burst_size": BURST_SIZE,
+            "computed": audit_ops["computed"],
+            "coalesced": audit_ops["coalesced"],
+            "result_cache_hits": audit_ops["cached"],
+            "duplicate_hits": duplicates,
+            "required_duplicate_hits": MIN_DUPLICATE_HITS,
+            "coalescing_hit_rate": snapshot["totals"]["coalescing_hit_rate"],
+            "duplicate_hit_rate": snapshot["totals"]["duplicate_hit_rate"],
+        },
+    )
+    assert audit_ops["computed"] == 1, "the burst must cost exactly one computation"
+    assert duplicates >= MIN_DUPLICATE_HITS, (
+        f"only {duplicates} of {BURST_SIZE} burst requests were coalesced/cached "
+        f"(required ≥ {MIN_DUPLICATE_HITS})"
+    )
+
+
+def test_mixed_workload_throughput(experiment_report):
+    report = experiment_report(
+        "Audit service — mixed Table 1 workload over TCP",
+        ("requests", "ok", "rps", "p50 (ms)", "p95 (ms)", "dup hits", "required rps"),
+    )
+    # random_fraction=0: the gate is defined on the 3-variable Table 1
+    # workloads only (random schemas vary in cost across seeds).
+    spec = WorkloadSpec(
+        seed=42, requests=WORKLOAD_REQUESTS, duplicate_fraction=0.3, random_fraction=0.0
+    )
+    requests = generate_workload(spec)
+    with ServerThread(workers=4) as server:
+        summary = replay_workload(requests, *server.address, concurrency=CONCURRENCY)
+        snapshot = server.server.metrics.snapshot()
+
+    rps = summary["requests_per_second"]
+    duplicates = summary["coalesced"] + summary["cached"]
+    report.add_row(
+        summary["requests"],
+        summary["ok"],
+        f"{rps:.0f}",
+        f"{summary['latency_ms']['p50']:.2f}",
+        f"{summary['latency_ms']['p95']:.2f}",
+        duplicates,
+        f"≥ {MIN_THROUGHPUT:.0f}",
+    )
+    _merge_results(
+        "mixed_workload",
+        {
+            "workload": {
+                "seed": spec.seed,
+                "requests": spec.requests,
+                "duplicate_fraction": spec.duplicate_fraction,
+                "source": "table1-3-variable",
+            },
+            "concurrency": CONCURRENCY,
+            "ok": summary["ok"],
+            "errors": summary["errors"],
+            "overloaded": summary["overloaded"],
+            "seconds": summary["seconds"],
+            "requests_per_second": rps,
+            "required_requests_per_second": MIN_THROUGHPUT,
+            "latency_ms": summary["latency_ms"],
+            "coalesced": summary["coalesced"],
+            "result_cache_hits": summary["cached"],
+            "coalescing_hit_rate": snapshot["totals"]["coalescing_hit_rate"],
+            "duplicate_hit_rate": snapshot["totals"]["duplicate_hit_rate"],
+        },
+    )
+    assert summary["errors"] == 0, summary.get("failures")
+    assert summary["ok"] == WORKLOAD_REQUESTS
+    assert rps >= MIN_THROUGHPUT, (
+        f"sustained only {rps:.1f} requests/sec on the Table 1 mixed workload "
+        f"(required ≥ {MIN_THROUGHPUT:.0f})"
+    )

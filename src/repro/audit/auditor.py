@@ -115,6 +115,41 @@ class SecurityAuditor:
         """The analysis session (cache, compiled queries, batch audits)."""
         return self._session
 
+    # -- observability ------------------------------------------------------------
+    @staticmethod
+    def kernel_stats_for(dictionary: Optional[Dictionary]):
+        """Counters of the shared probability kernels for a dictionary.
+
+        ``None`` when there is no dictionary or no kernel has been built
+        for it yet (qualitative audits never touch the kernel).
+        """
+        if dictionary is None:
+            return None
+        from ..probability.kernel import ProbabilityKernel
+
+        return ProbabilityKernel.shared_stats(dictionary)
+
+    def observability(self) -> dict:
+        """Cache and kernel counters as one JSON-serialisable document.
+
+        Surfaces the session's :class:`~repro.session.cache.CacheStats`
+        and — when quantitative analyses ran — the shared
+        :class:`~repro.probability.kernel.ProbabilityKernel` counters,
+        so operators can check the hit rates they expect (the same
+        document the audit service reports per session).
+        """
+        document = {
+            "critical_tuple_cache": self._session.cache_stats.to_dict(),
+            "engines": {
+                "verification": self._session.engine_name,
+                "criticality": self._session.criticality_engine_name,
+            },
+        }
+        kernels = self.kernel_stats_for(self._dictionary)
+        if kernels is not None:
+            document["probability_kernels"] = kernels
+        return document
+
     # -- single-pair primitives -------------------------------------------------
     def decide(self, secret: QueryLike, views: Sequence[QueryLike] | QueryLike) -> SecurityDecision:
         """Dictionary-independent security decision (Theorem 4.5)."""

@@ -75,6 +75,46 @@ class AuditReport:
         """Findings where security fails."""
         return tuple(f for f in self.findings if not f.secure)
 
+    def to_dict(self) -> dict:
+        """The report as one JSON-serialisable document.
+
+        This is the machine-readable shape emitted by ``repro-audit
+        audit --json`` and by the audit service's ``audit`` operation.
+        """
+        findings = []
+        for finding in self.findings:
+            leak = finding.leakage or finding.assessment.leakage
+            document = {
+                "secret": finding.secret_name,
+                "views": list(finding.view_names),
+                "disclosure": finding.level.value,
+                "secure": finding.secure,
+            }
+            if finding.practical is not None:
+                document["practical"] = {
+                    "certainly_secure": finding.practical.certainly_secure,
+                    "possibly_insecure": finding.practical.possibly_insecure,
+                }
+            if leak is not None:
+                document["leakage"] = {
+                    "exact": str(leak.leakage),
+                    "float": float(leak.leakage),
+                }
+            findings.append(document)
+        document = {
+            "all_secure": self.all_secure,
+            "findings": findings,
+            "notes": list(self.notes),
+            "rendered": self.render(),
+        }
+        if self.collusion is not None:
+            document["collusion"] = {
+                "secure_overall": self.collusion.secure_overall,
+                "recipients": list(self.collusion.recipients),
+                "insecure_recipients": list(self.collusion.insecure_recipients),
+            }
+        return document
+
     def render(self) -> str:
         """Render the report as a plain-text table (plus collusion summary)."""
         header = ("secret", "views", "disclosure", "secure", "details")

@@ -12,18 +12,26 @@ a publishing plan without writing Python::
     repro-audit leakage  --schema schema.json --secret "..." --view "..." --probability 1/4
     repro-audit collusion --schema schema.json --secret "..." --view bob="..." --view carol="..."
     repro-audit plan     --plan plan.json
+    repro-audit serve    --port 8765 --workers 4
+    repro-audit request  --port 8765 --op decide --schema schema.json \
+                         --secret "..." --view "..."
 
 The schema JSON format is documented in :mod:`repro.io`; ``plan`` takes
 the same document extended with ``secrets`` and ``views`` mappings and
 runs the batch :meth:`~repro.session.AnalysisSession.audit_plan`.
+``serve`` runs the asyncio audit daemon of :mod:`repro.service` and
+``request`` sends it one operation (either assembled from the usual
+flags or read verbatim from ``--payload file.json``).
 Every command exits with status 0 when the secret is safe under the
 requested analysis and status 1 when a disclosure was found, so the
-tool can gate a CI pipeline or a publishing workflow.
+tool can gate a CI pipeline or a publishing workflow; transport and
+configuration errors exit 2.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -99,6 +107,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     audit = subparsers.add_parser("audit", help="full audit: classification, quick check, leakage")
     add_common(audit, multi_view_names=True)
+    audit.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "emit the report as JSON, including cache and probability-kernel "
+            "observability counters"
+        ),
+    )
 
     leakage = subparsers.add_parser("leakage", help="measure the positive disclosure (Section 6.1)")
     add_common(leakage, multi_view_names=False)
@@ -134,6 +150,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="print critical-tuple cache statistics after the audit",
     )
 
+    serve = subparsers.add_parser(
+        "serve", help="run the JSON-lines-over-TCP audit daemon (repro.service)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765, help="bind port (default 8765; 0 = ephemeral)")
+    serve.add_argument(
+        "--workers", type=int, default=None, help="worker threads for analyses (default: CPU count, max 8)"
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="pending analyses before requests are shed with an 'overloaded' error",
+    )
+    serve.add_argument(
+        "--max-payload",
+        type=int,
+        default=None,
+        help="maximum request line size in bytes (default 1 MiB)",
+    )
+
+    request = subparsers.add_parser(
+        "request", help="send one operation to a running audit daemon"
+    )
+    request.add_argument("--host", default="127.0.0.1", help="daemon address")
+    request.add_argument("--port", type=int, default=8765, help="daemon port")
+    request.add_argument(
+        "--payload",
+        default=None,
+        help="path to a JSON request document sent verbatim (overrides the flags below)",
+    )
+    request.add_argument(
+        "--op",
+        default=None,
+        help="operation: decide, quick, audit, leakage, collusion, with_knowledge, "
+        "verify, plan, ping, stats, shutdown",
+    )
+    request.add_argument("--schema", default=None, help="path to the schema JSON file")
+    request.add_argument("--secret", default=None, help="the confidential query (datalog)")
+    request.add_argument(
+        "--view",
+        action="append",
+        default=None,
+        help="a view, optionally prefixed recipient=QUERY; repeat for several",
+    )
+    request.add_argument(
+        "--probability", default=None, help="uniform tuple probability (e.g. 1/4)"
+    )
+    request.add_argument("--engine", default=None, help="verification engine name")
+    request.add_argument(
+        "--criticality-engine", default=None, help="criticality engine name"
+    )
+
     return parser
 
 
@@ -143,12 +212,85 @@ def _dictionary_for(args, schema) -> Optional[Dictionary]:
     return None
 
 
+def _run_serve(args) -> int:
+    """The ``serve`` command: run the audit daemon until shutdown."""
+    from .service.server import run_server
+
+    options = {"queue_limit": args.queue_limit}
+    if args.workers is not None:
+        options["workers"] = args.workers
+    if args.max_payload is not None:
+        options["max_payload"] = args.max_payload
+    run_server(
+        args.host,
+        args.port,
+        announce=lambda bound: print(
+            f"repro-audit daemon listening on {bound[0]}:{bound[1]}", flush=True
+        ),
+        **options,
+    )
+    return 0
+
+
+def _run_request(args, parser: argparse.ArgumentParser) -> int:
+    """The ``request`` command: one operation against a running daemon.
+
+    Exit codes mirror the local commands: 0 = ok (and not a disclosure),
+    1 = the analysis found a disclosure, 2 = transport/protocol errors.
+    """
+    from .service.client import AuditServiceClient
+
+    if args.payload is not None:
+        with open(args.payload, "r", encoding="utf8") as handle:
+            document = json.load(handle)
+        if not isinstance(document, dict) or "op" not in document:
+            parser.error("--payload must hold a JSON object with an 'op' field")
+    else:
+        if args.op is None:
+            parser.error("request needs --op (or --payload)")
+        document = {"op": args.op}
+        if args.schema is not None:
+            with open(args.schema, "r", encoding="utf8") as handle:
+                document["schema"] = json.load(handle)
+        if args.secret is not None:
+            document["secret"] = args.secret
+        if args.view:
+            document["views"] = _parse_views(args.view)
+        if args.probability is not None:
+            document["dictionary"] = {"tuple_probability": args.probability}
+        if args.engine is not None:
+            document["engine"] = args.engine
+        if args.criticality_engine is not None:
+            document["criticality_engine"] = args.criticality_engine
+
+    op = document.pop("op")
+    with AuditServiceClient(args.host, args.port) as client:
+        response = client.request(op, **{
+            key: value for key, value in document.items() if key != "id"
+        })
+    print(json.dumps(response, indent=2))
+    if not response.get("ok"):
+        return 2
+    verdict = (response.get("result") or {}).get("verdict")
+    if op == "quick":
+        # Mirror the local command: only the sound "certainly secure"
+        # certificate exits 0; an inconclusive check exits 1.
+        return 0 if verdict is True else 1
+    return 1 if verdict is False else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
 
     try:
+        if args.command == "serve":
+            return _run_serve(args)
+
+        if args.command == "request":
+            return _run_request(args, parser)
+
         if args.command == "plan":
             schema, dictionary, plan = load_publishing_plan(args.plan)
             session = AnalysisSession(
@@ -185,7 +327,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         if args.command == "audit":
             report = auditor.audit(args.secret, named_views)
-            print(report.render())
+            if args.json:
+                document = report.to_dict()
+                document["observability"] = auditor.observability()
+                print(json.dumps(document, indent=2))
+            else:
+                print(report.render())
             return 0 if report.all_secure else 1
 
         if args.command == "leakage":

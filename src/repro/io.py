@@ -41,11 +41,18 @@ from .relational.schema import RelationSchema, Schema
 __all__ = [
     "schema_from_dict",
     "schema_to_dict",
+    "schema_to_json",
     "load_schema",
+    "save_schema",
     "dictionary_from_dict",
+    "dictionary_to_dict",
     "load_audit_configuration",
+    "audit_configuration_to_dict",
+    "save_audit_configuration",
     "publishing_plan_from_dict",
+    "publishing_plan_to_dict",
     "load_publishing_plan",
+    "save_publishing_plan",
 ]
 
 
@@ -103,11 +110,27 @@ def schema_to_dict(schema: Schema) -> Dict[str, Any]:
     return {"relations": relations, "domain": list(schema.domain.values)}
 
 
+def schema_to_json(schema: Schema, indent: Optional[int] = 2) -> str:
+    """Serialise a :class:`Schema` to its JSON document text."""
+    return json.dumps(schema_to_dict(schema), indent=indent)
+
+
 def load_schema(path: Union[str, Path]) -> Schema:
     """Load a schema from a JSON file."""
     with open(path, "r", encoding="utf8") as handle:
         document = json.load(handle)
     return schema_from_dict(document)
+
+
+def save_schema(schema: Schema, path: Union[str, Path]) -> None:
+    """Write a schema as the JSON document :func:`load_schema` reads.
+
+    ``load_schema(save_schema(s, p) and p)`` rebuilds a schema with the
+    same fingerprint (relations, keys, attribute domains, global domain).
+    """
+    with open(path, "w", encoding="utf8") as handle:
+        handle.write(schema_to_json(schema))
+        handle.write("\n")
 
 
 def dictionary_from_dict(
@@ -128,6 +151,23 @@ def dictionary_from_dict(
     return None
 
 
+def dictionary_to_dict(dictionary: Dictionary) -> Dict[str, Any]:
+    """The document fields describing a dictionary (the loader's inverse).
+
+    Only *uniform* dictionaries are expressible in the document format;
+    per-fact probability overrides raise :class:`SchemaError` (the wire
+    and file formats deliberately stay at the granularity operators
+    configure: one ``tuple_probability``).
+    """
+    if not dictionary.is_uniform:
+        raise SchemaError(
+            "only uniform dictionaries are JSON-serialisable; this one "
+            f"overrides {len(dictionary.explicit_probabilities)} tuple "
+            "probabilities"
+        )
+    return {"tuple_probability": str(dictionary.default)}
+
+
 def load_audit_configuration(
     path: Union[str, Path]
 ) -> Tuple[Schema, Optional[Dictionary]]:
@@ -136,6 +176,27 @@ def load_audit_configuration(
         document = json.load(handle)
     schema = schema_from_dict(document)
     return schema, dictionary_from_dict(document, schema)
+
+
+def audit_configuration_to_dict(
+    schema: Schema, dictionary: Optional[Dictionary] = None
+) -> Dict[str, Any]:
+    """One document holding a schema and (optionally) its dictionary."""
+    document = schema_to_dict(schema)
+    if dictionary is not None:
+        document.update(dictionary_to_dict(dictionary))
+    return document
+
+
+def save_audit_configuration(
+    schema: Schema,
+    path: Union[str, Path],
+    dictionary: Optional[Dictionary] = None,
+) -> None:
+    """Write the JSON file :func:`load_audit_configuration` reads."""
+    with open(path, "w", encoding="utf8") as handle:
+        json.dump(audit_configuration_to_dict(schema, dictionary), handle, indent=2)
+        handle.write("\n")
 
 
 def publishing_plan_from_dict(document: Mapping[str, Any]):
@@ -166,6 +227,38 @@ def publishing_plan_from_dict(document: Mapping[str, Any]):
     return PublishingPlan(secrets=secrets, views=views)
 
 
+def _query_text(query: Any) -> str:
+    """A query as its datalog text (strings pass through unchanged).
+
+    ``str(query)`` of a :class:`~repro.cq.query.ConjunctiveQuery` (or a
+    union) parses back to an equal query, which is what makes the plan
+    and workload documents round-trippable.
+    """
+    return query if isinstance(query, str) else str(query)
+
+
+def publishing_plan_to_dict(
+    plan: Any,
+    schema: Schema,
+    dictionary: Optional[Dictionary] = None,
+) -> Dict[str, Any]:
+    """Serialise a plan (with its schema) to the publishing-plan document.
+
+    The inverse of :func:`load_publishing_plan`: secrets and views are
+    written as datalog strings, so plans built programmatically — e.g.
+    by the workload generator — can be saved, versioned and replayed
+    through the CLI or the audit service.
+    """
+    document = audit_configuration_to_dict(schema, dictionary)
+    document["secrets"] = {
+        name: _query_text(query) for name, query in plan.secrets.items()
+    }
+    document["views"] = {
+        recipient: _query_text(query) for recipient, query in plan.views.items()
+    }
+    return document
+
+
 def load_publishing_plan(path: Union[str, Path]):
     """Load ``(schema, dictionary, plan)`` from one publishing-plan JSON file."""
     with open(path, "r", encoding="utf8") as handle:
@@ -176,3 +269,15 @@ def load_publishing_plan(path: Union[str, Path]):
         dictionary_from_dict(document, schema),
         publishing_plan_from_dict(document),
     )
+
+
+def save_publishing_plan(
+    plan: Any,
+    schema: Schema,
+    path: Union[str, Path],
+    dictionary: Optional[Dictionary] = None,
+) -> None:
+    """Write the JSON file :func:`load_publishing_plan` reads."""
+    with open(path, "w", encoding="utf8") as handle:
+        json.dump(publishing_plan_to_dict(plan, schema, dictionary), handle, indent=2)
+        handle.write("\n")

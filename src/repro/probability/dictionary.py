@@ -131,6 +131,24 @@ class Dictionary:
         """Probability assigned to facts without an explicit entry."""
         return self._default
 
+    @property
+    def explicit_probabilities(self) -> Dict[Fact, Fraction]:
+        """A copy of the per-fact probability overrides."""
+        return dict(self._probabilities)
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when every tuple has the default probability.
+
+        Uniform dictionaries are the ones the JSON document format can
+        express (``tuple_probability`` / ``expected_size``), so this is
+        the serialisability predicate of :func:`repro.io.dictionary_to_dict`.
+        """
+        return all(
+            probability == self._default
+            for probability in self._probabilities.values()
+        )
+
     def probability_of(self, fact: Fact) -> Fraction:
         """``P(t)`` for one fact."""
         return self._probabilities.get(fact, self._default)

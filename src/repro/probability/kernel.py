@@ -227,6 +227,24 @@ class ProbabilityKernel:
             kernel._dictionary_strong = None  # see __init__: keep the key weak
         return kernel
 
+    @classmethod
+    def shared_stats(cls, dictionary: Dictionary) -> Optional[Dict[str, Dict[str, int]]]:
+        """Counters of the shared kernels for ``dictionary``, if any exist.
+
+        Purely observational: nothing is created.  Returns a mapping
+        ``mode → stats`` (mode is ``"exact"`` or ``"float"``) or ``None``
+        when no shared kernel has been built for the dictionary yet —
+        which is how operators can see compiled-table and distribution
+        hit rates without attaching a debugger.
+        """
+        kernels = _SHARED.get(dictionary)
+        if not kernels:
+            return None
+        return {
+            "exact" if exact else "float": dict(kernel.stats)
+            for exact, kernel in sorted(kernels.items(), reverse=True)
+        }
+
     @property
     def dictionary(self) -> Dictionary:
         """The dictionary this kernel computes over."""

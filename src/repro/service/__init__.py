@@ -1,0 +1,65 @@
+"""The disclosure-audit service: a network front door for the analyzer.
+
+The library answers every disclosure question the paper poses (security
+decisions, leakage, collusion, prior knowledge, per-dictionary
+verification) through :class:`~repro.session.AnalysisSession`, but only
+as an in-process call.  This package puts those analyses behind a small
+JSON-lines-over-TCP daemon, the way practical disclosure-control
+deployments front their engines with a query interface:
+
+* :mod:`repro.service.protocol` — the wire format: one JSON document per
+  line, typed request/response envelopes, structured error codes;
+* :mod:`repro.service.server` — the asyncio daemon: one shared
+  :class:`~repro.session.AnalysisSession` per (schema, dictionary,
+  engine, criticality-engine) fingerprint, coalescing of identical
+  in-flight requests, a bounded worker pool with explicit load shedding;
+* :mod:`repro.service.client` — sync and asyncio clients;
+* :mod:`repro.service.metrics` — per-operation counters and latency
+  percentiles served through the ``stats`` operation.
+
+Quick start::
+
+    from repro.service import AuditServer, AuditServiceClient, ServerThread
+
+    with ServerThread() as server:
+        with AuditServiceClient(*server.address) as client:
+            response = client.request(
+                "decide",
+                schema={"relations": [...]},
+                secret="S(n, p) :- Emp(n, d, p)",
+                views=["V(n, d) :- Emp(n, d, p)"],
+            )
+            print(response["result"]["verdict"])
+"""
+
+from .client import AsyncAuditServiceClient, AuditServiceClient, ServiceError
+from .metrics import ServiceMetrics
+from .protocol import (
+    ANALYSIS_OPERATIONS,
+    CONTROL_OPERATIONS,
+    OPERATIONS,
+    PROTOCOL_VERSION,
+    AuditRequest,
+    ProtocolError,
+    parse_request,
+    request_key,
+)
+from .server import AuditServer, ServerThread, run_server
+
+__all__ = [
+    "ANALYSIS_OPERATIONS",
+    "CONTROL_OPERATIONS",
+    "OPERATIONS",
+    "PROTOCOL_VERSION",
+    "AuditRequest",
+    "AuditServer",
+    "AuditServiceClient",
+    "AsyncAuditServiceClient",
+    "ProtocolError",
+    "ServerThread",
+    "ServiceError",
+    "ServiceMetrics",
+    "parse_request",
+    "request_key",
+    "run_server",
+]

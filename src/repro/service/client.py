@@ -1,0 +1,173 @@
+"""Clients for the audit daemon (blocking sockets and asyncio).
+
+Both clients speak the same one-line-per-message protocol and share the
+same surface: :meth:`request` sends one operation and returns the parsed
+response envelope; :meth:`call` raises :class:`ServiceError` on a
+structured error instead.  One client instance owns one connection and
+issues requests sequentially on it; for concurrent traffic (e.g. to
+exercise the server's coalescing) open several clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+from ..exceptions import ReproError
+from .protocol import encode_message
+
+__all__ = ["ServiceError", "AuditServiceClient", "AsyncAuditServiceClient"]
+
+
+class ServiceError(ReproError):
+    """A structured error answered by the service."""
+
+    def __init__(self, code: str, message: str, response: Optional[Dict[str, Any]] = None):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.response = response
+
+
+def _check_envelope(response: Any) -> Dict[str, Any]:
+    if not isinstance(response, dict) or "ok" not in response:
+        raise ReproError(f"malformed response from the service: {response!r}")
+    return response
+
+
+def _raise_for_error(response: Dict[str, Any]) -> Dict[str, Any]:
+    if not response["ok"]:
+        error = response.get("error") or {}
+        raise ServiceError(
+            error.get("code", "internal"), error.get("message", "unknown error"), response
+        )
+    return response
+
+
+class AuditServiceClient:
+    """Blocking client: one TCP connection, sequential requests."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 60.0):
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._socket: Optional[socket.socket] = None
+        self._file = None
+        self._ids = itertools.count(1)
+
+    # -- connection --------------------------------------------------------------
+    def connect(self) -> "AuditServiceClient":
+        """Open the connection (idempotent; ``request`` connects lazily)."""
+        if self._socket is None:
+            self._socket = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout
+            )
+            self._file = self._socket.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        """Close the connection (safe to call twice)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._socket is not None:
+            self._socket.close()
+            self._socket = None
+
+    def __enter__(self) -> "AuditServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- requests ----------------------------------------------------------------
+    def send_raw(self, payload: bytes) -> Dict[str, Any]:
+        """Send pre-encoded bytes and read one response line (for tests)."""
+        self.connect()
+        assert self._socket is not None and self._file is not None
+        self._socket.sendall(payload)
+        line = self._file.readline()
+        if not line:
+            raise ReproError("the service closed the connection")
+        return _check_envelope(json.loads(line))
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one operation; returns the full response envelope."""
+        document = {"id": next(self._ids), "op": op, **fields}
+        return self.send_raw(encode_message(document))
+
+    def call(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Like :meth:`request` but raises :class:`ServiceError` on errors
+        and returns only the ``result`` document."""
+        return _raise_for_error(self.request(op, **fields))["result"]
+
+    # -- conveniences ------------------------------------------------------------
+    def ping(self) -> bool:
+        """True when the daemon answers."""
+        return bool(self.call("ping").get("pong"))
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's metrics snapshot."""
+        return self.call("stats")
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to stop (it finishes in-flight work first)."""
+        return self.call("shutdown")
+
+
+class AsyncAuditServiceClient:
+    """Asyncio client: one connection, requests serialised by a lock."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765):
+        self._host = host
+        self._port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+        self._ids = itertools.count(1)
+
+    async def connect(self) -> "AsyncAuditServiceClient":
+        """Open the connection (idempotent)."""
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self._host, self._port
+            )
+        return self
+
+    async def close(self) -> None:
+        """Close the connection."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except Exception:  # pragma: no cover - peer already gone
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def __aenter__(self) -> "AsyncAuditServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one operation; returns the full response envelope."""
+        await self.connect()
+        assert self._reader is not None and self._writer is not None
+        document = {"id": next(self._ids), "op": op, **fields}
+        async with self._lock:
+            self._writer.write(encode_message(document))
+            await self._writer.drain()
+            line = await self._reader.readline()
+        if not line:
+            raise ReproError("the service closed the connection")
+        return _check_envelope(json.loads(line))
+
+    async def call(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Like :meth:`request` but raises :class:`ServiceError` on errors
+        and returns only the ``result`` document."""
+        return _raise_for_error(await self.request(op, **fields))["result"]

@@ -1,0 +1,131 @@
+"""Operational metrics of the audit service.
+
+The server records one observation per handled request:
+
+* ``computed`` — the request ran an analysis on the worker pool;
+* ``coalesced`` — the request awaited an identical in-flight computation;
+* ``cached`` — the request was answered from the server's result cache;
+* ``error`` — the request failed (malformed, analysis error, internal);
+* ``shed`` — the request was rejected because the worker queue was full.
+
+Latencies are kept per operation in a bounded ring (the most recent
+:data:`LATENCY_WINDOW` observations) from which the ``stats`` operation
+derives p50/p95/p99.  Everything is guarded by one lock: observations
+come from the event loop *and* from worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+__all__ = ["ServiceMetrics", "LATENCY_WINDOW", "percentile"]
+
+#: Number of recent latency samples kept per operation.
+LATENCY_WINDOW = 4096
+
+#: Observation outcomes (see module docstring).
+OUTCOMES = ("computed", "coalesced", "cached", "error", "shed")
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    ``samples`` must be sorted ascending and non-empty.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if len(samples) == 1:
+        return samples[0]
+    position = (len(samples) - 1) * q / 100.0
+    lower = int(position)
+    upper = min(lower + 1, len(samples) - 1)
+    weight = position - lower
+    return samples[lower] * (1 - weight) + samples[upper] * weight
+
+
+class _OpMetrics:
+    """Counters and a latency ring for one operation."""
+
+    __slots__ = ("counts", "latencies")
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {outcome: 0 for outcome in OUTCOMES}
+        self.latencies: Deque[float] = deque(maxlen=LATENCY_WINDOW)
+
+
+class ServiceMetrics:
+    """Thread-safe counters + latency percentiles, snapshot as plain JSON."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.time()
+        self._ops: Dict[str, _OpMetrics] = {}
+
+    def observe(
+        self, op: str, outcome: str, elapsed_seconds: Optional[float] = None
+    ) -> None:
+        """Record one handled request."""
+        if outcome not in OUTCOMES:
+            raise ValueError(f"unknown outcome {outcome!r}; expected one of {OUTCOMES}")
+        with self._lock:
+            entry = self._ops.get(op)
+            if entry is None:
+                entry = self._ops[op] = _OpMetrics()
+            entry.counts[outcome] += 1
+            if elapsed_seconds is not None:
+                entry.latencies.append(elapsed_seconds * 1000.0)
+
+    # -- reading -----------------------------------------------------------------
+    def total(self, outcome: str) -> int:
+        """Sum of one outcome counter across operations."""
+        with self._lock:
+            return sum(entry.counts.get(outcome, 0) for entry in self._ops.values())
+
+    def snapshot(self) -> Dict[str, object]:
+        """The metrics as one JSON-serialisable document.
+
+        ``totals.duplicate_hits`` = coalesced + result-cache hits: the
+        number of requests that never reached the worker pool because an
+        identical question was in flight or already answered.
+        """
+        with self._lock:
+            operations: Dict[str, object] = {}
+            totals = {outcome: 0 for outcome in OUTCOMES}
+            for op, entry in sorted(self._ops.items()):
+                for outcome, count in entry.counts.items():
+                    totals[outcome] += count
+                requests = sum(entry.counts.values())
+                op_doc: Dict[str, object] = {"requests": requests, **entry.counts}
+                if entry.latencies:
+                    ordered = sorted(entry.latencies)
+                    op_doc["latency_ms"] = {
+                        "count": len(ordered),
+                        "mean": round(sum(ordered) / len(ordered), 3),
+                        "p50": round(percentile(ordered, 50), 3),
+                        "p95": round(percentile(ordered, 95), 3),
+                        "p99": round(percentile(ordered, 99), 3),
+                        "max": round(ordered[-1], 3),
+                    }
+                operations[op] = op_doc
+            requests = sum(totals.values())
+            duplicates = totals["coalesced"] + totals["cached"]
+            return {
+                "uptime_seconds": round(time.time() - self._started, 3),
+                "totals": {
+                    "requests": requests,
+                    **totals,
+                    "duplicate_hits": duplicates,
+                    "coalescing_hit_rate": (
+                        totals["coalesced"] / requests if requests else 0.0
+                    ),
+                    "duplicate_hit_rate": duplicates / requests if requests else 0.0,
+                },
+                "operations": operations,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        totals = self.snapshot()["totals"]
+        return f"ServiceMetrics(requests={totals['requests']}, duplicates={totals['duplicate_hits']})"

@@ -1,0 +1,416 @@
+"""The audit-service wire format.
+
+One JSON document per line (``\\n``-terminated, UTF-8).  A *request*
+names an operation plus the analysis inputs; every input is plain JSON
+(schema documents in the :mod:`repro.io` format, queries as datalog
+strings), so workload files can be written by hand or generated
+programmatically::
+
+    {"id": 1, "op": "decide",
+     "schema": {"relations": [...]},
+     "secret": "S(n, p) :- Emp(n, d, p)",
+     "views": {"bob": "V(n, d) :- Emp(n, d, p)"}}
+
+A *response* echoes the request id and either carries a result or a
+structured error — the connection always survives a malformed request::
+
+    {"id": 1, "ok": true, "op": "decide", "result": {"verdict": false, ...},
+     "server": {"coalesced": false, "cached": false, "elapsed_ms": 3.1}}
+    {"id": 1, "ok": false, "error": {"code": "invalid-request", "message": "..."}}
+
+Operations
+----------
+Analysis operations mirror the session API: ``decide``, ``quick``,
+``audit``, ``leakage``, ``collusion``, ``with_knowledge``, ``verify``
+and ``plan``.  Control operations are ``ping``, ``stats`` and
+``shutdown``.
+
+Error codes
+-----------
+``bad-json``            the line is not a JSON object;
+``payload-too-large``   the line exceeds the server's payload bound;
+``invalid-request``     the envelope is malformed (missing/ill-typed field);
+``unknown-operation``   ``op`` is not one of the operations above;
+``analysis-error``      the analysis itself failed (bad query, no dictionary, ...);
+``overloaded``          the worker queue is full; retry later;
+``internal``            unexpected server-side failure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.prior import (
+    CardinalityConstraintKnowledge,
+    ConjunctionKnowledge,
+    KeyConstraintKnowledge,
+    PriorKnowledge,
+)
+from ..exceptions import ReproError
+from ..relational.schema import Schema
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DEFAULT_MAX_PAYLOAD",
+    "ANALYSIS_OPERATIONS",
+    "CONTROL_OPERATIONS",
+    "OPERATIONS",
+    "ERROR_BAD_JSON",
+    "ERROR_PAYLOAD_TOO_LARGE",
+    "ERROR_INVALID_REQUEST",
+    "ERROR_UNKNOWN_OPERATION",
+    "ERROR_ANALYSIS",
+    "ERROR_OVERLOADED",
+    "ERROR_INTERNAL",
+    "ProtocolError",
+    "AuditRequest",
+    "parse_request",
+    "request_key",
+    "session_key",
+    "knowledge_from_dict",
+    "encode_message",
+    "decode_message",
+    "ok_response",
+    "error_response",
+]
+
+#: Version tag carried in ``ping`` responses (bumped on breaking changes).
+PROTOCOL_VERSION = 1
+
+#: Default upper bound on one request line, in bytes.
+DEFAULT_MAX_PAYLOAD = 1 << 20
+
+#: Operations that run an analysis on a session.
+ANALYSIS_OPERATIONS = frozenset(
+    {"decide", "quick", "audit", "leakage", "collusion", "with_knowledge", "verify", "plan"}
+)
+
+#: Operations answered by the server itself.
+CONTROL_OPERATIONS = frozenset({"ping", "stats", "shutdown"})
+
+OPERATIONS = ANALYSIS_OPERATIONS | CONTROL_OPERATIONS
+
+ERROR_BAD_JSON = "bad-json"
+ERROR_PAYLOAD_TOO_LARGE = "payload-too-large"
+ERROR_INVALID_REQUEST = "invalid-request"
+ERROR_UNKNOWN_OPERATION = "unknown-operation"
+ERROR_ANALYSIS = "analysis-error"
+ERROR_OVERLOADED = "overloaded"
+ERROR_INTERNAL = "internal"
+
+
+class ProtocolError(ReproError):
+    """A request violates the wire format; carries the structured code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+#: Request ids may be any JSON scalar the client chooses.
+RequestId = Union[str, int, float, None]
+
+#: ``views`` / ``secrets`` accept a name→query mapping or a plain list.
+Queries = Union[Mapping[str, str], Sequence[str], str]
+
+
+@dataclass(frozen=True)
+class AuditRequest:
+    """A validated request envelope (analysis inputs still unparsed).
+
+    Queries stay datalog strings and the schema stays a JSON document
+    here: parsing them belongs to the execution step, where failures map
+    to ``analysis-error`` rather than ``invalid-request``.
+    """
+
+    op: str
+    id: RequestId = None
+    schema: Optional[Mapping[str, Any]] = None
+    secret: Optional[str] = None
+    views: Optional[Queries] = None
+    secrets: Optional[Queries] = None
+    dictionary: Optional[Mapping[str, Any]] = None
+    knowledge: Optional[Mapping[str, Any]] = None
+    engine: str = "exact"
+    criticality_engine: Optional[str] = None
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_control(self) -> bool:
+        """True for ``ping`` / ``stats`` / ``shutdown``."""
+        return self.op in CONTROL_OPERATIONS
+
+
+def _require(document: Mapping[str, Any], key: str, op: str) -> Any:
+    value = document.get(key)
+    if value is None:
+        raise ProtocolError(
+            ERROR_INVALID_REQUEST, f"operation {op!r} requires the {key!r} field"
+        )
+    return value
+
+
+def _check_queries(value: Any, key: str) -> Queries:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, Mapping):
+        if not value or not all(
+            isinstance(k, str) and isinstance(v, str) for k, v in value.items()
+        ):
+            raise ProtocolError(
+                ERROR_INVALID_REQUEST,
+                f"{key!r} must map recipient names to datalog query strings",
+            )
+        return dict(value)
+    if isinstance(value, Sequence):
+        if not value or not all(isinstance(v, str) for v in value):
+            raise ProtocolError(
+                ERROR_INVALID_REQUEST,
+                f"{key!r} must be a non-empty list of datalog query strings",
+            )
+        return list(value)
+    raise ProtocolError(
+        ERROR_INVALID_REQUEST,
+        f"{key!r} must be a query string, a list of them, or a name→query mapping",
+    )
+
+
+def parse_request(document: Any) -> AuditRequest:
+    """Validate a decoded JSON document into an :class:`AuditRequest`.
+
+    Raises :class:`ProtocolError` with ``invalid-request`` or
+    ``unknown-operation`` on malformed envelopes.
+    """
+    if not isinstance(document, Mapping):
+        raise ProtocolError(ERROR_INVALID_REQUEST, "a request must be a JSON object")
+    op = document.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError(ERROR_INVALID_REQUEST, "a request must name an 'op' string")
+    if op not in OPERATIONS:
+        raise ProtocolError(
+            ERROR_UNKNOWN_OPERATION,
+            f"unknown operation {op!r}; expected one of {', '.join(sorted(OPERATIONS))}",
+        )
+    request_id = document.get("id")
+    if request_id is not None and not isinstance(request_id, (str, int, float)):
+        raise ProtocolError(ERROR_INVALID_REQUEST, "the request 'id' must be a JSON scalar")
+    if op in CONTROL_OPERATIONS:
+        return AuditRequest(op=op, id=request_id)
+
+    schema = _require(document, "schema", op)
+    if not isinstance(schema, Mapping) or not schema.get("relations"):
+        raise ProtocolError(
+            ERROR_INVALID_REQUEST,
+            "'schema' must be a schema document with a non-empty 'relations' list",
+        )
+    dictionary = document.get("dictionary")
+    if dictionary is not None and not isinstance(dictionary, Mapping):
+        raise ProtocolError(ERROR_INVALID_REQUEST, "'dictionary' must be a JSON object")
+    options = document.get("options") or {}
+    if not isinstance(options, Mapping) or not all(isinstance(k, str) for k in options):
+        raise ProtocolError(
+            ERROR_INVALID_REQUEST, "'options' must be an object with string keys"
+        )
+    engine = document.get("engine", "exact")
+    if not isinstance(engine, str):
+        raise ProtocolError(ERROR_INVALID_REQUEST, "'engine' must be a string")
+    criticality_engine = document.get("criticality_engine")
+    if criticality_engine is not None and not isinstance(criticality_engine, str):
+        raise ProtocolError(ERROR_INVALID_REQUEST, "'criticality_engine' must be a string")
+
+    secret: Optional[str] = None
+    views: Optional[Queries] = None
+    secrets: Optional[Queries] = None
+    knowledge: Optional[Mapping[str, Any]] = None
+    if op == "plan":
+        secrets = _check_queries(_require(document, "secrets", op), "secrets")
+        views = _check_queries(_require(document, "views", op), "views")
+    else:
+        secret = _require(document, "secret", op)
+        if not isinstance(secret, str):
+            raise ProtocolError(ERROR_INVALID_REQUEST, "'secret' must be a datalog string")
+        views = _check_queries(_require(document, "views", op), "views")
+    if op == "with_knowledge":
+        knowledge = _require(document, "knowledge", op)
+        if not isinstance(knowledge, Mapping) or "kind" not in knowledge:
+            raise ProtocolError(
+                ERROR_INVALID_REQUEST,
+                "'knowledge' must be an object with a 'kind' field",
+            )
+    return AuditRequest(
+        op=op,
+        id=request_id,
+        schema=dict(schema),
+        secret=secret,
+        views=views,
+        secrets=secrets,
+        dictionary=dict(dictionary) if dictionary is not None else None,
+        knowledge=dict(knowledge) if knowledge is not None else None,
+        engine=engine,
+        criticality_engine=criticality_engine,
+        options=dict(options),
+    )
+
+
+def _canonical(value: Any) -> Any:
+    """A JSON-stable view of a request field (mappings get sorted keys)."""
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+def dictionary_spec(request: AuditRequest) -> Optional[Dict[str, Any]]:
+    """The dictionary-defining fields of a request, normalised.
+
+    The per-request ``dictionary`` object wins; otherwise the schema
+    document's ``tuple_probability`` / ``expected_size`` keys apply,
+    exactly as :func:`repro.io.dictionary_from_dict` reads them.
+    """
+    if request.dictionary is not None:
+        return _canonical(request.dictionary)
+    schema = request.schema or {}
+    spec = {
+        key: schema[key]
+        for key in ("tuple_probability", "expected_size")
+        if key in schema
+    }
+    return _canonical(spec) if spec else None
+
+
+def session_key(request: AuditRequest) -> str:
+    """The session-sharing fingerprint of a request.
+
+    Requests with equal keys run on one shared
+    :class:`~repro.session.AnalysisSession` (hence one critical-tuple
+    cache and one set of shared probability kernels).
+    """
+    payload = {
+        "schema": _canonical(request.schema),
+        "dictionary": dictionary_spec(request),
+        "engine": request.engine,
+        "criticality_engine": request.criticality_engine,
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def request_key(request: AuditRequest) -> str:
+    """The coalescing/memoization key: everything but the request id.
+
+    Two requests with the same key are the same question to the same
+    session, so concurrent duplicates await one computation and repeats
+    hit the server's result cache.  The key is textual: α-equivalent but
+    differently-spelled queries get distinct keys (the session's own
+    critical-tuple cache still unifies their heavy work).
+    """
+    payload = {
+        "op": request.op,
+        "schema": _canonical(request.schema),
+        "secret": request.secret,
+        "views": _canonical(request.views),
+        "secrets": _canonical(request.secrets),
+        "dictionary": dictionary_spec(request),
+        "knowledge": _canonical(request.knowledge),
+        "engine": request.engine,
+        "criticality_engine": request.criticality_engine,
+        "options": _canonical(request.options),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
+
+# ---------------------------------------------------------------------------
+# Knowledge documents
+# ---------------------------------------------------------------------------
+def knowledge_from_dict(document: Mapping[str, Any], schema: Schema) -> PriorKnowledge:
+    """Build a :class:`PriorKnowledge` from its JSON description.
+
+    Supported kinds::
+
+        {"kind": "keys"}                                    # keys declared on the schema
+        {"kind": "keys", "keys": {"Emp": [0]}}              # explicit key positions
+        {"kind": "cardinality", "comparison": "at_most",
+         "count": 3, "relation": "Emp"}                     # relation optional
+        {"kind": "conjunction", "parts": [ ... ]}           # nested documents
+    """
+    kind = document.get("kind")
+    if kind == "keys":
+        keys = document.get("keys")
+        if keys is None:
+            return KeyConstraintKnowledge.from_schema(schema)
+        if not isinstance(keys, Mapping):
+            raise ProtocolError(
+                ERROR_INVALID_REQUEST, "'keys' must map relation names to position lists"
+            )
+        return KeyConstraintKnowledge(
+            {name: tuple(int(p) for p in positions) for name, positions in keys.items()}
+        )
+    if kind == "cardinality":
+        comparison = document.get("comparison")
+        count = document.get("count")
+        if not isinstance(comparison, str) or not isinstance(count, int):
+            raise ProtocolError(
+                ERROR_INVALID_REQUEST,
+                "cardinality knowledge needs a 'comparison' string and an integer 'count'",
+            )
+        return CardinalityConstraintKnowledge(
+            comparison, count, relation=document.get("relation")
+        )
+    if kind == "conjunction":
+        parts = document.get("parts")
+        if not isinstance(parts, Sequence) or not parts:
+            raise ProtocolError(
+                ERROR_INVALID_REQUEST, "conjunction knowledge needs a non-empty 'parts' list"
+            )
+        return ConjunctionKnowledge(
+            [knowledge_from_dict(part, schema) for part in parts]
+        )
+    raise ProtocolError(
+        ERROR_INVALID_REQUEST,
+        f"unsupported knowledge kind {kind!r}; expected 'keys', 'cardinality' "
+        "or 'conjunction'",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+def encode_message(document: Mapping[str, Any]) -> bytes:
+    """Serialise one message to its wire form (JSON + newline)."""
+    return json.dumps(document, separators=(",", ":"), default=str).encode("utf8") + b"\n"
+
+
+def decode_message(line: bytes, max_payload: int = DEFAULT_MAX_PAYLOAD) -> Any:
+    """Decode one received line; raises :class:`ProtocolError` on bad input."""
+    if len(line) > max_payload:
+        raise ProtocolError(
+            ERROR_PAYLOAD_TOO_LARGE,
+            f"request of {len(line)} bytes exceeds the {max_payload}-byte bound",
+        )
+    try:
+        return json.loads(line.decode("utf8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(ERROR_BAD_JSON, f"request is not valid JSON: {exc}") from exc
+
+
+def ok_response(
+    request_id: RequestId,
+    op: str,
+    result: Mapping[str, Any],
+    *,
+    coalesced: bool = False,
+    cached: bool = False,
+    elapsed_ms: Optional[float] = None,
+) -> Dict[str, Any]:
+    """A success envelope."""
+    server: Dict[str, Any] = {"coalesced": coalesced, "cached": cached}
+    if elapsed_ms is not None:
+        server["elapsed_ms"] = round(elapsed_ms, 3)
+    return {"id": request_id, "ok": True, "op": op, "result": result, "server": server}
+
+
+def error_response(request_id: RequestId, code: str, message: str) -> Dict[str, Any]:
+    """A structured-error envelope (the connection stays open)."""
+    return {"id": request_id, "ok": False, "error": {"code": code, "message": message}}

@@ -1,0 +1,646 @@
+"""The asyncio disclosure-audit daemon.
+
+Architecture
+------------
+The event loop owns all bookkeeping — the session pool, the in-flight
+table, the result cache and the pending counter — so none of it needs a
+lock; only the analyses themselves leave the loop, onto a bounded
+:class:`~concurrent.futures.ThreadPoolExecutor`.  Three mechanisms keep
+the daemon healthy under heavy, repetitive traffic:
+
+* **Session sharing.**  Requests are fingerprinted on (schema document,
+  dictionary spec, verification engine, criticality engine); all
+  requests with one fingerprint run on one shared
+  :class:`~repro.session.AnalysisSession`, so the critical-tuple cache
+  and the per-dictionary probability kernels are reused across clients
+  and connections.  The pool is LRU-bounded.
+
+* **Request coalescing.**  Identical requests (same
+  :func:`~repro.service.protocol.request_key`) that arrive while the
+  first one is still computing *await the same future* instead of
+  queueing duplicate work; completed answers additionally populate a
+  bounded result cache, so a burst of N duplicates costs one
+  computation no matter how the burst interleaves with completions.
+
+* **Load shedding.**  At most ``queue_limit`` analyses may be pending on
+  the worker pool; beyond that the server answers immediately with a
+  structured ``overloaded`` error instead of letting the queue grow
+  without bound.
+
+The worker threads share sessions, which is safe because
+:class:`~repro.session.cache.CriticalTupleCache` is thread-safe and
+session analyses are otherwise read-only over immutable queries.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import hashlib
+import os
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from fractions import Fraction
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..audit.auditor import SecurityAuditor
+from ..exceptions import ReproError
+from ..io import dictionary_from_dict, schema_from_dict
+from ..session import AnalysisSession, PublishingPlan
+from ..session.results import (
+    AnalysisResult,
+    CollusionResult,
+    DecisionResult,
+    KnowledgeResult,
+    LeakageAnalysis,
+    PlanAuditResult,
+    VerificationResult,
+)
+from .metrics import ServiceMetrics
+from .protocol import (
+    DEFAULT_MAX_PAYLOAD,
+    ERROR_ANALYSIS,
+    ERROR_INTERNAL,
+    ERROR_OVERLOADED,
+    ERROR_PAYLOAD_TOO_LARGE,
+    OPERATIONS,
+    PROTOCOL_VERSION,
+    AuditRequest,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    knowledge_from_dict,
+    ok_response,
+    parse_request,
+    request_key,
+    session_key,
+)
+
+__all__ = ["AuditServer", "ServerThread", "run_server"]
+
+#: Default bound on concurrently pending analyses (load-shedding threshold).
+DEFAULT_QUEUE_LIMIT = 64
+
+#: Default number of shared sessions kept (LRU).
+DEFAULT_MAX_SESSIONS = 32
+
+#: Default number of completed request payloads memoized (LRU).
+DEFAULT_RESULT_CACHE = 1024
+
+
+def _fraction_fields(value: Optional[Fraction]) -> Dict[str, Any]:
+    if value is None:
+        return {}
+    return {"exact": str(value), "float": float(value)}
+
+
+def _cache_delta(result: AnalysisResult) -> Dict[str, int]:
+    used = result.cache_used
+    return {"hits": used.hits, "misses": used.misses, "evictions": used.evictions}
+
+
+def result_payload(result: AnalysisResult) -> Dict[str, Any]:
+    """Serialise a session :class:`AnalysisResult` to plain JSON.
+
+    Every payload carries the unified fields (``kind``, ``verdict``,
+    ``explanation``, timing, cache delta); flavours add their own detail
+    on top.
+    """
+    payload: Dict[str, Any] = {
+        "kind": result.kind,
+        "verdict": result.verdict,
+        "conclusive": result.conclusive,
+        "explanation": result.explain(),
+        "elapsed_seconds": round(result.elapsed_seconds, 6),
+        "cache_used": _cache_delta(result),
+    }
+    if isinstance(result, DecisionResult):
+        decision = result.decision
+        payload["common_critical_count"] = len(decision.common_critical)
+        payload["method"] = decision.method
+    elif isinstance(result, CollusionResult):
+        report = result.report
+        payload["recipients"] = list(report.recipients)
+        payload["insecure_recipients"] = list(report.insecure_recipients)
+        payload["secure_recipients"] = list(report.secure_recipients)
+    elif isinstance(result, KnowledgeResult):
+        payload["method"] = result.decision.method
+    elif isinstance(result, LeakageAnalysis):
+        measurement = result.measurement
+        payload["leakage"] = _fraction_fields(measurement.leakage)
+        payload["explored"] = measurement.explored
+        if measurement.prior is not None:
+            payload["prior"] = _fraction_fields(measurement.prior)
+            payload["posterior"] = _fraction_fields(measurement.posterior)
+    elif isinstance(result, VerificationResult):
+        payload["engine"] = result.engine
+    elif isinstance(result, PlanAuditResult):
+        payload["entries"] = [
+            {
+                "secret": entry.secret_name,
+                "recipient": entry.recipient,
+                "view": entry.view_name,
+                "secure": entry.secure,
+            }
+            for entry in result.entries
+        ]
+        payload["violations"] = [
+            {"secret": entry.secret_name, "recipient": entry.recipient}
+            for entry in result.violations
+        ]
+    return payload
+
+
+class AuditServer:
+    """The JSON-lines-over-TCP audit daemon.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address; port 0 picks an ephemeral port (read it back from
+        :attr:`address` after :meth:`start`).
+    workers:
+        Worker-pool size for CPU-bound analyses (default: CPU count,
+        capped at 8).
+    queue_limit:
+        Maximum pending analyses before requests are shed with an
+        ``overloaded`` error.
+    max_sessions / result_cache_size:
+        LRU bounds of the shared-session pool and the completed-result
+        memo.
+    session_cache_size:
+        ``CriticalTupleCache`` size of each shared session.
+    max_payload:
+        Upper bound (bytes) on one request line.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: Optional[int] = None,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
+        result_cache_size: int = DEFAULT_RESULT_CACHE,
+        session_cache_size: int = 512,
+        max_payload: int = DEFAULT_MAX_PAYLOAD,
+    ):
+        if queue_limit < 1:
+            raise ReproError("queue_limit must be at least 1")
+        self._host = host
+        self._port = port
+        self._workers = workers or min(8, os.cpu_count() or 1)
+        self._queue_limit = queue_limit
+        self._max_sessions = max(1, max_sessions)
+        self._result_cache_size = max(0, result_cache_size)
+        self._session_cache_size = session_cache_size
+        self._max_payload = max_payload
+        self._metrics = ServiceMetrics()
+        self._sessions: "OrderedDict[str, AnalysisSession]" = OrderedDict()
+        self._inflight: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._results: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._pending = 0
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._connections = 0
+        self._connection_tasks: "set[asyncio.Task]" = set()
+
+    # -- lifecycle ---------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting connections; returns the bound address."""
+        if self._server is not None:
+            raise ReproError("the server is already running")
+        self._stop_event = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._workers, thread_name_prefix="repro-audit"
+        )
+        # The stream limit sits above max_payload so an oversized-but-bounded
+        # line is still read whole and answered with a structured error.
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            self._host,
+            self._port,
+            limit=max(2 * self._max_payload, 1 << 16),
+        )
+        return self.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``."""
+        if self._server is None or not self._server.sockets:
+            raise ReproError("the server is not running")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    @property
+    def metrics(self) -> ServiceMetrics:
+        """The live metrics object."""
+        return self._metrics
+
+    async def serve_until_stopped(self) -> None:
+        """Block until a ``shutdown`` request (or :meth:`stop`) arrives."""
+        if self._stop_event is None:
+            raise ReproError("call start() first")
+        await self._stop_event.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain pending work, release the worker pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Let in-flight analyses finish so clients waiting on coalesced
+        # futures are answered before the pool disappears.
+        while self._pending:
+            await asyncio.sleep(0.01)
+        # Then drop connections idling in readline().
+        for task in list(self._connection_tasks):
+            task.cancel()
+        if self._connection_tasks:
+            await asyncio.gather(*self._connection_tasks, return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    # -- connection handling ------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # The line overran the stream buffer: the framing is
+                    # lost, so answer once and drop only this connection.
+                    self._metrics.observe("unknown", "error")
+                    writer.write(
+                        encode_message(
+                            error_response(
+                                None,
+                                ERROR_PAYLOAD_TOO_LARGE,
+                                "request line exceeded the stream buffer; "
+                                "connection closed",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                response = await self._handle_line(line)
+                writer.write(encode_message(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover - client vanished
+            pass
+        except asyncio.CancelledError:
+            pass  # server shutdown; fall through to close the transport
+        finally:
+            self._connections -= 1
+            if task is not None:
+                self._connection_tasks.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _handle_line(self, line: bytes) -> Dict[str, Any]:
+        request_id = None
+        op = "unknown"
+        try:
+            document = decode_message(line, self._max_payload)
+            if isinstance(document, Mapping):
+                candidate = document.get("id")
+                if isinstance(candidate, (str, int, float)):
+                    request_id = candidate
+                # Attribute envelope errors to the named operation so the
+                # per-op error counters stay meaningful.
+                if document.get("op") in OPERATIONS:
+                    op = document["op"]
+            request = parse_request(document)
+        except ProtocolError as error:
+            self._metrics.observe(op, "error")
+            return error_response(request_id, error.code, str(error))
+        if request.is_control:
+            return self._handle_control(request)
+        return await self._handle_analysis(request)
+
+    def _handle_control(self, request: AuditRequest) -> Dict[str, Any]:
+        if request.op == "ping":
+            self._metrics.observe("ping", "computed")
+            return ok_response(
+                request.id, "ping", {"pong": True, "version": PROTOCOL_VERSION}
+            )
+        if request.op == "stats":
+            self._metrics.observe("stats", "computed")
+            return ok_response(request.id, "stats", self._stats_payload())
+        # shutdown
+        self._metrics.observe("shutdown", "computed")
+        if self._stop_event is not None:
+            self._stop_event.set()
+        return ok_response(request.id, "shutdown", {"stopping": True})
+
+    def _stats_payload(self) -> Dict[str, Any]:
+        sessions = []
+        for key, session in self._sessions.items():
+            entry: Dict[str, Any] = {
+                "fingerprint": hashlib.sha256(key.encode("utf8")).hexdigest()[:12],
+                "engine": session.engine_name,
+                "criticality_engine": session.criticality_engine_name,
+                "cache": session.cache_stats.to_dict(),
+            }
+            kernel_stats = SecurityAuditor.kernel_stats_for(session.dictionary)
+            if kernel_stats is not None:
+                entry["kernels"] = kernel_stats
+            sessions.append(entry)
+        return {
+            **self._metrics.snapshot(),
+            "pending": self._pending,
+            "queue_limit": self._queue_limit,
+            "workers": self._workers,
+            "connections": self._connections,
+            "result_cache_entries": len(self._results),
+            "sessions": sessions,
+        }
+
+    # -- analysis dispatch --------------------------------------------------------
+    async def _handle_analysis(self, request: AuditRequest) -> Dict[str, Any]:
+        key = request_key(request)
+        started = time.perf_counter()
+
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            # Coalesce: await the twin computation (shielded so one
+            # impatient client cannot cancel it from under the others).
+            response_core = await asyncio.shield(inflight)
+            elapsed = time.perf_counter() - started
+            self._metrics.observe(request.op, "coalesced", elapsed)
+            return self._finish(request, response_core, elapsed, coalesced=True)
+
+        cached = self._results.get(key)
+        if cached is not None:
+            self._results.move_to_end(key)
+            elapsed = time.perf_counter() - started
+            self._metrics.observe(request.op, "cached", elapsed)
+            return self._finish(request, cached, elapsed, cached=True)
+
+        if self._pending >= self._queue_limit:
+            self._metrics.observe(request.op, "shed")
+            return error_response(
+                request.id,
+                ERROR_OVERLOADED,
+                f"worker queue is full ({self._pending} pending, "
+                f"limit {self._queue_limit}); retry later",
+            )
+
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Dict[str, Any]]" = loop.create_future()
+        self._inflight[key] = future
+        self._pending += 1
+        try:
+            try:
+                session = self._session_for(request)
+                payload = await loop.run_in_executor(
+                    self._executor, self._execute, session, request
+                )
+                response_core = {"ok": True, "result": payload}
+            except ProtocolError as error:
+                response_core = {"ok": False, "code": error.code, "message": str(error)}
+            except ReproError as error:
+                response_core = {"ok": False, "code": ERROR_ANALYSIS, "message": str(error)}
+            except Exception as error:  # noqa: BLE001 - the daemon must survive
+                response_core = {
+                    "ok": False,
+                    "code": ERROR_INTERNAL,
+                    "message": f"{type(error).__name__}: {error}",
+                }
+        finally:
+            self._pending -= 1
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.set_result(response_core)
+        elapsed = time.perf_counter() - started
+        if response_core["ok"] and self._result_cache_size:
+            self._results[key] = response_core
+            self._results.move_to_end(key)
+            while len(self._results) > self._result_cache_size:
+                self._results.popitem(last=False)
+        self._metrics.observe(
+            request.op, "computed" if response_core["ok"] else "error", elapsed
+        )
+        return self._finish(request, response_core, elapsed)
+
+    def _finish(
+        self,
+        request: AuditRequest,
+        response_core: Mapping[str, Any],
+        elapsed: float,
+        *,
+        coalesced: bool = False,
+        cached: bool = False,
+    ) -> Dict[str, Any]:
+        if response_core["ok"]:
+            return ok_response(
+                request.id,
+                request.op,
+                response_core["result"],
+                coalesced=coalesced,
+                cached=cached,
+                elapsed_ms=elapsed * 1000.0,
+            )
+        return error_response(request.id, response_core["code"], response_core["message"])
+
+    # -- session pool -------------------------------------------------------------
+    def _session_for(self, request: AuditRequest) -> AnalysisSession:
+        """The shared session for a request's fingerprint (loop thread only)."""
+        key = session_key(request)
+        session = self._sessions.get(key)
+        if session is None:
+            schema = schema_from_dict(request.schema)
+            if request.dictionary is not None:
+                dictionary = dictionary_from_dict(request.dictionary, schema)
+            else:
+                dictionary = dictionary_from_dict(request.schema, schema)
+            session = AnalysisSession(
+                schema,
+                dictionary=dictionary,
+                engine=request.engine,
+                criticality_engine=request.criticality_engine,
+                cache_size=self._session_cache_size,
+            )
+            while len(self._sessions) >= self._max_sessions:
+                self._sessions.popitem(last=False)
+            self._sessions[key] = session
+        self._sessions.move_to_end(key)
+        return session
+
+    # -- the worker-side execution ------------------------------------------------
+    def _execute(self, session: AnalysisSession, request: AuditRequest) -> Dict[str, Any]:
+        """Run one analysis (worker thread; session state is thread-safe)."""
+        op = request.op
+        options = dict(request.options)
+        if op == "decide":
+            return result_payload(session.decide(request.secret, request.views))
+        if op == "quick":
+            return result_payload(session.quick_check(request.secret, request.views))
+        if op == "collusion":
+            return result_payload(session.collusion(request.secret, request.views))
+        if op == "leakage":
+            return result_payload(
+                session.leakage(request.secret, request.views, **options)
+            )
+        if op == "verify":
+            return result_payload(
+                session.verify(request.secret, request.views, **options)
+            )
+        if op == "with_knowledge":
+            knowledge = knowledge_from_dict(request.knowledge, session.schema)
+            return result_payload(
+                session.with_knowledge(request.secret, request.views, knowledge)
+            )
+        if op == "plan":
+            plan = PublishingPlan(secrets=request.secrets, views=request.views)
+            return result_payload(session.audit_plan(plan))
+        if op == "audit":
+            auditor = SecurityAuditor(session.schema, session=session)
+            views = (
+                request.views
+                if isinstance(request.views, Mapping)
+                else list(request.views)
+                if not isinstance(request.views, str)
+                else [request.views]
+            )
+            report = auditor.audit(request.secret, views)
+            payload = report.to_dict()
+            # The uniform verdict field every other op carries; also what
+            # `repro-audit request` keys its exit code on.
+            payload["verdict"] = report.all_secure
+            payload["observability"] = auditor.observability()
+            return payload
+        raise ProtocolError(ERROR_INTERNAL, f"unroutable operation {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Runners
+# ---------------------------------------------------------------------------
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    announce=None,
+    **server_options,
+) -> None:
+    """Run a daemon until ``shutdown`` / Ctrl-C (the CLI entry point).
+
+    ``announce`` is called with the bound ``(host, port)`` once the
+    socket is listening.
+    """
+
+    async def _amain() -> None:
+        server = AuditServer(host, port, **server_options)
+        bound = await server.start()
+        if announce is not None:
+            announce(bound)
+        try:
+            await server.serve_until_stopped()
+        except asyncio.CancelledError:  # pragma: no cover - Ctrl-C path
+            await server.stop()
+            raise
+
+    try:
+        asyncio.run(_amain())
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+
+
+class ServerThread:
+    """A daemon running on a background thread (tests, benchmarks, demos).
+
+    Usage::
+
+        with ServerThread(workers=4) as server:
+            client = AuditServiceClient(*server.address)
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, **server_options):
+        self._server = AuditServer(host, port, **server_options)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self._address: Optional[Tuple[str, int]] = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._address is None:
+            raise ReproError("the server thread is not running")
+        return self._address
+
+    @property
+    def server(self) -> AuditServer:
+        """The wrapped :class:`AuditServer` (e.g. for ``metrics``)."""
+        return self._server
+
+    def start(self) -> "ServerThread":
+        """Boot the loop thread and wait until the socket is listening."""
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            asyncio.set_event_loop(loop)
+
+            async def _main() -> None:
+                try:
+                    self._address = await self._server.start()
+                except BaseException as error:  # pragma: no cover - bind failure
+                    self._error = error
+                    self._started.set()
+                    return
+                self._started.set()
+                await self._server.serve_until_stopped()
+
+            try:
+                loop.run_until_complete(_main())
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(target=_run, name="repro-audit-server", daemon=True)
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._error is not None:
+            raise ReproError(f"server failed to start: {self._error}")
+        if self._address is None:
+            raise ReproError("server did not come up within 30s")
+        return self
+
+    def stop(self, timeout: float = 30) -> None:
+        """Request a stop and join the loop thread."""
+        loop, thread = self._loop, self._thread
+        if loop is not None and thread is not None and thread.is_alive():
+            try:
+                loop.call_soon_threadsafe(
+                    lambda: self._server._stop_event is not None
+                    and self._server._stop_event.set()
+                )
+            except RuntimeError:
+                pass  # the loop already stopped (e.g. a client sent shutdown)
+            thread.join(timeout=timeout)
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -89,6 +89,17 @@ class CacheStats:
         total = self.lookups
         return self.hits / total if total else 0.0
 
+    def to_dict(self) -> dict:
+        """The stats as plain JSON (used by ``stats`` and ``audit --json``)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "hit_rate": self.hit_rate,
+        }
+
     def delta(self, earlier: "CacheStats") -> "CacheStats":
         """The counter increments accumulated since an ``earlier`` snapshot."""
         return CacheStats(
@@ -131,7 +142,8 @@ class CriticalTupleCache:
         return self._maxsize
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
         with self._lock:

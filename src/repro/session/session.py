@@ -22,6 +22,7 @@ without changes.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -109,6 +110,10 @@ class AnalysisSession:
         self._domain = domain
         self._cache = cache if cache is not None else CriticalTupleCache(cache_size)
         self._compiled: Dict[Tuple, CompiledQuery] = {}
+        # Sessions are shared across the audit service's worker threads;
+        # the critical-tuple cache is thread-safe on its own and this lock
+        # covers the only other mutable state, the compiled-query memo.
+        self._compile_lock = threading.Lock()
 
     # -- introspection -----------------------------------------------------------
     @property
@@ -173,12 +178,13 @@ class AnalysisSession:
             return query
         parsed = as_query(query)
         key = canonical_query_key(parsed)
-        compiled = self._compiled.get(key)
-        if compiled is None:
-            compiled = CompiledQuery(self, parsed)
-            if len(self._compiled) >= 4 * self._cache.maxsize:
-                self._compiled.clear()  # unbounded growth guard; recompiling is cheap
-            self._compiled[key] = compiled
+        with self._compile_lock:
+            compiled = self._compiled.get(key)
+            if compiled is None:
+                compiled = CompiledQuery(self, parsed)
+                if len(self._compiled) >= 4 * self._cache.maxsize:
+                    self._compiled.clear()  # unbounded growth guard; recompiling is cheap
+                self._compiled[key] = compiled
         return compiled
 
     def critical_tuples(self, query: Union[QueryLike, CompiledQuery], domain: Optional[Domain] = None):

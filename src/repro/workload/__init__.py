@@ -1,0 +1,35 @@
+"""Workload generation for load-testing the disclosure-audit service.
+
+A *workload* is a list of protocol request documents (see
+:mod:`repro.service.protocol`) — plain JSON, so it can be saved to a
+file, versioned, and replayed against any daemon.  The generator is
+fully deterministic given a seed and draws from two sources:
+
+* the paper's Table 1 query-view pairs over the 3-variable
+  ``Emp(name, department, phone)`` schema (the canonical benchmark
+  surface of this reproduction), and
+* the random conjunctive-query generator of :mod:`repro.bench.workloads`
+  (random schemas, random secret/view pairs).
+
+A configurable fraction of requests are exact duplicates of earlier
+ones, which is what exercises the server's request coalescing and
+result cache under replay.
+"""
+
+from .generator import (
+    WorkloadSpec,
+    generate_workload,
+    load_workload,
+    replay_workload,
+    save_workload,
+    table1_templates,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "generate_workload",
+    "load_workload",
+    "replay_workload",
+    "save_workload",
+    "table1_templates",
+]

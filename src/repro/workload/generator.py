@@ -1,0 +1,339 @@
+"""Seeded request-workload generation and replay.
+
+The three moving parts:
+
+* :func:`table1_templates` — one request document per (operation,
+  Table 1 row) combination over the employee schema;
+* :func:`generate_workload` — a seeded mix of template draws, random
+  query-view pairs and exact duplicates, sized and weighted by a
+  :class:`WorkloadSpec`;
+* :func:`replay_workload` — drive a live daemon with the generated
+  requests over several concurrent connections and summarise the
+  outcome (throughput, latency percentiles, duplicate hits).
+
+Workload files are JSON: ``{"version": 1, "requests": [...]}``; every
+request validates against :func:`repro.service.protocol.parse_request`.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..bench.schemas import employee_schema, table1_pairs
+from ..bench.workloads import WorkloadConfig, random_query_view_pair
+from ..exceptions import ReproError
+from ..io import schema_to_dict
+from ..service.protocol import parse_request
+
+__all__ = [
+    "WorkloadSpec",
+    "table1_templates",
+    "generate_workload",
+    "save_workload",
+    "load_workload",
+    "replay_workload",
+]
+
+#: Workload file format version.
+WORKLOAD_VERSION = 1
+
+#: Default operation weights of the mixed workload.
+DEFAULT_MIX: Dict[str, float] = {
+    "decide": 4.0,
+    "quick": 2.0,
+    "audit": 1.0,
+    "collusion": 1.0,
+    "plan": 0.5,
+    "leakage": 0.5,
+    "verify": 0.5,
+    "with_knowledge": 0.5,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one generated workload.
+
+    Attributes
+    ----------
+    seed:
+        Everything is drawn from ``random.Random(seed)``.
+    requests:
+        Number of request documents to emit.
+    mix:
+        Operation → weight; operations absent from the mix are never
+        drawn.  Only consulted for Table 1 draws (random-schema draws
+        use the dictionary-free ``decide`` / ``quick`` / ``collusion``).
+    duplicate_fraction:
+        Probability that a request repeats an earlier one verbatim
+        (coalescing / result-cache pressure under replay).
+    random_fraction:
+        Probability that a non-duplicate request uses a random schema
+        and query pair instead of a Table 1 template.
+    probability:
+        Uniform tuple probability attached to Table 1 requests (needed
+        by ``leakage`` / ``verify``; harmless elsewhere).
+    random_config:
+        Shape of the random schemas/queries (see
+        :class:`repro.bench.workloads.WorkloadConfig`).
+    """
+
+    seed: int = 0
+    requests: int = 100
+    mix: Mapping[str, float] = field(default_factory=lambda: dict(DEFAULT_MIX))
+    duplicate_fraction: float = 0.3
+    random_fraction: float = 0.2
+    probability: str = "1/4"
+    random_config: WorkloadConfig = field(
+        default_factory=lambda: WorkloadConfig(relations=2, max_arity=2, domain_size=2)
+    )
+
+
+def table1_templates(probability: str = "1/4") -> List[Dict[str, Any]]:
+    """One request document per (operation, Table 1 row).
+
+    Every document targets the 3-variable ``Emp(n, d, p)`` schema and is
+    a complete, valid protocol request.
+    """
+    schema_doc = schema_to_dict(employee_schema())
+    schema_doc["tuple_probability"] = probability
+    rows = table1_pairs()
+    templates: List[Dict[str, Any]] = []
+    for row in rows:
+        secret = str(row.secret)
+        views = {f"user{i + 1}": str(view) for i, view in enumerate(row.views)}
+        base = {"schema": schema_doc, "secret": secret, "views": views}
+        templates.append({"op": "decide", **base})
+        templates.append({"op": "quick", **base})
+        templates.append({"op": "audit", **base})
+        templates.append({"op": "collusion", **base})
+        templates.append({"op": "leakage", **base})
+        templates.append({"op": "verify", **base})
+        templates.append(
+            {
+                "op": "with_knowledge",
+                **base,
+                "knowledge": {"kind": "keys", "keys": {"Emp": [0]}},
+            }
+        )
+    templates.append(
+        {
+            "op": "plan",
+            "schema": schema_doc,
+            "secrets": {f"s{row.row}": str(row.secret) for row in rows},
+            "views": {
+                f"r{row.row}v{i}": str(view)
+                for row in rows
+                for i, view in enumerate(row.views)
+            },
+        }
+    )
+    return templates
+
+
+def _random_request(spec: WorkloadSpec, rng: random.Random) -> Dict[str, Any]:
+    """A dictionary-free request over a random schema and query pair."""
+    schema, secret, view = random_query_view_pair(
+        spec.random_config, seed=rng.randrange(1 << 30)
+    )
+    document = {
+        "op": rng.choice(("decide", "quick", "collusion")),
+        "schema": schema_to_dict(schema),
+        "secret": str(secret),
+        "views": [str(view)],
+    }
+    return document
+
+
+def _weighted_choice(rng: random.Random, weights: Mapping[str, float]) -> str:
+    operations = sorted(weights)
+    total = sum(max(0.0, weights[op]) for op in operations)
+    if total <= 0:
+        raise ReproError("the workload mix must have at least one positive weight")
+    mark = rng.random() * total
+    for op in operations:
+        mark -= max(0.0, weights[op])
+        if mark <= 0:
+            return op
+    return operations[-1]
+
+
+def generate_workload(spec: WorkloadSpec) -> List[Dict[str, Any]]:
+    """The request documents of one seeded workload.
+
+    Deterministic: equal specs generate equal lists.  Every emitted
+    document passes :func:`~repro.service.protocol.parse_request`.
+    """
+    if spec.requests < 1:
+        raise ReproError("a workload needs at least one request")
+    rng = random.Random(spec.seed)
+    templates = table1_templates(spec.probability)
+    by_operation: Dict[str, List[Dict[str, Any]]] = {}
+    for template in templates:
+        by_operation.setdefault(template["op"], []).append(template)
+    mix = {op: weight for op, weight in spec.mix.items() if op in by_operation}
+    if not mix:
+        raise ReproError(
+            f"no mix operation is generatable; choose from {sorted(by_operation)}"
+        )
+    requests: List[Dict[str, Any]] = []
+    for _ in range(spec.requests):
+        if requests and rng.random() < spec.duplicate_fraction:
+            requests.append(dict(rng.choice(requests)))
+            continue
+        if rng.random() < spec.random_fraction:
+            document = _random_request(spec, rng)
+        else:
+            document = dict(rng.choice(by_operation[_weighted_choice(rng, mix)]))
+        parse_request(document)  # what we emit must be servable
+        requests.append(document)
+    return requests
+
+
+# ---------------------------------------------------------------------------
+# Workload files
+# ---------------------------------------------------------------------------
+def save_workload(requests: Sequence[Mapping[str, Any]], path: Union[str, Path]) -> None:
+    """Write a replayable workload file."""
+    document = {"version": WORKLOAD_VERSION, "requests": list(requests)}
+    with open(path, "w", encoding="utf8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+
+def load_workload(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read a workload file back; every request is re-validated."""
+    with open(path, "r", encoding="utf8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, Mapping) or "requests" not in document:
+        raise ReproError(f"{path} is not a workload file (no 'requests' list)")
+    if document.get("version") != WORKLOAD_VERSION:
+        raise ReproError(
+            f"unsupported workload version {document.get('version')!r}; "
+            f"this build reads version {WORKLOAD_VERSION}"
+        )
+    requests = [dict(request) for request in document["requests"]]
+    for request in requests:
+        parse_request(request)
+    return requests
+
+
+# ---------------------------------------------------------------------------
+# Replay
+# ---------------------------------------------------------------------------
+def replay_workload(
+    requests: Sequence[Mapping[str, Any]],
+    host: str,
+    port: int,
+    concurrency: int = 8,
+    timeout: float = 120.0,
+) -> Dict[str, Any]:
+    """Drive a live daemon with a workload over concurrent connections.
+
+    Each worker thread owns one connection and pulls requests from a
+    shared queue, so duplicates genuinely race each other through the
+    server's coalescing path.  Returns a summary document::
+
+        {"requests": N, "ok": N, "errors": N, "overloaded": N,
+         "seconds": s, "requests_per_second": r,
+         "latency_ms": {"p50": ..., "p95": ..., "max": ...},
+         "coalesced": N, "cached": N}
+
+    ``overloaded`` (structured load-shedding answers) counts separately
+    from hard ``errors``: shedding is the server behaving as designed.
+    """
+    from ..service.client import AuditServiceClient
+    from ..service.metrics import percentile
+
+    if concurrency < 1:
+        raise ReproError("replay needs at least one connection")
+    pending: "queue.Queue[Tuple[int, Mapping[str, Any]]]" = queue.Queue()
+    for index, request in enumerate(requests):
+        pending.put((index, request))
+    lock = threading.Lock()
+    outcomes = {"ok": 0, "errors": 0, "overloaded": 0, "coalesced": 0, "cached": 0}
+    latencies: List[float] = []
+    failures: List[str] = []
+
+    def _drain() -> None:
+        client = AuditServiceClient(host, port, timeout=timeout)
+        try:
+            while True:
+                try:
+                    index, request = pending.get_nowait()
+                except queue.Empty:
+                    return
+                fields = {key: value for key, value in request.items() if key != "op"}
+                started = time.perf_counter()
+                try:
+                    response = client.request(request["op"], **fields)
+                except Exception as error:
+                    # A transport failure must cost exactly one request:
+                    # account it, reconnect, keep draining the queue.
+                    with lock:
+                        outcomes["errors"] += 1
+                        if len(failures) < 5:
+                            failures.append(
+                                f"request {index} ({request.get('op')}): "
+                                f"transport: {error}"
+                            )
+                    client.close()
+                    client = AuditServiceClient(host, port, timeout=timeout)
+                    continue
+                elapsed_ms = (time.perf_counter() - started) * 1000.0
+                with lock:
+                    latencies.append(elapsed_ms)
+                    if response.get("ok"):
+                        outcomes["ok"] += 1
+                        server = response.get("server") or {}
+                        if server.get("coalesced"):
+                            outcomes["coalesced"] += 1
+                        if server.get("cached"):
+                            outcomes["cached"] += 1
+                    else:
+                        error = response.get("error") or {}
+                        if error.get("code") == "overloaded":
+                            outcomes["overloaded"] += 1
+                        else:
+                            outcomes["errors"] += 1
+                            if len(failures) < 5:
+                                failures.append(
+                                    f"request {index} ({request.get('op')}): "
+                                    f"{error.get('code')}: {error.get('message')}"
+                                )
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=_drain, name=f"replay-{i}", daemon=True)
+        for i in range(min(concurrency, len(requests) or 1))
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout)
+    seconds = time.perf_counter() - started
+    ordered = sorted(latencies)
+    summary: Dict[str, Any] = {
+        "requests": len(requests),
+        **outcomes,
+        "seconds": round(seconds, 4),
+        "requests_per_second": round(len(latencies) / seconds, 2) if seconds else 0.0,
+    }
+    if ordered:
+        summary["latency_ms"] = {
+            "p50": round(percentile(ordered, 50), 3),
+            "p95": round(percentile(ordered, 95), 3),
+            "max": round(ordered[-1], 3),
+        }
+    if failures:
+        summary["failures"] = failures
+    return summary

@@ -4,16 +4,28 @@ import json
 from fractions import Fraction
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.cli import main
 from repro.exceptions import SchemaError
 from repro.io import (
+    audit_configuration_to_dict,
     dictionary_from_dict,
+    dictionary_to_dict,
     load_audit_configuration,
+    load_publishing_plan,
     load_schema,
+    publishing_plan_to_dict,
+    save_audit_configuration,
+    save_publishing_plan,
+    save_schema,
     schema_from_dict,
     schema_to_dict,
+    schema_to_json,
 )
+from repro.probability.dictionary import Dictionary
+from repro.session.cache import schema_fingerprint
+from repro.session.plan import PublishingPlan
 
 EMPLOYEE_DOCUMENT = {
     "relations": [
@@ -103,6 +115,120 @@ class TestSchemaIO:
         loaded_schema, dictionary = load_audit_configuration(schema_file)
         assert dictionary is not None
         assert loaded_schema.relation("Emp").arity == 3
+
+
+# ---------------------------------------------------------------------------
+# Saver counterparts: save → load → save identity
+# ---------------------------------------------------------------------------
+_domain_values = st.lists(
+    st.sampled_from(["a", "b", "c", 0, 1, 2]), min_size=1, max_size=3, unique=True
+)
+
+
+@st.composite
+def _schema_documents(draw):
+    """Random loader-valid schema documents (every attribute has a domain)."""
+    relation_count = draw(st.integers(min_value=1, max_value=3))
+    relations = []
+    for index in range(relation_count):
+        arity = draw(st.integers(min_value=1, max_value=3))
+        attributes = [f"a{i}" for i in range(arity)]
+        spec = {
+            "name": f"R{index}",
+            "attributes": attributes,
+            "attribute_domains": {
+                attribute: draw(_domain_values) for attribute in attributes
+            },
+        }
+        if draw(st.booleans()):
+            spec["key"] = attributes[: draw(st.integers(min_value=1, max_value=arity))]
+        relations.append(spec)
+    return {"relations": relations}
+
+
+class TestSaverRoundTrips:
+    @settings(max_examples=40, deadline=None)
+    @given(document=_schema_documents())
+    def test_schema_load_save_load_identity(self, document):
+        schema = schema_from_dict(document)
+        serialised = schema_to_dict(schema)
+        rebuilt = schema_from_dict(serialised)
+        assert schema_fingerprint(rebuilt) == schema_fingerprint(schema)
+        # to_dict is idempotent once normalised through a Schema
+        assert schema_to_dict(rebuilt) == serialised
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        document=_schema_documents(),
+        numerator=st.integers(min_value=1, max_value=7),
+        denominator=st.integers(min_value=8, max_value=64),
+    )
+    def test_dictionary_round_trip(self, document, numerator, denominator):
+        schema = schema_from_dict(document)
+        probability = Fraction(numerator, denominator)
+        dictionary = Dictionary.uniform(schema, probability)
+        serialised = dictionary_to_dict(dictionary)
+        rebuilt = dictionary_from_dict(
+            {**document, **serialised}, schema
+        )
+        assert rebuilt.default == probability
+
+    def test_schema_file_round_trip(self, tmp_path):
+        schema = schema_from_dict(EMPLOYEE_DOCUMENT)
+        path = tmp_path / "schema.json"
+        save_schema(schema, path)
+        assert schema_fingerprint(load_schema(path)) == schema_fingerprint(schema)
+        assert json.loads(schema_to_json(schema)) == schema_to_dict(schema)
+
+    def test_audit_configuration_file_round_trip(self, tmp_path):
+        schema = schema_from_dict(EMPLOYEE_DOCUMENT)
+        dictionary = Dictionary.uniform(schema, Fraction(1, 3))
+        path = tmp_path / "config.json"
+        save_audit_configuration(schema, path, dictionary)
+        loaded_schema, loaded_dictionary = load_audit_configuration(path)
+        assert schema_fingerprint(loaded_schema) == schema_fingerprint(schema)
+        assert loaded_dictionary.default == Fraction(1, 3)
+        document = audit_configuration_to_dict(schema)
+        assert "tuple_probability" not in document
+
+    def test_publishing_plan_file_round_trip(self, tmp_path):
+        schema = schema_from_dict(EMPLOYEE_DOCUMENT)
+        plan = PublishingPlan(
+            secrets={"pairs": "S(n, p) :- Emp(n, d, p)"},
+            views={"bob": "V(n, d) :- Emp(n, d, p)", "carol": "W(d) :- Emp(n, d, p)"},
+        )
+        path = tmp_path / "plan.json"
+        save_publishing_plan(plan, schema, path, Dictionary.uniform(schema, Fraction(1, 4)))
+        loaded_schema, loaded_dictionary, loaded_plan = load_publishing_plan(path)
+        assert schema_fingerprint(loaded_schema) == schema_fingerprint(schema)
+        assert loaded_dictionary.default == Fraction(1, 4)
+        assert loaded_plan.secret_names == plan.secret_names
+        assert loaded_plan.recipients == plan.recipients
+
+    def test_plan_with_query_objects_serialises_to_strings(self):
+        from repro import q
+
+        schema = schema_from_dict(EMPLOYEE_DOCUMENT)
+        plan = PublishingPlan(
+            secrets={"s": q("S(n) :- Emp(n, HR, p)")},
+            views={"bob": q("V(n) :- Emp(n, Mgmt, p)")},
+        )
+        document = publishing_plan_to_dict(plan, schema)
+        # rendered strings parse back to the original queries
+        assert q(document["secrets"]["s"]) == q("S(n) :- Emp(n, HR, p)")
+        assert q(document["views"]["bob"]) == q("V(n) :- Emp(n, Mgmt, p)")
+
+    def test_non_uniform_dictionary_is_rejected(self):
+        schema = schema_from_dict(EMPLOYEE_DOCUMENT)
+        dictionary = Dictionary.uniform(schema, Fraction(1, 4))
+        fact = dictionary.tuple_space()[0]
+        skewed = dictionary.with_probability(fact, Fraction(1, 2))
+        assert not skewed.is_uniform
+        with pytest.raises(SchemaError):
+            dictionary_to_dict(skewed)
+        # an explicit override equal to the default is still uniform
+        still_uniform = dictionary.with_probability(fact, Fraction(1, 4))
+        assert dictionary_to_dict(still_uniform) == {"tuple_probability": "1/4"}
 
 
 class TestCLI:
@@ -311,3 +437,146 @@ class TestPlanCommand:
         code = main(["plan", "--plan", "/nonexistent/plan.json"])
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# The service-facing CLI: audit --json, request, serve
+# ---------------------------------------------------------------------------
+class TestAuditJson:
+    def test_audit_json_includes_observability(self, schema_file, capsys):
+        code = main(
+            [
+                "audit",
+                "--schema", schema_file,
+                "--secret", "S(n, p) :- Emp(n, d, p)",
+                "--view", "bob=V(n, d) :- Emp(n, d, p)",
+                "--json",
+            ]
+        )
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["all_secure"] is False
+        assert document["findings"][0]["disclosure"] == "partial"
+        observability = document["observability"]
+        assert observability["critical_tuple_cache"]["misses"] > 0
+        assert observability["engines"]["criticality"] == "pruned-parallel"
+        # the audit measured leakage, so the kernel counters must surface
+        assert "probability_kernels" in observability
+        assert "exact" in observability["probability_kernels"]
+
+
+class TestRequestCLI:
+    @pytest.fixture()
+    def running_server(self):
+        from repro.service import ServerThread
+
+        with ServerThread(workers=2) as server:
+            yield server
+
+    def test_request_ping(self, running_server, capsys):
+        host, port = running_server.address
+        code = main(["request", "--host", host, "--port", str(port), "--op", "ping"])
+        assert code == 0
+        response = json.loads(capsys.readouterr().out)
+        assert response["result"]["pong"] is True
+
+    def test_request_decide_disclosure_exits_one(
+        self, running_server, schema_file, capsys
+    ):
+        host, port = running_server.address
+        code = main(
+            [
+                "request",
+                "--host", host,
+                "--port", str(port),
+                "--op", "decide",
+                "--schema", schema_file,
+                "--secret", "S(n, p) :- Emp(n, d, p)",
+                "--view", "bob=V(n, d) :- Emp(n, d, p)",
+            ]
+        )
+        assert code == 1
+        response = json.loads(capsys.readouterr().out)
+        assert response["result"]["verdict"] is False
+
+    def test_request_payload_file(self, running_server, tmp_path, capsys):
+        host, port = running_server.address
+        payload = tmp_path / "request.json"
+        payload.write_text(
+            json.dumps(
+                {
+                    "op": "decide",
+                    "schema": EMPLOYEE_DOCUMENT,
+                    "secret": "S(n) :- Emp(n, HR, p)",
+                    "views": ["V(n) :- Emp(n, Mgmt, p)"],
+                }
+            )
+        )
+        code = main(
+            ["request", "--host", host, "--port", str(port), "--payload", str(payload)]
+        )
+        assert code == 0
+        response = json.loads(capsys.readouterr().out)
+        assert response["result"]["verdict"] is True
+
+    def test_request_protocol_error_exits_two(self, running_server, capsys):
+        host, port = running_server.address
+        code = main(
+            ["request", "--host", host, "--port", str(port), "--op", "decide"]
+        )
+        assert code == 2
+        response = json.loads(capsys.readouterr().out)
+        assert response["error"]["code"] == "invalid-request"
+
+    def test_request_unreachable_daemon_exits_two(self, capsys):
+        code = main(
+            ["request", "--host", "127.0.0.1", "--port", "1", "--op", "ping"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_request_without_op_is_an_argparse_error(self, running_server):
+        host, port = running_server.address
+        with pytest.raises(SystemExit):
+            main(["request", "--host", host, "--port", str(port)])
+
+    def test_request_audit_disclosure_exits_one(
+        self, running_server, schema_file, capsys
+    ):
+        # Exit codes must mirror the local `audit` command (CI gates key
+        # on them): a disclosed secret exits 1, not 0.
+        host, port = running_server.address
+        code = main(
+            [
+                "request",
+                "--host", host,
+                "--port", str(port),
+                "--op", "audit",
+                "--schema", schema_file,
+                "--secret", "S(n, p) :- Emp(n, d, p)",
+                "--view", "bob=V(n, d) :- Emp(n, d, p)",
+            ]
+        )
+        assert code == 1
+        response = json.loads(capsys.readouterr().out)
+        assert response["result"]["all_secure"] is False
+
+    def test_request_quick_inconclusive_exits_one(
+        self, running_server, schema_file, capsys
+    ):
+        # Mirror the local `quick` command: only "certainly secure" is 0.
+        host, port = running_server.address
+        code = main(
+            [
+                "request",
+                "--host", host,
+                "--port", str(port),
+                "--op", "quick",
+                "--schema", schema_file,
+                "--secret", "S(n, p) :- Emp(n, d, p)",
+                "--view", "V(n, d) :- Emp(n, d, p)",
+            ]
+        )
+        assert code == 1
+        response = json.loads(capsys.readouterr().out)
+        assert response["result"]["verdict"] is None

@@ -348,6 +348,75 @@ class TestCacheAccounting:
         assert delta.misses == 1
         assert 0 < delta.hit_rate < 1
 
+    def test_concurrent_access_is_safe(self):
+        # Regression guard for the audit service, whose worker pool shares
+        # one session (hence one cache) across threads: hammer get/put,
+        # eviction, stats and clear from many threads and verify the
+        # counters stay exact and the LRU bound holds.
+        import threading
+
+        cache = CriticalTupleCache(maxsize=16)
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def _hammer(worker: int) -> None:
+            try:
+                barrier.wait(timeout=10)
+                for step in range(400):
+                    key = (worker + step) % 40  # overlapping keys force races
+                    value = cache.get_or_compute(key, lambda k=key: frozenset({k}))
+                    assert value == frozenset({key})
+                    cache.get(key)
+                    assert len(cache) <= 16
+                    stats = cache.stats()
+                    assert stats.size <= stats.maxsize
+                    if step % 97 == 0:
+                        cache.clear()
+            except Exception as error:  # pragma: no cover - the assertion below
+                errors.append(error)
+
+        threads = [threading.Thread(target=_hammer, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, f"concurrent cache access failed: {errors[:3]}"
+        stats = cache.stats()
+        # every lookup is accounted exactly once even under contention
+        assert stats.lookups == stats.hits + stats.misses
+        assert stats.lookups == 8 * 400
+        assert stats.size <= stats.maxsize
+
+    def test_concurrent_sessions_share_cache_coherently(self, emp_schema):
+        # Many threads running the same decisions on one session must agree
+        # with a single-threaded session on every verdict.
+        import threading
+
+        session = AnalysisSession(emp_schema)
+        reference = AnalysisSession(emp_schema)
+        pairs = [
+            ("S(n) :- Emp(n, HR, p)", f"V{i}(n) :- Emp(n, D{i % 3}, p)")
+            for i in range(6)
+        ]
+        expected = [reference.decide(s, v).secure for s, v in pairs]
+        outcomes = [[None] * len(pairs) for _ in range(6)]
+        errors = []
+
+        def _worker(slot: int) -> None:
+            try:
+                for index, (secret, view) in enumerate(pairs):
+                    outcomes[slot][index] = session.decide(secret, view).secure
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=_worker, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        assert all(row == expected for row in outcomes)
+
 
 # ---------------------------------------------------------------------------
 # Engine registry

@@ -1,0 +1,140 @@
+"""Tests for the workload generator and its replay harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.service import ServerThread, parse_request
+from repro.workload import (
+    WorkloadSpec,
+    generate_workload,
+    load_workload,
+    replay_workload,
+    save_workload,
+    table1_templates,
+)
+
+
+class TestTemplates:
+    def test_every_template_is_a_valid_request(self):
+        templates = table1_templates()
+        assert len(templates) == 4 * 7 + 1  # 7 ops per Table 1 row + one plan
+        for template in templates:
+            request = parse_request(template)
+            assert request.op in {
+                "decide", "quick", "audit", "collusion", "leakage",
+                "verify", "with_knowledge", "plan",
+            }
+
+    def test_templates_target_three_variable_employee_schema(self):
+        for template in table1_templates():
+            relations = template["schema"]["relations"]
+            assert [r["name"] for r in relations] == ["Emp"]
+            assert relations[0]["attributes"] == ["name", "department", "phone"]
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        spec = WorkloadSpec(seed=11, requests=50)
+        assert generate_workload(spec) == generate_workload(spec)
+
+    def test_different_seeds_differ(self):
+        one = generate_workload(WorkloadSpec(seed=1, requests=50))
+        two = generate_workload(WorkloadSpec(seed=2, requests=50))
+        assert one != two
+
+    def test_every_request_is_valid(self):
+        for request in generate_workload(WorkloadSpec(seed=5, requests=80)):
+            parse_request(request)
+
+    def test_duplicates_present_at_high_fraction(self):
+        requests = generate_workload(
+            WorkloadSpec(seed=3, requests=60, duplicate_fraction=0.8)
+        )
+        rendered = [repr(sorted(r.items(), key=lambda kv: kv[0])) for r in requests]
+        assert len(set(rendered)) < len(rendered)
+
+    def test_zero_duplicate_fraction_table1_only(self):
+        requests = generate_workload(
+            WorkloadSpec(seed=3, requests=30, duplicate_fraction=0.0, random_fraction=0.0)
+        )
+        assert all(
+            r["schema"]["relations"][0]["name"] == "Emp" for r in requests
+        )
+
+    def test_mix_restricts_operations(self):
+        requests = generate_workload(
+            WorkloadSpec(
+                seed=4,
+                requests=40,
+                mix={"decide": 1.0},
+                duplicate_fraction=0.0,
+                random_fraction=0.0,
+            )
+        )
+        assert {r["op"] for r in requests} == {"decide"}
+
+    def test_rejects_empty_workload(self):
+        with pytest.raises(ReproError):
+            generate_workload(WorkloadSpec(requests=0))
+
+    def test_rejects_unknown_mix(self):
+        with pytest.raises(ReproError):
+            generate_workload(WorkloadSpec(mix={"teleport": 1.0}))
+
+
+class TestWorkloadFiles:
+    def test_save_load_round_trip(self, tmp_path):
+        requests = generate_workload(WorkloadSpec(seed=9, requests=25))
+        path = tmp_path / "workload.json"
+        save_workload(requests, path)
+        assert load_workload(path) == requests
+
+    def test_load_rejects_non_workload(self, tmp_path):
+        path = tmp_path / "not_workload.json"
+        path.write_text('{"something": "else"}')
+        with pytest.raises(ReproError):
+            load_workload(path)
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text('{"version": 99, "requests": []}')
+        with pytest.raises(ReproError):
+            load_workload(path)
+
+
+class TestReplay:
+    def test_replay_against_live_server(self):
+        requests = generate_workload(
+            WorkloadSpec(seed=21, requests=40, duplicate_fraction=0.5)
+        )
+        with ServerThread(workers=4) as server:
+            summary = replay_workload(requests, *server.address, concurrency=6)
+        assert summary["requests"] == 40
+        assert summary["ok"] == 40
+        assert summary["errors"] == 0
+        assert summary["coalesced"] + summary["cached"] > 0
+        assert summary["latency_ms"]["p50"] >= 0
+
+    def test_replay_needs_a_connection(self):
+        with pytest.raises(ReproError):
+            replay_workload([], "127.0.0.1", 1, concurrency=0)
+
+    def test_replay_accounts_every_request_despite_transport_errors(self):
+        # An oversized line overruns the server's stream buffer, which
+        # closes that connection; the replay worker must count exactly one
+        # error for it, reconnect, and drain the rest of the queue.
+        requests = [
+            {"op": "ping", "padding": "y" * 50000},
+            {"op": "ping"},
+            {"op": "ping"},
+            {"op": "ping"},
+        ]
+        with ServerThread(workers=1, max_payload=2048) as server:
+            summary = replay_workload(requests, *server.address, concurrency=1)
+        assert summary["requests"] == 4
+        accounted = summary["ok"] + summary["errors"] + summary["overloaded"]
+        assert accounted == 4, summary
+        assert summary["ok"] >= 2
+        assert summary["errors"] >= 1
