@@ -138,12 +138,15 @@ class SecurityAuditor:
         so operators can check the hit rates they expect (the same
         document the audit service reports per session).
         """
+        from ..cq.compiled import evaluation_stats
+
         document = {
             "critical_tuple_cache": self._session.cache_stats.to_dict(),
             "engines": {
                 "verification": self._session.engine_name,
                 "criticality": self._session.criticality_engine_name,
             },
+            "query_evaluation": evaluation_stats(),
         }
         kernels = self.kernel_stats_for(self._dictionary)
         if kernels is not None:

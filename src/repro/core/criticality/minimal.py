@@ -15,7 +15,7 @@ import itertools
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set
 
 from ...cq.atoms import Atom
-from ...cq.evaluation import answer_tuple, evaluate
+from ...cq.evaluation import answer_contains, answer_tuple
 from ...cq.query import ConjunctiveQuery
 from ...cq.terms import Variable, is_constant
 from ...exceptions import IntractableAnalysisError
@@ -197,7 +197,10 @@ def is_critical(
                     # instance out, but guard anyway for caller-supplied
                     # predicates that are not actually subset-closed.
                     continue
-                if produced not in evaluate(query, without):
+                # Delta check: only the produced row is re-derived on the
+                # shrunken witness (head-seeded on the compiled engine)
+                # instead of re-evaluating the whole query per candidate.
+                if not answer_contains(query, without, produced):
                     return True
     return False
 

@@ -41,7 +41,7 @@ import math
 import os
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from ...cq.evaluation import answer_tuple, evaluate
+from ...cq.evaluation import answer_contains, answer_tuple
 from ...exceptions import IntractableAnalysisError, ReproError, SecurityAnalysisError
 from ...relational.domain import Domain
 from ...relational.instance import Instance
@@ -137,7 +137,9 @@ def _pruned_witness_search(
             # instance out, but guard anyway for caller-supplied
             # predicates that are not actually subset-closed.
             if constraint is None or constraint(without):
-                result = produced not in evaluate(query, without)
+                # Delta check: re-derive only the produced row on the
+                # shrunken witness instead of the full answer set.
+                result = not answer_contains(query, without, produced)
         if len(witness_cache) < _WITNESS_CACHE_LIMIT:
             witness_cache[key] = result
         return result

@@ -6,14 +6,23 @@ unification and containment machinery used by the security analysis.
 """
 
 from .atoms import Atom, Comparison
+from .compiled import CompiledPlan, evaluation_stats, plan_for, reset_evaluation_stats
 from .compose import conjoin, conjoin_all
 from .containment import are_equivalent, determines, is_answerable_from, is_contained_in
 from .evaluation import (
+    EVAL_ENGINE_ENV,
+    answer_contains,
+    delta_changes,
     evaluate,
     evaluate_boolean,
+    evaluation_engine,
+    naive_evaluate,
+    naive_evaluate_boolean,
+    naive_satisfying_assignments,
     possible_answers,
     satisfying_assignments,
 )
+from .plan import plan_atom_order
 from .homomorphism import (
     canonical_instance,
     find_query_homomorphism,
@@ -48,6 +57,18 @@ __all__ = [
     "evaluate_boolean",
     "possible_answers",
     "satisfying_assignments",
+    "answer_contains",
+    "delta_changes",
+    "evaluation_engine",
+    "EVAL_ENGINE_ENV",
+    "naive_evaluate",
+    "naive_evaluate_boolean",
+    "naive_satisfying_assignments",
+    "CompiledPlan",
+    "plan_for",
+    "plan_atom_order",
+    "evaluation_stats",
+    "reset_evaluation_stats",
     "find_query_homomorphism",
     "has_query_homomorphism",
     "has_homomorphism_into_instance",

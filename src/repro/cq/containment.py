@@ -24,9 +24,10 @@ from ..exceptions import IntractableAnalysisError, QueryError
 from ..relational.domain import Domain
 from ..relational.instance import Instance, enumerate_instances
 from ..relational.schema import Schema
-from .evaluation import evaluate
-from .homomorphism import canonical_instance, find_query_homomorphism
+from .evaluation import answer_contains, evaluate
+from .homomorphism import canonical_instance
 from .query import ConjunctiveQuery
+from .terms import is_constant
 
 __all__ = [
     "is_contained_in",
@@ -44,7 +45,10 @@ def is_contained_in(
     Uses the canonical-database criterion: ``inner ⊆ outer`` iff ``outer``
     returns the frozen head of ``inner`` on ``inner``'s canonical
     instance, equivalently iff there is a head-preserving homomorphism
-    ``outer → inner``.
+    ``outer → inner``.  The canonical-instance check runs through the
+    compiled evaluation path (:func:`repro.cq.evaluation.answer_contains`
+    with the frozen head seeded), so containment tests over wide bodies
+    are index-driven rather than a backtracking atom-to-atom search.
     """
     if inner.comparisons or outer.comparisons:
         raise QueryError(
@@ -53,7 +57,11 @@ def is_contained_in(
         )
     if inner.arity != outer.arity:
         return False
-    return find_query_homomorphism(outer, inner) is not None
+    canonical, frozen = canonical_instance(inner)
+    frozen_head = tuple(
+        term.value if is_constant(term) else frozen[term] for term in inner.head
+    )
+    return answer_contains(outer, canonical, frozen_head)
 
 
 def are_equivalent(left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:

@@ -1,56 +1,82 @@
 """Evaluation of conjunctive queries over database instances.
 
-Evaluation enumerates the homomorphisms (satisfying assignments) from the
-query body into the instance via backtracking, checking comparison
-predicates as soon as both sides are bound.  The answer of a query of
-arity ``k`` is a frozenset of ``k``-tuples; a boolean query answers
-``frozenset({()})`` when true and ``frozenset()`` when false (the two
-possible answers of an arity-0 query).
+Two engines share this module's public entry points:
+
+* ``compiled`` (the default) — :mod:`repro.cq.compiled` plans each query
+  once (greedy join ordering, per-instance hash-index probes, slot-array
+  bindings, earliest-point comparison checks) and also answers the
+  restricted *delta* questions the criticality engines ask
+  (:func:`answer_contains`, :func:`delta_changes`).
+* ``naive`` — the seed backtracking evaluator, preserved verbatim in
+  spirit as ``naive_*`` for cross-validation and ablation benchmarks.
+  It scans every fact of the matching relation per subgoal, in body
+  order, extending one shared assignment dict in place.
+
+The engine is selected per call by the ``REPRO_EVAL_ENGINE`` environment
+variable (``compiled``/unset → compiled, ``naive`` → seed evaluator; any
+other value raises :class:`~repro.exceptions.EvaluationError`).  The
+``naive_*`` functions bypass the dispatch entirely.
+
+The answer of a query of arity ``k`` is a frozenset of ``k``-tuples; a
+boolean query answers ``frozenset({()})`` when true and ``frozenset()``
+when false (the two possible answers of an arity-0 query).
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from ..exceptions import EvaluationError
 from ..relational.instance import Instance
 from ..relational.tuples import Fact
 from .atoms import Atom, Comparison
+from .compiled import STATS as _EVAL_STATS, plan_for
 from .query import ConjunctiveQuery
-from .terms import Term, Variable, is_constant, is_variable
+from .terms import Variable, is_constant
 
 __all__ = [
+    "EVAL_ENGINE_ENV",
+    "evaluation_engine",
     "evaluate",
     "evaluate_boolean",
     "satisfying_assignments",
     "answer_tuple",
+    "answer_contains",
+    "delta_changes",
     "possible_answers",
+    "naive_evaluate",
+    "naive_evaluate_boolean",
+    "naive_satisfying_assignments",
 ]
 
 Assignment = Dict[Variable, object]
 
+#: Environment variable selecting the evaluation engine.
+EVAL_ENGINE_ENV = "REPRO_EVAL_ENGINE"
 
-def _match_atom(
-    atom: Atom, fact: Fact, assignment: Assignment
-) -> Optional[Assignment]:
-    """Try to extend ``assignment`` so that ``atom`` maps onto ``fact``.
+_ENGINE_NAMES = ("compiled", "naive")
 
-    Returns the extended assignment, or ``None`` when the match fails.
-    The input assignment is never mutated.
+
+def evaluation_engine() -> str:
+    """The active engine name (``"compiled"`` or ``"naive"``).
+
+    Resolution order: ``REPRO_EVAL_ENGINE`` when set and non-empty
+    (case-insensitive), otherwise the compiled default.  An unrecognised
+    value raises :class:`EvaluationError` rather than silently running
+    the wrong engine.
     """
-    if atom.relation != fact.relation or atom.arity != fact.arity:
-        return None
-    extended = dict(assignment)
-    for term, value in zip(atom.terms, fact.values):
-        if is_constant(term):
-            if term.value != value:
-                return None
-        else:
-            bound = extended.get(term, _UNBOUND)
-            if bound is _UNBOUND:
-                extended[term] = value
-            elif bound != value:
-                return None
-    return extended
+    raw = os.environ.get(EVAL_ENGINE_ENV)
+    if raw is None:
+        return "compiled"
+    name = raw.strip().lower()
+    if not name:
+        return "compiled"
+    if name not in _ENGINE_NAMES:
+        raise EvaluationError(
+            f"{EVAL_ENGINE_ENV} must be one of {list(_ENGINE_NAMES)}, got {raw!r}"
+        )
+    return name
 
 
 class _Unbound:
@@ -60,6 +86,38 @@ class _Unbound:
 
 
 _UNBOUND = _Unbound()
+
+
+def _match_atom(
+    atom: Atom, fact: Fact, assignment: Assignment
+) -> Optional[List[Variable]]:
+    """Extend the shared ``assignment`` in place so ``atom`` maps onto ``fact``.
+
+    Returns the list of variables newly bound by this match — the caller
+    deletes them once the branch is exhausted — or ``None`` when the
+    match fails (partial bindings are undone before returning).  The
+    seed copied the whole dict per candidate fact; extend/undo keeps the
+    ablation baseline honest about *algorithmic* cost, not dict churn.
+    """
+    if atom.relation != fact.relation or atom.arity != fact.arity:
+        return None
+    bound_here: List[Variable] = []
+    for term, value in zip(atom.terms, fact.values):
+        if is_constant(term):
+            if term.value == value:
+                continue
+        else:
+            bound = assignment.get(term, _UNBOUND)
+            if bound is _UNBOUND:
+                assignment[term] = value
+                bound_here.append(term)
+                continue
+            if bound == value:
+                continue
+        for variable in bound_here:
+            del assignment[variable]
+        return None
+    return bound_here
 
 
 def _comparisons_consistent(
@@ -73,28 +131,29 @@ def _comparisons_consistent(
     return True
 
 
-def satisfying_assignments(
+def naive_satisfying_assignments(
     query: ConjunctiveQuery, instance: Instance
 ) -> Iterator[Assignment]:
-    """Yield every assignment of the query's variables that satisfies it.
+    """The seed backtracking enumeration (body order, full relation scans).
 
-    The assignments returned are total over the query's body variables.
-    Comparisons are verified incrementally (as soon as both sides are
-    bound) and re-verified once the assignment is total, which also
-    covers comparisons between two constants.
-
-    For a :class:`~repro.cq.union.UnionQuery` the assignments of every
-    disjunct are yielded in turn.
+    Yields every assignment of the query's variables that satisfies it,
+    total over the body variables.  Comparisons are verified
+    incrementally (as soon as both sides are bound) and re-verified once
+    the assignment is total, which also covers comparisons between two
+    constants.  For a :class:`~repro.cq.union.UnionQuery` the
+    assignments of every disjunct are yielded in turn.
     """
     disjuncts = getattr(query, "disjuncts", None)
     if disjuncts is not None:
         for disjunct in disjuncts:
-            yield from satisfying_assignments(disjunct, instance)
+            yield from naive_satisfying_assignments(disjunct, instance)
         return
+    _EVAL_STATS["naive_evaluations"] += 1
     body = list(query.body)
     comparisons = list(query.comparisons)
+    assignment: Assignment = {}
 
-    def extend(index: int, assignment: Assignment) -> Iterator[Assignment]:
+    def extend(index: int) -> Iterator[Assignment]:
         if index == len(body):
             if _comparisons_consistent(comparisons, assignment) and all(
                 comparison.evaluate(assignment)
@@ -105,14 +164,62 @@ def satisfying_assignments(
             return
         atom = body[index]
         for fact in instance.relation(atom.relation):
-            extended = _match_atom(atom, fact, assignment)
-            if extended is None:
+            bound_here = _match_atom(atom, fact, assignment)
+            if bound_here is None:
                 continue
-            if not _comparisons_consistent(comparisons, extended):
-                continue
-            yield from extend(index + 1, extended)
+            if _comparisons_consistent(comparisons, assignment):
+                yield from extend(index + 1)
+            for variable in bound_here:
+                del assignment[variable]
 
-    yield from extend(0, {})
+    yield from extend(0)
+
+
+def naive_evaluate(
+    query: ConjunctiveQuery, instance: Instance
+) -> FrozenSet[Tuple[object, ...]]:
+    """Evaluate with the seed backtracking engine (set semantics)."""
+    disjuncts = getattr(query, "disjuncts", None)
+    if disjuncts is not None:
+        answers: set = set()
+        for disjunct in disjuncts:
+            answers |= naive_evaluate(disjunct, instance)
+        return frozenset(answers)
+    answers = set()
+    for assignment in naive_satisfying_assignments(query, instance):
+        answers.add(answer_tuple(query, assignment))
+    return frozenset(answers)
+
+
+def naive_evaluate_boolean(query: ConjunctiveQuery, instance: Instance) -> bool:
+    """Boolean evaluation with the seed backtracking engine."""
+    for _ in naive_satisfying_assignments(query, instance):
+        return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Engine-dispatching public API
+# ---------------------------------------------------------------------------
+def satisfying_assignments(
+    query: ConjunctiveQuery, instance: Instance
+) -> Iterator[Assignment]:
+    """Yield every assignment of the query's variables that satisfies it.
+
+    The assignments are total over the query's body variables; the
+    *set* of assignments is engine-independent (their order is not).
+    For a :class:`~repro.cq.union.UnionQuery` the assignments of every
+    disjunct are yielded in turn.
+    """
+    if evaluation_engine() == "naive":
+        yield from naive_satisfying_assignments(query, instance)
+        return
+    disjuncts = getattr(query, "disjuncts", None)
+    if disjuncts is not None:
+        for disjunct in disjuncts:
+            yield from satisfying_assignments(disjunct, instance)
+        return
+    yield from plan_for(query).assignments(instance)
 
 
 def answer_tuple(query: ConjunctiveQuery, assignment: Mapping[Variable, object]) -> Tuple[object, ...]:
@@ -128,23 +235,76 @@ def answer_tuple(query: ConjunctiveQuery, assignment: Mapping[Variable, object])
 
 def evaluate(query: ConjunctiveQuery, instance: Instance) -> FrozenSet[Tuple[object, ...]]:
     """Evaluate a conjunctive query or a union of them (set semantics)."""
+    if evaluation_engine() == "naive":
+        return naive_evaluate(query, instance)
     disjuncts = getattr(query, "disjuncts", None)
     if disjuncts is not None:
         answers: set = set()
         for disjunct in disjuncts:
             answers |= evaluate(disjunct, instance)
         return frozenset(answers)
-    answers = set()
-    for assignment in satisfying_assignments(query, instance):
-        answers.add(answer_tuple(query, assignment))
-    return frozenset(answers)
+    return plan_for(query).evaluate(instance)
 
 
 def evaluate_boolean(query: ConjunctiveQuery, instance: Instance) -> bool:
     """Evaluate a boolean query; also works for non-boolean queries
     (true iff the answer is non-empty)."""
-    for _ in satisfying_assignments(query, instance):
-        return True
+    if evaluation_engine() == "naive":
+        return naive_evaluate_boolean(query, instance)
+    disjuncts = getattr(query, "disjuncts", None)
+    if disjuncts is not None:
+        return any(evaluate_boolean(disjunct, instance) for disjunct in disjuncts)
+    return plan_for(query).evaluate_boolean(instance)
+
+
+def answer_contains(
+    query: ConjunctiveQuery, instance: Instance, row: Sequence[object]
+) -> bool:
+    """Decide ``row ∈ Q(instance)`` without materialising the full answer.
+
+    On the compiled engine the head slots are seeded with the row's
+    values (:meth:`~repro.cq.compiled.CompiledPlan.derives_row`), so the
+    search is keyed to that single answer; the naive engine evaluates
+    the whole query — the honest ablation baseline.  Rows of the wrong
+    arity simply return ``False``.
+    """
+    row = tuple(row)
+    if evaluation_engine() == "naive":
+        return row in naive_evaluate(query, instance)
+    disjuncts = getattr(query, "disjuncts", None) or (query,)
+    return any(plan_for(disjunct).derives_row(instance, row) for disjunct in disjuncts)
+
+
+def delta_changes(query: ConjunctiveQuery, instance: Instance, fact: Fact) -> bool:
+    """Decide ``Q(instance) ≠ Q(instance − fact)`` (the criticality test).
+
+    Conjunctive queries and their unions are monotone, so the answer can
+    only lose rows when a fact is removed; the compiled engine therefore
+    re-derives only the answer rows whose derivations *use* the fact
+    (:meth:`~repro.cq.compiled.CompiledPlan.delta_without`) and checks
+    those against the shrunken instance.  A fact outside the instance,
+    or unifying with no subgoal, costs nothing.  The naive engine
+    evaluates the query twice in full — the ablation baseline.
+    """
+    if evaluation_engine() == "naive":
+        return naive_evaluate(query, instance) != naive_evaluate(
+            query, instance.remove(fact)
+        )
+    if fact not in instance:
+        return False
+    disjuncts = getattr(query, "disjuncts", None)
+    if disjuncts is None:
+        return plan_for(query).delta_without(instance, fact)
+    # Union: a candidate row must vanish from the *whole* union's answer.
+    without = instance.remove(fact)
+    checked: set = set()
+    for disjunct in disjuncts:
+        for row in plan_for(disjunct).delta_candidates(instance, fact):
+            if row in checked:
+                continue
+            checked.add(row)
+            if not any(plan_for(d).derives_row(without, row) for d in disjuncts):
+                return True
     return False
 
 

@@ -1,0 +1,299 @@
+"""Join planning for compiled conjunctive-query evaluation.
+
+A *plan* fixes, per (query, seed) pair, everything the evaluator would
+otherwise re-derive per candidate fact:
+
+* an **atom order**, chosen greedily by bound-variable connectivity and
+  selectivity: at each step the subgoal with the most already-bound
+  positions wins (ties broken towards more constants, fewer fresh
+  variables, then original body order), so joins are driven by index
+  probes instead of cross products;
+* per atom, the **probe key** — the positions whose value is known when
+  the atom is reached (constants plus previously-bound variables),
+  matched via :meth:`repro.relational.instance.Instance.index` — and the
+  **bind operations** for the remaining positions (bind a fresh slot, or
+  check a slot bound earlier *within the same atom* for repeated
+  variables);
+* a **comparison schedule**: each comparison predicate is compiled
+  against the slot layout and attached to the earliest step at which all
+  of its operands are bound, so a failing comparison cuts the whole
+  remaining subtree (constant-only comparisons are checked as soon as
+  the first subgoal matches, mirroring the naive evaluator).
+
+Plans are pure descriptions; :mod:`repro.cq.compiled` provides the
+runtime that executes them against instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..exceptions import QueryError
+from .atoms import COMPARISON_OPS, Atom, Comparison
+from .query import ConjunctiveQuery
+from .terms import Variable, is_constant, is_variable
+
+__all__ = [
+    "CompiledComparison",
+    "AtomStep",
+    "PlanSteps",
+    "slot_assignment",
+    "plan_atom_order",
+    "build_steps",
+]
+
+
+def slot_assignment(query: ConjunctiveQuery) -> Dict[Variable, int]:
+    """Assign each query variable a slot, by first occurrence in the body.
+
+    Slots index the flat assignment array the compiled evaluator binds
+    into (instead of copying dicts).  Comparison and head variables are
+    body variables by the query's safety checks, but are swept anyway so
+    a plan can never meet an unassigned variable.
+    """
+    slots: Dict[Variable, int] = {}
+    for atom in query.body:
+        for term in atom.terms:
+            if is_variable(term) and term not in slots:
+                slots[term] = len(slots)
+    for comparison in query.comparisons:
+        for variable in comparison.variables:
+            if variable not in slots:
+                slots[variable] = len(slots)
+    for term in query.head:
+        if is_variable(term) and term not in slots:
+            slots[term] = len(slots)
+    return slots
+
+
+class CompiledComparison:
+    """A comparison predicate resolved against the plan's slot layout."""
+
+    __slots__ = ("comparison", "slots", "_op", "_left", "_right")
+
+    def __init__(self, comparison: Comparison, slot_of: Dict[Variable, int]):
+        self.comparison = comparison
+        self._op = COMPARISON_OPS[comparison.op]
+        # Each side is (slot, constant): slot is None for constants.
+        self._left = self._side(comparison.left, slot_of)
+        self._right = self._side(comparison.right, slot_of)
+        self.slots: FrozenSet[int] = frozenset(
+            side[0] for side in (self._left, self._right) if side[0] is not None
+        )
+
+    @staticmethod
+    def _side(term, slot_of):
+        if is_constant(term):
+            return (None, term.value)
+        return (slot_of[term], None)
+
+    def evaluate(self, slots: List[object]) -> bool:
+        """Evaluate against the slot array (operands must be bound)."""
+        left_slot, left = self._left
+        if left_slot is not None:
+            left = slots[left_slot]
+        right_slot, right = self._right
+        if right_slot is not None:
+            right = slots[right_slot]
+        try:
+            return self._op(left, right)
+        except TypeError as exc:
+            comparison = self.comparison
+            raise QueryError(
+                f"cannot compare {left!r} {comparison.op} {right!r}: incompatible types"
+            ) from exc
+
+
+class AtomStep:
+    """One planned subgoal: an index probe plus slot bind/check operations.
+
+    Attributes
+    ----------
+    atom / source_index:
+        The subgoal and its position in the original body.
+    key_positions / key_parts:
+        The statically-bound positions probed through the instance index;
+        ``key_parts`` aligns with them as ``(slot, constant)`` pairs
+        (``slot`` is ``None`` for constants).
+    bind_ops:
+        ``(position, slot, check)`` triples for the remaining positions:
+        ``check`` is true for a repeated variable's later occurrence
+        within this atom (equality test instead of a fresh binding).
+    comparisons:
+        The comparison predicates scheduled at this step (their last free
+        variable is bound here).
+    """
+
+    __slots__ = (
+        "atom",
+        "source_index",
+        "relation",
+        "arity",
+        "key_positions",
+        "key_parts",
+        "bind_ops",
+        "comparisons",
+    )
+
+    def __init__(
+        self,
+        atom: Atom,
+        source_index: int,
+        key_positions: Tuple[int, ...],
+        key_parts: Tuple[Tuple[Optional[int], object], ...],
+        bind_ops: Tuple[Tuple[int, int, bool], ...],
+        comparisons: Tuple[CompiledComparison, ...],
+    ):
+        self.atom = atom
+        self.source_index = source_index
+        self.relation = atom.relation
+        self.arity = atom.arity
+        self.key_positions = key_positions
+        self.key_parts = key_parts
+        self.bind_ops = bind_ops
+        self.comparisons = comparisons
+
+
+class PlanSteps:
+    """An executable atom ordering for one (seeded, excluded) variant.
+
+    ``pre_comparisons`` are predicates fully bound before the first
+    probe (seeded-variable comparisons in delta/row variants); ``order``
+    lists the original body indices in execution order.
+    """
+
+    __slots__ = ("steps", "pre_comparisons", "order")
+
+    def __init__(
+        self,
+        steps: Tuple[AtomStep, ...],
+        pre_comparisons: Tuple[CompiledComparison, ...],
+        order: Tuple[int, ...],
+    ):
+        self.steps = steps
+        self.pre_comparisons = pre_comparisons
+        self.order = order
+
+
+def _order_atoms(
+    body: Sequence[Atom],
+    bound_variables: FrozenSet[Variable],
+    excluded: Optional[int] = None,
+) -> List[int]:
+    """Greedy bound-connectivity / selectivity ordering of the subgoals.
+
+    Repeatedly picks the atom with the most bound positions (constants +
+    bound variables); ties prefer more constants, then the atom whose
+    fresh variables connect the most remaining atoms (so a disconnected
+    subgoal never interrupts a join chain), then fewer fresh variables,
+    then the original body order (determinism).
+    """
+    remaining = [i for i in range(len(body)) if i != excluded]
+    bound = set(bound_variables)
+    order: List[int] = []
+
+    def score(i: int) -> Tuple[int, int, int, int, int]:
+        bound_terms = constants = 0
+        fresh: set = set()
+        for term in body[i].terms:
+            if is_constant(term):
+                constants += 1
+                bound_terms += 1
+            elif term in bound:
+                bound_terms += 1
+            else:
+                fresh.add(term)
+        connectivity = sum(
+            1
+            for j in remaining
+            if j != i and any(v in fresh for v in body[j].variables)
+        )
+        return (bound_terms, constants, connectivity, -len(fresh), -i)
+
+    while remaining:
+        best = max(remaining, key=score)
+        remaining.remove(best)
+        order.append(best)
+        for term in body[best].terms:
+            if is_variable(term):
+                bound.add(term)
+    return order
+
+
+def plan_atom_order(query: ConjunctiveQuery) -> Tuple[int, ...]:
+    """The planner's subgoal ordering (original body indices, no seeds).
+
+    Exposed so order-sensitive callers outside the compiled runtime —
+    notably :func:`repro.cq.homomorphism.homomorphisms_into_instance` —
+    share one ordering policy with the evaluator.
+    """
+    return tuple(_order_atoms(query.body, frozenset()))
+
+
+def build_steps(
+    query: ConjunctiveQuery,
+    slot_of: Dict[Variable, int],
+    seeded: FrozenSet[int] = frozenset(),
+    excluded: Optional[int] = None,
+) -> PlanSteps:
+    """Compile one plan variant.
+
+    ``seeded`` lists slots bound before evaluation starts (head slots in
+    row-membership checks, the pinned atom's slots in delta evaluation);
+    ``excluded`` drops one body atom (the delta-pinned subgoal, already
+    satisfied by the removed fact).
+    """
+    body = query.body
+    variable_of = {slot: variable for variable, slot in slot_of.items()}
+    bound_vars = {variable_of[slot] for slot in seeded}
+    order = _order_atoms(body, frozenset(bound_vars), excluded)
+
+    raw_steps: List[Tuple[Atom, int, Tuple, Tuple, Tuple]] = []
+    bound_at: Dict[Variable, int] = {variable: -1 for variable in bound_vars}
+    for step_index, i in enumerate(order):
+        atom = body[i]
+        key_positions: List[int] = []
+        key_parts: List[Tuple[Optional[int], object]] = []
+        bind_ops: List[Tuple[int, int, bool]] = []
+        fresh_here: set = set()
+        for position, term in enumerate(atom.terms):
+            if is_constant(term):
+                key_positions.append(position)
+                key_parts.append((None, term.value))
+            elif term in bound_vars:
+                key_positions.append(position)
+                key_parts.append((slot_of[term], None))
+            elif term in fresh_here:
+                bind_ops.append((position, slot_of[term], True))
+            else:
+                fresh_here.add(term)
+                bind_ops.append((position, slot_of[term], False))
+        for variable in fresh_here:
+            bound_vars.add(variable)
+            bound_at[variable] = step_index
+        raw_steps.append(
+            (atom, i, tuple(key_positions), tuple(key_parts), tuple(bind_ops))
+        )
+
+    pre: List[CompiledComparison] = []
+    per_step: List[List[CompiledComparison]] = [[] for _ in raw_steps]
+    for comparison in query.comparisons:
+        compiled = CompiledComparison(comparison, slot_of)
+        variables = comparison.variables
+        if not variables:
+            # Constant-only comparisons: the naive evaluator checks these
+            # as soon as the first subgoal matches; keep that laziness so
+            # an unsatisfiable match never turns into an eager type error.
+            (per_step[0] if per_step else pre).append(compiled)
+            continue
+        last = max(bound_at[variable] for variable in variables)
+        if last < 0:
+            pre.append(compiled)
+        else:
+            per_step[last].append(compiled)
+
+    steps = tuple(
+        AtomStep(atom, i, key_positions, key_parts, bind_ops, tuple(per_step[index]))
+        for index, (atom, i, key_positions, key_parts, bind_ops) in enumerate(raw_steps)
+    )
+    return PlanSteps(steps, tuple(pre), tuple(order))

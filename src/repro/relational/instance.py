@@ -12,7 +12,7 @@ bound the tuple space first (see
 from __future__ import annotations
 
 import itertools
-from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import IntractableAnalysisError
 from .domain import Domain
@@ -21,6 +21,7 @@ from .tuples import Fact, tuple_space
 
 __all__ = [
     "Instance",
+    "INDEX_STATS",
     "enumerate_instances",
     "instance_space_size",
     "satisfies_key_constraints",
@@ -29,15 +30,22 @@ __all__ = [
 #: Default guard on the size of an exhaustively enumerated instance space.
 MAX_ENUMERABLE_TUPLES = 24
 
+#: Process-wide counters for the lazy per-instance hash indexes (monotone;
+#: surfaced through :func:`repro.cq.compiled.evaluation_stats`).
+INDEX_STATS: Dict[str, int] = {"builds": 0, "reuses": 0}
+
 
 class Instance:
     """An immutable database instance (a set of facts)."""
 
-    __slots__ = ("_facts", "_by_relation")
+    __slots__ = ("_facts", "_by_relation", "_indexes")
 
     def __init__(self, facts: Iterable[Fact] = ()):
         self._facts: FrozenSet[Fact] = frozenset(facts)
         self._by_relation: dict[str, FrozenSet[Fact]] = {}
+        self._indexes: dict[
+            Tuple[str, Tuple[int, ...]], Dict[Tuple[object, ...], Tuple[Fact, ...]]
+        ] = {}
 
     # -- construction ---------------------------------------------------------
     @classmethod
@@ -84,6 +92,38 @@ class Instance:
             cached = frozenset(f for f in self._facts if f.relation == name)
             self._by_relation[name] = cached
         return cached
+
+    def index(
+        self, relation: str, positions: Sequence[int]
+    ) -> Mapping[Tuple[object, ...], Tuple[Fact, ...]]:
+        """Hash index of one relation keyed by the values at ``positions``.
+
+        Instances are immutable, so the index is computed lazily once and
+        cached for the lifetime of the instance; every compiled query
+        plan probing the same ``(relation, positions)`` pair shares it
+        (a benign double build may happen under concurrent first use).
+        Facts whose arity does not cover every indexed position are
+        omitted — they can never match an atom probing those positions.
+        """
+        positions = tuple(positions)
+        key = (relation, positions)
+        cached = self._indexes.get(key)
+        if cached is not None:
+            INDEX_STATS["reuses"] += 1
+            return cached
+        buckets: Dict[Tuple[object, ...], List[Fact]] = {}
+        top = max(positions) if positions else -1
+        for fact in self.relation(relation):
+            values = fact.values
+            if top >= len(values):
+                continue
+            buckets.setdefault(
+                tuple(values[p] for p in positions), []
+            ).append(fact)
+        index = {k: tuple(v) for k, v in buckets.items()}
+        self._indexes[key] = index
+        INDEX_STATS["builds"] += 1
+        return index
 
     def add(self, *facts: Fact) -> "Instance":
         """A new instance with the given facts added."""

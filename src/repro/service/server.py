@@ -364,6 +364,8 @@ class AuditServer:
             if kernel_stats is not None:
                 entry["kernels"] = kernel_stats
             sessions.append(entry)
+        from ..cq.compiled import evaluation_stats
+
         return {
             **self._metrics.snapshot(),
             "pending": self._pending,
@@ -371,6 +373,7 @@ class AuditServer:
             "workers": self._workers,
             "connections": self._connections,
             "result_cache_entries": len(self._results),
+            "query_evaluation": evaluation_stats(),
             "sessions": sessions,
         }
 

@@ -1,0 +1,376 @@
+"""Compiled query-evaluation engine: cross-validation and regressions.
+
+The compiled planner/evaluator (`repro.cq.plan` + `repro.cq.compiled`)
+must be answer-identical to the surviving naive backtracking evaluator
+on every query the library can express — random queries with
+comparisons, constants, repeated variables, mixed-type domains and
+empty relations — and `delta_without`/`answer_contains` must agree with
+full re-evaluation on random (instance, fact) pairs.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cq import (
+    Atom,
+    Comparison,
+    ConjunctiveQuery,
+    Constant,
+    UnionQuery,
+    Variable,
+    answer_contains,
+    delta_changes,
+    evaluate,
+    evaluate_boolean,
+    evaluation_engine,
+    naive_evaluate,
+    naive_evaluate_boolean,
+    naive_satisfying_assignments,
+    plan_atom_order,
+    plan_for,
+    q,
+    satisfying_assignments,
+)
+from repro.cq.compiled import STATS, evaluation_stats, reset_evaluation_stats
+from repro.cq.homomorphism import homomorphisms_into_instance
+from repro.exceptions import EvaluationError
+from repro.relational import Fact, Instance
+from repro.relational.instance import INDEX_STATS
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+#: Relation name -> arity.  ``T`` often ends up with no facts (empty-relation
+#: coverage); values mix ints and strings (mixed-type domains).
+RELATIONS = {"R": 2, "S": 2, "T": 1}
+MIXED_VALUES = [0, 1, 2, "a", "b"]
+INT_VALUES = [0, 1, 2, 3]
+VARIABLES = [Variable(n) for n in ("x", "y", "z", "w")]
+
+
+def _term_strategy(values):
+    return st.one_of(
+        st.sampled_from(VARIABLES),
+        st.builds(Constant, st.sampled_from(values)),
+    )
+
+
+def _atom_strategy(values):
+    def build(relation, draw_terms):
+        return Atom(relation, draw_terms)
+
+    return st.sampled_from(sorted(RELATIONS)).flatmap(
+        lambda relation: st.tuples(
+            *[_term_strategy(values)] * RELATIONS[relation]
+        ).map(lambda terms: Atom(relation, terms))
+    )
+
+
+def _query_strategy(values, operators):
+    @st.composite
+    def build(draw):
+        body = tuple(draw(st.lists(_atom_strategy(values), min_size=1, max_size=3)))
+        body_vars = sorted({v for atom in body for v in atom.variables})
+        head_pool = [Constant(draw(st.sampled_from(values)))] + body_vars
+        head = tuple(
+            draw(st.sampled_from(head_pool))
+            for _ in range(draw(st.integers(min_value=0, max_value=2)))
+        )
+        comparisons = []
+        if body_vars:
+            for _ in range(draw(st.integers(min_value=0, max_value=2))):
+                left = draw(st.sampled_from(body_vars))
+                right = draw(
+                    st.one_of(
+                        st.sampled_from(body_vars),
+                        st.builds(Constant, st.sampled_from(values)),
+                    )
+                )
+                comparisons.append(
+                    Comparison(left, draw(st.sampled_from(operators)), right)
+                )
+        return ConjunctiveQuery(head, body, tuple(comparisons))
+
+    return build()
+
+
+def _fact_strategy(values):
+    return st.sampled_from(sorted(RELATIONS)).flatmap(
+        lambda relation: st.tuples(
+            *[st.sampled_from(values)] * RELATIONS[relation]
+        ).map(lambda vs: Fact(relation, vs))
+    )
+
+
+def _instance_strategy(values, max_size=14):
+    return st.lists(_fact_strategy(values), max_size=max_size).map(Instance)
+
+
+def _assignment_set(assignments):
+    return frozenset(frozenset(a.items()) for a in assignments)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis cross-validation: compiled vs naive
+# ---------------------------------------------------------------------------
+class TestCompiledMatchesNaive:
+    # Mixed-type domains with order predicates can raise QueryError at
+    # engine-dependent points, so the general strategy sticks to =/!=
+    # (never type-sensitive); order predicates get an int-only strategy.
+    @settings(max_examples=120, deadline=None)
+    @given(
+        query=_query_strategy(MIXED_VALUES, ["=", "!="]),
+        instance=_instance_strategy(MIXED_VALUES),
+    )
+    def test_mixed_type_domains_equality_comparisons(self, query, instance):
+        plan = plan_for(query)
+        assert plan.evaluate(instance) == naive_evaluate(query, instance)
+        assert plan.evaluate_boolean(instance) == naive_evaluate_boolean(
+            query, instance
+        )
+        assert _assignment_set(plan.assignments(instance)) == (
+            _assignment_set(naive_satisfying_assignments(query, instance))
+        )
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        query=_query_strategy(INT_VALUES, ["=", "!=", "<", "<=", ">", ">="]),
+        instance=_instance_strategy(INT_VALUES),
+    )
+    def test_int_domains_order_comparisons(self, query, instance):
+        plan = plan_for(query)
+        assert plan.evaluate(instance) == naive_evaluate(query, instance)
+        assert _assignment_set(plan.assignments(instance)) == (
+            _assignment_set(naive_satisfying_assignments(query, instance))
+        )
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        query=_query_strategy(MIXED_VALUES, ["=", "!="]),
+        instance=_instance_strategy(MIXED_VALUES),
+        fact=_fact_strategy(MIXED_VALUES),
+    )
+    def test_delta_without_matches_full_reevaluation(self, query, instance, fact):
+        with_fact = instance.add(fact)
+        expected = naive_evaluate(query, with_fact) != naive_evaluate(
+            query, with_fact.remove(fact)
+        )
+        plan = plan_for(query)
+        assert plan.delta_without(with_fact, fact) == expected
+        # A fact absent from the instance never changes the answer.
+        assert plan.delta_without(instance.remove(fact), fact) is False
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        query=_query_strategy(MIXED_VALUES, ["=", "!="]),
+        instance=_instance_strategy(MIXED_VALUES),
+    )
+    def test_answer_contains_matches_membership(self, query, instance):
+        answer = naive_evaluate(query, instance)
+        plan = plan_for(query)
+        for row in answer:
+            assert plan.derives_row(instance, row)
+        # A row that differs from every produced one is never contained.
+        probe = ("no-such-value",) * query.arity
+        assert plan.derives_row(instance, probe) == (probe in answer)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic coverage of the edges the strategies may under-sample
+# ---------------------------------------------------------------------------
+class TestCompiledEdges:
+    def test_empty_relation_and_empty_instance(self):
+        query = q("Q(x) :- R(x, y), T(x)")
+        assert evaluate(query, Instance.empty()) == frozenset()
+        only_r = Instance.of(Fact("R", ("a", "b")))
+        assert evaluate(query, only_r) == frozenset()
+
+    def test_repeated_variables_across_atoms_and_in_head(self):
+        instance = Instance.of(
+            Fact("R", ("a", "a")), Fact("R", ("a", "b")), Fact("S", ("b", "a"))
+        )
+        query = q("Q(x, x) :- R(x, x), S(y, x)")
+        assert evaluate(query, instance) == naive_evaluate(query, instance) == frozenset(
+            {("a", "a")}
+        )
+
+    def test_head_constants(self):
+        instance = Instance.of(Fact("R", ("a", "b")))
+        query = ConjunctiveQuery(
+            (Constant("lit"), Variable("x")),
+            (Atom("R", (Variable("x"), Variable("y"))),),
+        )
+        assert evaluate(query, instance) == frozenset({("lit", "a")})
+        assert answer_contains(query, instance, ("lit", "a"))
+        assert not answer_contains(query, instance, ("other", "a"))
+        assert not answer_contains(query, instance, ("lit",))
+
+    def test_arity_mismatched_facts_are_ignored(self):
+        # Instances are plain fact sets: a relation may hold facts of
+        # several arities and only the matching ones may join.
+        instance = Instance.of(Fact("R", ("a",)), Fact("R", ("a", "b")))
+        query = q("Q(x, y) :- R(x, y)")
+        assert evaluate(query, instance) == naive_evaluate(query, instance) == frozenset(
+            {("a", "b")}
+        )
+
+    def test_union_queries_dispatch_per_disjunct(self):
+        union = UnionQuery([q("Q(x) :- R(x, y)"), q("Q(x) :- S(x, y)")])
+        instance = Instance.of(Fact("R", ("a", "b")), Fact("S", ("c", "d")))
+        assert evaluate(union, instance) == frozenset({("a",), ("c",)})
+        assert answer_contains(union, instance, ("c",))
+        # Removing the only S fact loses ("c",) from the union's answer...
+        assert delta_changes(union, instance, Fact("S", ("c", "d")))
+        # ...but a row still derivable through the other disjunct survives.
+        both = instance.add(Fact("S", ("a", "z")))
+        assert not delta_changes(
+            UnionQuery([q("Q(x) :- R(x, y)"), q("Q(x) :- S(x, y)")]),
+            both,
+            Fact("S", ("a", "z")),
+        )
+
+    def test_delta_skips_facts_unifying_with_no_subgoal(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_ENGINE", "compiled")
+        query = q("Q(x) :- R(x, y)")
+        instance = Instance.of(Fact("R", ("a", "b")), Fact("S", ("a", "b")))
+        before = STATS["delta_unification_skips"]
+        assert not delta_changes(query, instance, Fact("S", ("a", "b")))
+        assert STATS["delta_unification_skips"] == before + 1
+
+    def test_constant_only_comparison_checked_lazily(self):
+        # The naive engine only checks constant-only comparisons once a
+        # subgoal matches; an unsatisfiable body never raises.
+        query = ConjunctiveQuery(
+            (),
+            (Atom("R", (Variable("x"),)),),
+            (Comparison(Constant(1), "<", Constant("a")),),
+        )
+        assert evaluate(query, Instance.empty()) == frozenset()
+        assert naive_evaluate(query, Instance.empty()) == frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Planner ordering + homomorphism order-invariance (satellite)
+# ---------------------------------------------------------------------------
+class TestPlannerOrdering:
+    def test_most_selective_atom_probes_first(self):
+        query = ConjunctiveQuery(
+            (),
+            (
+                Atom("R", (Variable("x"), Variable("y"))),
+                Atom("S", (Constant("a"), Variable("z"))),
+            ),
+        )
+        assert plan_atom_order(query)[0] == 1
+
+    def test_connected_atoms_follow_bound_variables(self):
+        query = q("Q() :- R(x, y), S(y, z), T(w)")
+        order = plan_atom_order(query)
+        # T shares no variable with R/S, so it must not interrupt the
+        # R-S chain (whichever of R/S starts, the other follows).
+        assert set(order[:2]) == {0, 1}
+
+    @pytest.mark.parametrize("engine", ["compiled", "naive"])
+    def test_homomorphism_counts_are_body_order_invariant(self, engine, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_ENGINE", engine)
+        instance = Instance.of(
+            Fact("R", ("a", "b")),
+            Fact("R", ("b", "b")),
+            Fact("S", ("b", "a")),
+            Fact("S", ("b", "b")),
+        )
+        base = q("Q(x) :- R(x, y), S(y, z), R(z, w)")
+        counts = set()
+        for permutation in itertools.permutations(range(3)):
+            permuted = ConjunctiveQuery(
+                base.head,
+                tuple(base.body[i] for i in permutation),
+                base.comparisons,
+            )
+            counts.add(len(list(homomorphisms_into_instance(permuted, instance))))
+        assert len(counts) == 1
+
+
+# ---------------------------------------------------------------------------
+# Engine selection + observability
+# ---------------------------------------------------------------------------
+class TestEngineSelection:
+    def test_default_engine_is_compiled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EVAL_ENGINE", raising=False)
+        assert evaluation_engine() == "compiled"
+
+    def test_blank_value_falls_back_to_compiled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_ENGINE", "  ")
+        assert evaluation_engine() == "compiled"
+
+    def test_unknown_engine_is_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_ENGINE", "vectorised")
+        with pytest.raises(EvaluationError):
+            evaluate(q("Q(x) :- R(x)"), Instance.empty())
+
+    def test_naive_engine_routes_every_entry_point(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_ENGINE", "naive")
+        query = q("Q(x) :- R(x, y)")
+        instance = Instance.of(Fact("R", ("a", "b")))
+        before = STATS["naive_evaluations"]
+        evaluate(query, instance)
+        evaluate_boolean(query, instance)
+        list(satisfying_assignments(query, instance))
+        answer_contains(query, instance, ("a",))
+        delta_changes(query, instance, Fact("R", ("a", "b")))
+        assert STATS["naive_evaluations"] > before + 3
+
+    def test_index_built_once_per_instance(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_ENGINE", "compiled")
+        query = q("Q(y) :- R('a', y)")
+        instance = Instance.of(Fact("R", ("a", "b")), Fact("R", ("c", "d")))
+        evaluate(query, instance)
+        builds = INDEX_STATS["builds"]
+        evaluate(query, instance)
+        evaluate(query, instance)
+        assert INDEX_STATS["builds"] == builds
+        assert INDEX_STATS["reuses"] >= 2
+
+    def test_evaluation_stats_document(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_ENGINE", "compiled")
+        reset_evaluation_stats()
+        query = q("Q(x) :- R(x, y), S(y, z)")
+        instance = Instance.of(Fact("R", ("a", "b")), Fact("S", ("b", "c")))
+        evaluate(query, instance)
+        document = evaluation_stats()
+        assert document["engine"] == "compiled"
+        assert document["compiled_evaluations"] == 1
+        assert document["plans_compiled"] == 1
+        assert document["index_probes"] >= 1
+        assert set(document) >= {"index_builds", "index_reuses", "delta_calls"}
+
+    def test_auditor_observability_surfaces_evaluator_counters(self):
+        from repro.audit import SecurityAuditor
+        from repro.bench import employee_schema
+
+        auditor = SecurityAuditor(employee_schema())
+        document = auditor.observability()
+        assert "query_evaluation" in document
+        assert document["query_evaluation"]["engine"] in ("compiled", "naive")
+
+
+# ---------------------------------------------------------------------------
+# Criticality engines keep their verdicts on both evaluation engines
+# ---------------------------------------------------------------------------
+class TestCriticalityCrossValidation:
+    @pytest.mark.parametrize("engine", ["compiled", "naive"])
+    def test_critical_tuples_invariant_under_eval_engine(self, engine, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_ENGINE", engine)
+        from repro.bench import employee_schema
+        from repro.core.criticality import create_criticality_engine
+
+        schema = employee_schema()
+        query = q("S(n) :- Emp(n, d, p)").boolean_specialisation(("n0",))
+        results = {
+            name: create_criticality_engine(name).critical_tuples(query, schema)
+            for name in ("minimal", "naive", "pruned-parallel")
+        }
+        assert len(set(results.values())) == 1
+        assert results["minimal"]
