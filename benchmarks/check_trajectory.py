@@ -1,0 +1,134 @@
+"""Diff committed ``BENCH_*.json`` packs against freshly emitted numbers.
+
+Every benchmark pack commits its machine-readable results at the repo
+root and embeds its own acceptance gates as ``required_<name>`` keys:
+within the same JSON object, every numeric sibling whose key ends with
+``<name>`` (and is not itself a ``required_`` key) must be ≥ the
+required value.  This script re-derives those gates from the *fresh*
+working-tree files — the ones the benchmark run just wrote — so a
+regression in any pack fails CI even if the pack's own pytest gate was
+skipped, and prints the fresh-vs-committed deltas so drift is visible
+before it crosses a gate.
+
+Usage (after running the benchmark packs)::
+
+    python benchmarks/check_trajectory.py
+
+Exit status 1 when a committed pack has no fresh counterpart or a fresh
+number violates its gate.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def committed_packs() -> dict:
+    """The ``BENCH_*.json`` files tracked at HEAD, parsed."""
+    listed = subprocess.run(
+        ["git", "ls-tree", "--name-only", "HEAD"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout.split()
+    names = [n for n in listed if n.startswith("BENCH_") and n.endswith(".json")]
+    packs = {}
+    for name in names:
+        shown = subprocess.run(
+            ["git", "show", f"HEAD:{name}"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        packs[name] = json.loads(shown.stdout)
+    return packs
+
+
+def _walk(document, path=()):
+    """Yield every JSON object in the document with its path."""
+    if isinstance(document, dict):
+        yield path, document
+        for key, value in document.items():
+            yield from _walk(value, path + (key,))
+    elif isinstance(document, list):
+        for index, value in enumerate(document):
+            yield from _walk(value, path + (str(index),))
+
+
+def gate_violations(document):
+    """``(path, key, value, required)`` tuples where a gate fails."""
+    violations = []
+    for path, obj in _walk(document):
+        for key, required in obj.items():
+            if not key.startswith("required_"):
+                continue
+            if not isinstance(required, (int, float)):
+                continue
+            suffix = key[len("required_"):]
+            for sibling, value in obj.items():
+                if sibling.startswith("required_") or not sibling.endswith(suffix):
+                    continue
+                if isinstance(value, (int, float)) and value < required:
+                    violations.append((path, sibling, value, required))
+    return violations
+
+
+def numeric_leaves(document, path=()):
+    """Flatten to ``{dotted.path: number}`` for the delta report."""
+    leaves = {}
+    if isinstance(document, dict):
+        for key, value in document.items():
+            leaves.update(numeric_leaves(value, path + (key,)))
+    elif isinstance(document, list):
+        for index, value in enumerate(document):
+            leaves.update(numeric_leaves(value, path + (str(index),)))
+    elif isinstance(document, (int, float)) and not isinstance(document, bool):
+        leaves[".".join(path)] = document
+    return leaves
+
+
+def main() -> int:
+    packs = committed_packs()
+    if not packs:
+        print("no committed BENCH_*.json packs to check")
+        return 0
+
+    failed = False
+    for name, committed in sorted(packs.items()):
+        fresh_path = REPO_ROOT / name
+        if not fresh_path.exists():
+            print(f"FAIL {name}: committed but not emitted by this benchmark run")
+            failed = True
+            continue
+        fresh = json.loads(fresh_path.read_text())
+
+        before, after = numeric_leaves(committed), numeric_leaves(fresh)
+        moved = [
+            (key, before[key], after[key])
+            for key in sorted(before.keys() & after.keys())
+            if before[key] != after[key]
+        ]
+        print(f"{name}: {len(moved)} of {len(after)} numbers moved")
+        for key, old, new in moved:
+            print(f"  {key}: {old} -> {new}")
+
+        violations = gate_violations(fresh)
+        for path, key, value, required in violations:
+            where = ".".join(path) or "<root>"
+            print(f"FAIL {name}: {where}.{key} = {value} < required {required}")
+            failed = True
+        if not violations:
+            print(f"  gates: all required_* thresholds hold")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ a publishing plan without writing Python::
     repro-audit leakage  --schema schema.json --secret "..." --view "..." --probability 1/4
     repro-audit collusion --schema schema.json --secret "..." --view bob="..." --view carol="..."
     repro-audit plan     --plan plan.json
+    repro-audit load     --store facts.db facts.json --csv Emp=employees.csv
     repro-audit serve    --port 8765 --workers 4
     repro-audit request  --port 8765 --op decide --schema schema.json \
                          --secret "..." --view "..."
@@ -98,6 +99,14 @@ def build_parser() -> argparse.ArgumentParser:
                 "minimal, or naive"
             ),
         )
+        subparser.add_argument(
+            "--eval-engine",
+            default=None,
+            help=(
+                "query-evaluation engine: compiled (default), naive, or sql "
+                "(defaults to $REPRO_EVAL_ENGINE)"
+            ),
+        )
 
     decide = subparsers.add_parser("decide", help="dictionary-independent decision (Theorem 4.5)")
     add_common(decide, multi_view_names=False)
@@ -145,9 +154,42 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     plan.add_argument(
+        "--eval-engine",
+        default=None,
+        help=(
+            "query-evaluation engine: compiled (default), naive, or sql "
+            "(defaults to $REPRO_EVAL_ENGINE)"
+        ),
+    )
+    plan.add_argument(
         "--show-cache-stats",
         action="store_true",
         help="print critical-tuple cache statistics after the audit",
+    )
+
+    load = subparsers.add_parser(
+        "load",
+        help="bulk-load JSON/CSV facts into a sqlite fact store (repro.storage)",
+    )
+    load.add_argument(
+        "--store",
+        required=True,
+        help="path of the sqlite store file (created or appended to)",
+    )
+    load.add_argument(
+        "facts",
+        nargs="*",
+        help=(
+            "JSON fact files: either [[relation, v1, ...], ...] or "
+            "{relation: [[v1, ...], ...]} (optionally under a 'facts' key)"
+        ),
+    )
+    load.add_argument(
+        "--csv",
+        action="append",
+        default=[],
+        metavar="RELATION=PATH",
+        help="load a CSV file as one relation (one fact per row); repeatable",
     )
 
     serve = subparsers.add_parser(
@@ -202,6 +244,9 @@ def build_parser() -> argparse.ArgumentParser:
     request.add_argument(
         "--criticality-engine", default=None, help="criticality engine name"
     )
+    request.add_argument(
+        "--eval-engine", default=None, help="query-evaluation engine name"
+    )
 
     return parser
 
@@ -210,6 +255,34 @@ def _dictionary_for(args, schema) -> Optional[Dictionary]:
     if getattr(args, "probability", None) is not None:
         return Dictionary.uniform(schema, Fraction(args.probability))
     return None
+
+
+def _run_load(args, parser: argparse.ArgumentParser) -> int:
+    """The ``load`` command: bulk-ingest facts into a sqlite store file."""
+    from .storage import SQLiteFactStore
+
+    if not args.facts and not args.csv:
+        parser.error("load needs at least one JSON fact file or --csv relation=path")
+    csv_sources: List[Tuple[str, str]] = []
+    for spec in args.csv:
+        relation, separator, path = spec.partition("=")
+        if not separator or not relation or not path:
+            parser.error(f"--csv expects RELATION=PATH, got {spec!r}")
+        csv_sources.append((relation, path))
+    with SQLiteFactStore(args.store) as store:
+        total = 0
+        for path in args.facts:
+            loaded = store.load_json(path)
+            total += loaded
+            print(f"{path}: {loaded} facts")
+        for relation, path in csv_sources:
+            loaded = store.load_csv(path, relation)
+            total += loaded
+            print(f"{path} -> {relation}: {loaded} facts")
+        print(f"{args.store}: {len(store)} facts total (+{total} this load)")
+        for relation, arity, count in store.relations():
+            print(f"  {relation}/{arity}: {count}")
+    return 0
 
 
 def _run_serve(args) -> int:
@@ -262,6 +335,8 @@ def _run_request(args, parser: argparse.ArgumentParser) -> int:
             document["engine"] = args.engine
         if args.criticality_engine is not None:
             document["criticality_engine"] = args.criticality_engine
+        if args.eval_engine is not None:
+            document["eval_engine"] = args.eval_engine
 
     op = document.pop("op")
     with AuditServiceClient(args.host, args.port) as client:
@@ -291,6 +366,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "request":
             return _run_request(args, parser)
 
+        if args.command == "load":
+            return _run_load(args, parser)
+
         if args.command == "plan":
             schema, dictionary, plan = load_publishing_plan(args.plan)
             session = AnalysisSession(
@@ -298,6 +376,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 dictionary=dictionary,
                 engine=args.engine,
                 criticality_engine=args.criticality_engine,
+                eval_engine=args.eval_engine,
             )
             result = session.audit_plan(plan)
             print(result.render())
@@ -311,6 +390,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             schema,
             dictionary=dictionary,
             criticality_engine=args.criticality_engine,
+            eval_engine=args.eval_engine,
         )
         named_views = _parse_views(args.view)
         view_queries = list(named_views.values())

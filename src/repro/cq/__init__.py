@@ -13,6 +13,7 @@ from .evaluation import (
     EVAL_ENGINE_ENV,
     answer_contains,
     delta_changes,
+    eval_engine_scope,
     evaluate,
     evaluate_boolean,
     evaluation_engine,
@@ -60,6 +61,7 @@ __all__ = [
     "answer_contains",
     "delta_changes",
     "evaluation_engine",
+    "eval_engine_scope",
     "EVAL_ENGINE_ENV",
     "naive_evaluate",
     "naive_evaluate_boolean",

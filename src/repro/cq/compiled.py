@@ -354,17 +354,29 @@ def evaluation_stats() -> Dict[str, object]:
     :func:`reset_evaluation_stats` (tests and benchmarks only).
     """
     from .evaluation import evaluation_engine  # lazy: avoids an import cycle
+    from .sql import SQL_STATS  # lazy: sql imports plan/compiled machinery
+    from ..storage.sqlite import STORAGE_STATS
 
     document: Dict[str, object] = {"engine": evaluation_engine()}
     document.update(STATS)
     document["index_builds"] = INDEX_STATS["builds"]
     document["index_reuses"] = INDEX_STATS["reuses"]
+    document.update(SQL_STATS)
+    for key, value in STORAGE_STATS.items():
+        document[f"storage_{key}"] = value
     return document
 
 
 def reset_evaluation_stats() -> None:
-    """Zero every evaluator and index counter (tests/benchmarks)."""
+    """Zero every evaluator, SQL-backend, storage and index counter
+    (tests/benchmarks)."""
+    from .sql import SQL_STATS  # lazy: sql imports plan/compiled machinery
+    from ..storage.sqlite import reset_storage_stats
+
     for key in STATS:
         STATS[key] = 0
     for key in INDEX_STATS:
         INDEX_STATS[key] = 0
+    for key in SQL_STATS:
+        SQL_STATS[key] = 0
+    reset_storage_stats()

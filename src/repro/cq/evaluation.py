@@ -1,6 +1,6 @@
 """Evaluation of conjunctive queries over database instances.
 
-Two engines share this module's public entry points:
+Three engines share this module's public entry points:
 
 * ``compiled`` (the default) — :mod:`repro.cq.compiled` plans each query
   once (greedy join ordering, per-instance hash-index probes, slot-array
@@ -11,11 +11,27 @@ Two engines share this module's public entry points:
   spirit as ``naive_*`` for cross-validation and ablation benchmarks.
   It scans every fact of the matching relation per subgoal, in body
   order, extending one shared assignment dict in place.
+* ``sql`` — :mod:`repro.cq.sql` compiles the same join plans into
+  parameterized sqlite3 statements against a
+  :class:`~repro.storage.sqlite.SQLiteFactStore` (plain instances are
+  mirrored transparently).  This is the engine for 10^5–10^6-fact
+  stores the in-memory engines cannot hold comfortably.
 
-The engine is selected per call by the ``REPRO_EVAL_ENGINE`` environment
-variable (``compiled``/unset → compiled, ``naive`` → seed evaluator; any
-other value raises :class:`~repro.exceptions.EvaluationError`).  The
-``naive_*`` functions bypass the dispatch entirely.
+The engine is selected by the ``REPRO_EVAL_ENGINE`` environment variable
+(``compiled``/unset → compiled; ``naive``/``sql`` as named; any other
+value raises :class:`~repro.exceptions.EvaluationError`).  Each distinct
+raw value is validated once and memoized, and the variable present at
+import time is validated immediately, so a bad deployment fails fast
+rather than on the first query.  :func:`eval_engine_scope` overrides the
+selection for the current thread of control (a
+:class:`contextvars.ContextVar`, so concurrent service sessions can pin
+different engines).  The ``naive_*`` functions bypass the dispatch
+entirely.
+
+The in-memory engines accept any fact iterable (a
+:class:`~repro.storage.base.FactStore` included) by materialising it
+into an :class:`Instance` first — correct, but re-materialised per call;
+evaluate large stores with the ``sql`` engine.
 
 The answer of a query of arity ``k`` is a frozenset of ``k``-tuples; a
 boolean query answers ``frozenset({()})`` when true and ``frozenset()``
@@ -24,7 +40,9 @@ when false (the two possible answers of an arity-0 query).
 
 from __future__ import annotations
 
+import contextvars
 import os
+from contextlib import contextmanager
 from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import EvaluationError
@@ -38,6 +56,7 @@ from .terms import Variable, is_constant
 __all__ = [
     "EVAL_ENGINE_ENV",
     "evaluation_engine",
+    "eval_engine_scope",
     "evaluate",
     "evaluate_boolean",
     "satisfying_assignments",
@@ -55,28 +74,82 @@ Assignment = Dict[Variable, object]
 #: Environment variable selecting the evaluation engine.
 EVAL_ENGINE_ENV = "REPRO_EVAL_ENGINE"
 
-_ENGINE_NAMES = ("compiled", "naive")
+_ENGINE_NAMES = ("compiled", "naive", "sql")
+
+#: Per-context engine override (None → fall back to the environment).
+_ENGINE_OVERRIDE: "contextvars.ContextVar[Optional[str]]" = contextvars.ContextVar(
+    "repro_eval_engine_override", default=None
+)
+
+#: Raw value → validated engine name.  Only successes are memoized, so a
+#: value is validated exactly once while a bad value keeps raising.
+_VALIDATED: Dict[str, str] = {}
+
+
+def _validate_engine(raw: str) -> str:
+    name = _VALIDATED.get(raw)
+    if name is None:
+        name = raw.strip().lower() or "compiled"
+        if name not in _ENGINE_NAMES:
+            raise EvaluationError(
+                "evaluation engine must be one of "
+                f"{list(_ENGINE_NAMES)}, got {raw!r} "
+                f"(selected via {EVAL_ENGINE_ENV} or eval_engine_scope)"
+            )
+        _VALIDATED[raw] = name
+    return name
 
 
 def evaluation_engine() -> str:
-    """The active engine name (``"compiled"`` or ``"naive"``).
+    """The active engine name (``"compiled"``, ``"naive"`` or ``"sql"``).
 
-    Resolution order: ``REPRO_EVAL_ENGINE`` when set and non-empty
+    Resolution order: an :func:`eval_engine_scope` override for the
+    current context, then ``REPRO_EVAL_ENGINE`` when set and non-empty
     (case-insensitive), otherwise the compiled default.  An unrecognised
     value raises :class:`EvaluationError` rather than silently running
     the wrong engine.
     """
+    override = _ENGINE_OVERRIDE.get()
+    if override is not None:
+        return override
     raw = os.environ.get(EVAL_ENGINE_ENV)
     if raw is None:
         return "compiled"
-    name = raw.strip().lower()
-    if not name:
-        return "compiled"
-    if name not in _ENGINE_NAMES:
-        raise EvaluationError(
-            f"{EVAL_ENGINE_ENV} must be one of {list(_ENGINE_NAMES)}, got {raw!r}"
-        )
-    return name
+    return _validate_engine(raw)
+
+
+@contextmanager
+def eval_engine_scope(engine: Optional[str]) -> Iterator[str]:
+    """Pin the evaluation engine for the current thread of control.
+
+    ``None`` pins nothing (the ambient selection applies) — convenient
+    for callers threading through an optional engine parameter.  The
+    override lives in a :class:`contextvars.ContextVar`, so concurrent
+    sessions in one process can run different engines; it does **not**
+    propagate into process-pool workers (the parallel criticality
+    engine), which inherit the environment variable instead — safe,
+    because criticality verdicts are engine-independent.
+    """
+    if engine is None:
+        yield evaluation_engine()
+        return
+    name = _validate_engine(engine)
+    token = _ENGINE_OVERRIDE.set(name)
+    try:
+        yield name
+    finally:
+        _ENGINE_OVERRIDE.reset(token)
+
+
+def _memory(instance) -> Instance:
+    """An in-memory instance over the target's facts.
+
+    The compiled and naive engines work on :class:`Instance`; any other
+    fact store is materialised (never cached — stores are mutable).
+    """
+    if isinstance(instance, Instance):
+        return instance
+    return Instance(instance)
 
 
 class _Unbound:
@@ -211,9 +284,16 @@ def satisfying_assignments(
     For a :class:`~repro.cq.union.UnionQuery` the assignments of every
     disjunct are yielded in turn.
     """
-    if evaluation_engine() == "naive":
-        yield from naive_satisfying_assignments(query, instance)
+    engine = evaluation_engine()
+    if engine == "naive":
+        yield from naive_satisfying_assignments(query, _memory(instance))
         return
+    if engine == "sql":
+        from . import sql as _sql
+
+        yield from _sql.satisfying_assignments(query, instance)
+        return
+    instance = _memory(instance)
     disjuncts = getattr(query, "disjuncts", None)
     if disjuncts is not None:
         for disjunct in disjuncts:
@@ -235,8 +315,14 @@ def answer_tuple(query: ConjunctiveQuery, assignment: Mapping[Variable, object])
 
 def evaluate(query: ConjunctiveQuery, instance: Instance) -> FrozenSet[Tuple[object, ...]]:
     """Evaluate a conjunctive query or a union of them (set semantics)."""
-    if evaluation_engine() == "naive":
-        return naive_evaluate(query, instance)
+    engine = evaluation_engine()
+    if engine == "naive":
+        return naive_evaluate(query, _memory(instance))
+    if engine == "sql":
+        from . import sql as _sql
+
+        return _sql.evaluate(query, instance)
+    instance = _memory(instance)
     disjuncts = getattr(query, "disjuncts", None)
     if disjuncts is not None:
         answers: set = set()
@@ -249,8 +335,14 @@ def evaluate(query: ConjunctiveQuery, instance: Instance) -> FrozenSet[Tuple[obj
 def evaluate_boolean(query: ConjunctiveQuery, instance: Instance) -> bool:
     """Evaluate a boolean query; also works for non-boolean queries
     (true iff the answer is non-empty)."""
-    if evaluation_engine() == "naive":
-        return naive_evaluate_boolean(query, instance)
+    engine = evaluation_engine()
+    if engine == "naive":
+        return naive_evaluate_boolean(query, _memory(instance))
+    if engine == "sql":
+        from . import sql as _sql
+
+        return _sql.evaluate_boolean(query, instance)
+    instance = _memory(instance)
     disjuncts = getattr(query, "disjuncts", None)
     if disjuncts is not None:
         return any(evaluate_boolean(disjunct, instance) for disjunct in disjuncts)
@@ -269,8 +361,14 @@ def answer_contains(
     arity simply return ``False``.
     """
     row = tuple(row)
-    if evaluation_engine() == "naive":
-        return row in naive_evaluate(query, instance)
+    engine = evaluation_engine()
+    if engine == "naive":
+        return row in naive_evaluate(query, _memory(instance))
+    if engine == "sql":
+        from . import sql as _sql
+
+        return _sql.answer_contains(query, instance, row)
+    instance = _memory(instance)
     disjuncts = getattr(query, "disjuncts", None) or (query,)
     return any(plan_for(disjunct).derives_row(instance, row) for disjunct in disjuncts)
 
@@ -286,10 +384,17 @@ def delta_changes(query: ConjunctiveQuery, instance: Instance, fact: Fact) -> bo
     or unifying with no subgoal, costs nothing.  The naive engine
     evaluates the query twice in full — the ablation baseline.
     """
-    if evaluation_engine() == "naive":
+    engine = evaluation_engine()
+    if engine == "naive":
+        instance = _memory(instance)
         return naive_evaluate(query, instance) != naive_evaluate(
             query, instance.remove(fact)
         )
+    if engine == "sql":
+        from . import sql as _sql
+
+        return _sql.delta_changes(query, instance, fact)
+    instance = _memory(instance)
     if fact not in instance:
         return False
     disjuncts = getattr(query, "disjuncts", None)
@@ -317,3 +422,10 @@ def possible_answers(
     possible answer ``q`` (Definition 4.1 quantifies over all of them).
     """
     return frozenset(evaluate(query, instance) for instance in instances)
+
+
+# Validate the engine selection present at import time, so a
+# misconfigured deployment fails when the dispatcher loads rather than
+# on its first query.  Values set *after* import (tests, scopes) are
+# still validated — once each — on first use.
+evaluation_engine()

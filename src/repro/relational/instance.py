@@ -38,7 +38,7 @@ INDEX_STATS: Dict[str, int] = {"builds": 0, "reuses": 0}
 class Instance:
     """An immutable database instance (a set of facts)."""
 
-    __slots__ = ("_facts", "_by_relation", "_indexes")
+    __slots__ = ("_facts", "_by_relation", "_indexes", "_sqlite_mirror")
 
     def __init__(self, facts: Iterable[Fact] = ()):
         self._facts: FrozenSet[Fact] = frozenset(facts)
@@ -46,6 +46,19 @@ class Instance:
         self._indexes: dict[
             Tuple[str, Tuple[int, ...]], Dict[Tuple[object, ...], Tuple[Fact, ...]]
         ] = {}
+        # Lazily-populated sqlite mirror used by the sql evaluation
+        # engine (repro.cq.sql.store_for); a cache like _indexes, but
+        # holding a connection — which cannot cross process boundaries,
+        # hence the custom pickling below.
+        self._sqlite_mirror = None
+
+    def __getstate__(self) -> FrozenSet[Fact]:
+        # Only the facts travel (e.g. into criticality process-pool
+        # workers); caches and the sqlite mirror are rebuilt on demand.
+        return self._facts
+
+    def __setstate__(self, facts: FrozenSet[Fact]) -> None:
+        self.__init__(facts)
 
     # -- construction ---------------------------------------------------------
     @classmethod

@@ -135,6 +135,7 @@ class AuditRequest:
     knowledge: Optional[Mapping[str, Any]] = None
     engine: str = "exact"
     criticality_engine: Optional[str] = None
+    eval_engine: Optional[str] = None
     options: Mapping[str, Any] = field(default_factory=dict)
 
     @property
@@ -219,6 +220,9 @@ def parse_request(document: Any) -> AuditRequest:
     criticality_engine = document.get("criticality_engine")
     if criticality_engine is not None and not isinstance(criticality_engine, str):
         raise ProtocolError(ERROR_INVALID_REQUEST, "'criticality_engine' must be a string")
+    eval_engine = document.get("eval_engine")
+    if eval_engine is not None and not isinstance(eval_engine, str):
+        raise ProtocolError(ERROR_INVALID_REQUEST, "'eval_engine' must be a string")
 
     secret: Optional[str] = None
     views: Optional[Queries] = None
@@ -250,6 +254,7 @@ def parse_request(document: Any) -> AuditRequest:
         knowledge=dict(knowledge) if knowledge is not None else None,
         engine=engine,
         criticality_engine=criticality_engine,
+        eval_engine=eval_engine,
         options=dict(options),
     )
 
@@ -293,6 +298,7 @@ def session_key(request: AuditRequest) -> str:
         "dictionary": dictionary_spec(request),
         "engine": request.engine,
         "criticality_engine": request.criticality_engine,
+        "eval_engine": request.eval_engine,
     }
     return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
 
@@ -316,6 +322,7 @@ def request_key(request: AuditRequest) -> str:
         "knowledge": _canonical(request.knowledge),
         "engine": request.engine,
         "criticality_engine": request.criticality_engine,
+        "eval_engine": request.eval_engine,
         "options": _canonical(request.options),
     }
     return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)

@@ -325,9 +325,12 @@ class AuditServer:
                 if isinstance(candidate, (str, int, float)):
                     request_id = candidate
                 # Attribute envelope errors to the named operation so the
-                # per-op error counters stay meaningful.
-                if document.get("op") in OPERATIONS:
-                    op = document["op"]
+                # per-op error counters stay meaningful.  The op may be
+                # any JSON value here (an unhashable one must not kill
+                # the connection); parse_request rejects non-strings.
+                named = document.get("op")
+                if isinstance(named, str) and named in OPERATIONS:
+                    op = named
             request = parse_request(document)
         except ProtocolError as error:
             self._metrics.observe(op, "error")
@@ -358,6 +361,7 @@ class AuditServer:
                 "fingerprint": hashlib.sha256(key.encode("utf8")).hexdigest()[:12],
                 "engine": session.engine_name,
                 "criticality_engine": session.criticality_engine_name,
+                "eval_engine": session.eval_engine,
                 "cache": session.cache_stats.to_dict(),
             }
             kernel_stats = SecurityAuditor.kernel_stats_for(session.dictionary)
@@ -480,6 +484,7 @@ class AuditServer:
                 dictionary=dictionary,
                 engine=request.engine,
                 criticality_engine=request.criticality_engine,
+                eval_engine=request.eval_engine,
                 cache_size=self._session_cache_size,
             )
             while len(self._sessions) >= self._max_sessions:

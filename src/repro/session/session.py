@@ -30,6 +30,7 @@ from ..core import domain_bounds
 from ..core.criticality import CriticalityEngine, create_criticality_engine
 from ..core.practical import practical_security_check
 from ..core.prior import PriorKnowledge
+from ..cq.evaluation import eval_engine_scope
 from ..exceptions import SecurityAnalysisError
 from ..probability.dictionary import Dictionary
 from ..relational.domain import Domain
@@ -83,6 +84,15 @@ class AnalysisSession:
     cache / cache_size:
         Share an existing :class:`CriticalTupleCache` or size a fresh
         one.
+    eval_engine:
+        Query-evaluation engine pinned for this session's analyses
+        (``"compiled"``, ``"naive"`` or ``"sql"``; see
+        :mod:`repro.cq.evaluation`).  ``None`` — the default — defers to
+        the ambient ``REPRO_EVAL_ENGINE`` selection.  The pin is a
+        context-variable scope around each analysis, so concurrent
+        sessions in one service process can run different engines; it
+        does not reach criticality process-pool workers, which inherit
+        the environment instead (verdicts are engine-independent).
     """
 
     def __init__(
@@ -94,6 +104,7 @@ class AnalysisSession:
         cache: Optional[CriticalTupleCache] = None,
         cache_size: int = 512,
         criticality_engine: Union[str, CriticalityEngine, None] = None,
+        eval_engine: Optional[str] = None,
     ):
         if not isinstance(schema, Schema):
             raise SecurityAnalysisError(
@@ -108,6 +119,12 @@ class AnalysisSession:
             criticality_engine
         )
         self._domain = domain
+        # Validate eagerly (a bad name should fail at construction, not
+        # on the first analysis); the scope itself is applied per call.
+        if eval_engine is not None:
+            with eval_engine_scope(eval_engine) as resolved:
+                eval_engine = resolved
+        self._eval_engine = eval_engine
         self._cache = cache if cache is not None else CriticalTupleCache(cache_size)
         self._compiled: Dict[Tuple, CompiledQuery] = {}
         # Sessions are shared across the audit service's worker threads;
@@ -145,6 +162,20 @@ class AnalysisSession:
     def criticality_engine_name(self) -> str:
         """Registry name of the criticality engine."""
         return self._criticality_engine.name
+
+    @property
+    def eval_engine(self) -> Optional[str]:
+        """The pinned query-evaluation engine (``None`` → ambient)."""
+        return self._eval_engine
+
+    def eval_scope(self):
+        """The evaluation-engine scope this session's analyses run under.
+
+        A no-op scope when no engine is pinned; used internally around
+        every analysis and exposed so the audit layer can wrap its own
+        direct evaluation work in the same pin.
+        """
+        return eval_engine_scope(self._eval_engine)
 
     @property
     def cache(self) -> CriticalTupleCache:
@@ -219,7 +250,10 @@ class AnalysisSession:
         result, so a warm cache may serve a set that a colder cache
         would have refused to compute under a tighter bound.
         """
-        compute = self._criticality_engine.critical_tuples
+        def compute(*args, **kwargs):
+            with self.eval_scope():
+                return self._criticality_engine.critical_tuples(*args, **kwargs)
+
         if constraint is not None:
             return compute(query, schema, domain, constraint, **options)
         if domain is None:
@@ -288,13 +322,14 @@ class AnalysisSession:
         view_list = self._normalise_views(views)
         before = self._cache.stats()
         started = time.perf_counter()
-        decision = decide_security(
-            secret_query,
-            view_list,
-            self._schema,
-            domain=domain or self._domain,
-            critical_fn=self._critical_fn,
-        )
+        with self.eval_scope():
+            decision = decide_security(
+                secret_query,
+                view_list,
+                self._schema,
+                domain=domain or self._domain,
+                critical_fn=self._critical_fn,
+            )
         return self._finish(
             DecisionResult, "decide", decision.secure, started, before, decision=decision
         )
@@ -321,14 +356,15 @@ class AnalysisSession:
         view_list = self._normalise_views(views)
         before = self._cache.stats()
         started = time.perf_counter()
-        measurement = _positive_leakage(
-            secret_query,
-            view_list,
-            dictionary,
-            max_secret_rows=max_secret_rows,
-            max_view_rows=max_view_rows,
-            max_support_size=max_support_size,
-        )
+        with self.eval_scope():
+            measurement = _positive_leakage(
+                secret_query,
+                view_list,
+                dictionary,
+                max_secret_rows=max_secret_rows,
+                max_view_rows=max_view_rows,
+                max_support_size=max_support_size,
+            )
         return self._finish(
             LeakageAnalysis,
             "leakage",
@@ -358,13 +394,14 @@ class AnalysisSession:
             normalised = [self._unwrap(views, "view")]
         before = self._cache.stats()
         started = time.perf_counter()
-        report = analyse_collusion(
-            secret_query,
-            normalised,
-            self._schema,
-            domain=domain or self._domain,
-            critical_fn=self._critical_fn,
-        )
+        with self.eval_scope():
+            report = analyse_collusion(
+                secret_query,
+                normalised,
+                self._schema,
+                domain=domain or self._domain,
+                critical_fn=self._critical_fn,
+            )
         return self._finish(
             CollusionResult,
             "collusion",
@@ -393,15 +430,16 @@ class AnalysisSession:
         view_list = self._normalise_views((views,))
         before = self._cache.stats()
         started = time.perf_counter()
-        decision = decide_with_knowledge(
-            secret_query,
-            view_list,
-            knowledge,
-            self._schema,
-            domain=domain or self._domain,
-            critical_fn=self._critical_fn,
-            criticality_engine=self._criticality_engine,
-        )
+        with self.eval_scope():
+            decision = decide_with_knowledge(
+                secret_query,
+                view_list,
+                knowledge,
+                self._schema,
+                domain=domain or self._domain,
+                critical_fn=self._critical_fn,
+                criticality_engine=self._criticality_engine,
+            )
         return self._finish(
             KnowledgeResult,
             "with-knowledge",
@@ -425,14 +463,15 @@ class AnalysisSession:
         view_query = self._unwrap(view, "view")
         before = self._cache.stats()
         started = time.perf_counter()
-        report = classify_practical_security(
-            secret_query,
-            view_query,
-            self._schema,
-            expected_sizes=expected_sizes,
-            zero_threshold=zero_threshold,
-            critical_fn=self._critical_fn,
-        )
+        with self.eval_scope():
+            report = classify_practical_security(
+                secret_query,
+                view_query,
+                self._schema,
+                expected_sizes=expected_sizes,
+                zero_threshold=zero_threshold,
+                critical_fn=self._critical_fn,
+            )
         verdict = report.level is not PracticalSecurityLevel.PRACTICAL_DISCLOSURE
         return self._finish(
             PracticalResult, "practical", verdict, started, before, report=report
@@ -446,7 +485,8 @@ class AnalysisSession:
         view_list = self._normalise_views(views)
         before = self._cache.stats()
         started = time.perf_counter()
-        check = practical_security_check(secret_query, view_list)
+        with self.eval_scope():
+            check = practical_security_check(secret_query, view_list)
         verdict = True if check.certainly_secure else None
         return self._finish(
             QuickCheckResult, "quick-check", verdict, started, before, check=check
@@ -472,7 +512,8 @@ class AnalysisSession:
             raise SecurityAnalysisError("at least one view is required")
         before = self._cache.stats()
         started = time.perf_counter()
-        verdict = self._engine.verify(secret_query, view_list, dictionary, **options)
+        with self.eval_scope():
+            verdict = self._engine.verify(secret_query, view_list, dictionary, **options)
         return self._finish(
             VerificationResult,
             "verify",
@@ -521,13 +562,14 @@ class AnalysisSession:
         entries: List[PlanEntry] = []
         for secret_name, secret_query in secrets.items():
             for recipient, view_query in views.items():
-                decision = decide_security(
-                    secret_query,
-                    view_query,
-                    self._schema,
-                    domain=domain,
-                    critical_fn=self._critical_fn,
-                )
+                with self.eval_scope():
+                    decision = decide_security(
+                        secret_query,
+                        view_query,
+                        self._schema,
+                        domain=domain,
+                        critical_fn=self._critical_fn,
+                    )
                 entries.append(
                     PlanEntry(
                         secret_name=secret_name,

@@ -1,0 +1,11 @@
+"""Fact stores: the in-memory instance and the sqlite3-backed store."""
+
+from .base import FactStore
+from .sqlite import STORAGE_STATS, SQLiteFactStore, reset_storage_stats
+
+__all__ = [
+    "FactStore",
+    "SQLiteFactStore",
+    "STORAGE_STATS",
+    "reset_storage_stats",
+]

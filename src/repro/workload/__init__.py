@@ -17,7 +17,10 @@ result cache under replay.
 """
 
 from .generator import (
+    InstanceSpec,
     WorkloadSpec,
+    generate_facts,
+    generate_instance,
     generate_workload,
     load_workload,
     replay_workload,
@@ -26,7 +29,10 @@ from .generator import (
 )
 
 __all__ = [
+    "InstanceSpec",
     "WorkloadSpec",
+    "generate_facts",
+    "generate_instance",
     "generate_workload",
     "load_workload",
     "replay_workload",

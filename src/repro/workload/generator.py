@@ -34,8 +34,11 @@ from ..service.protocol import parse_request
 
 __all__ = [
     "WorkloadSpec",
+    "InstanceSpec",
     "table1_templates",
     "generate_workload",
+    "generate_facts",
+    "generate_instance",
     "save_workload",
     "load_workload",
     "replay_workload",
@@ -195,6 +198,91 @@ def generate_workload(spec: WorkloadSpec) -> List[Dict[str, Any]]:
         parse_request(document)  # what we emit must be servable
         requests.append(document)
     return requests
+
+
+# ---------------------------------------------------------------------------
+# Large-instance generation
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class InstanceSpec:
+    """Parameters of one seeded large instance.
+
+    Sized for the 10^5–10^6-fact stores the sql evaluation engine
+    targets; generation is streaming (:func:`generate_facts` yields),
+    so a million facts never need to exist in one Python list.
+
+    Attributes
+    ----------
+    seed:
+        Everything is drawn from ``random.Random(seed)``.
+    facts:
+        Number of facts to draw (duplicates possible — stores and
+        instances keep set semantics, so the final count may be
+        slightly lower; with ``domain_size**2`` well above ``facts``
+        the shortfall is negligible).
+    relations:
+        ``name → arity`` mapping of the schema to populate.
+    domain_size:
+        Values are ``v0 .. v{domain_size-1}`` column indices drawn as
+        integers.
+    skew:
+        ``0.0`` draws values uniformly; larger values concentrate the
+        mass on small indices (each draw is
+        ``int(domain_size * u**(1 + skew))`` for uniform ``u``), which
+        makes some join keys hot — the regime where index choice
+        matters.
+    relation_weights:
+        Optional ``name → weight`` skew across relations; unlisted
+        relations get weight 1.
+    """
+
+    seed: int = 0
+    facts: int = 100_000
+    relations: Mapping[str, int] = field(
+        default_factory=lambda: {"R": 2, "S": 2, "T": 1}
+    )
+    domain_size: int = 1000
+    skew: float = 0.0
+    relation_weights: Mapping[str, float] = field(default_factory=dict)
+
+
+def generate_facts(spec: InstanceSpec):
+    """Yield the facts of one seeded large instance (deterministic).
+
+    A generator, so 10^6-fact instances stream straight into
+    :meth:`~repro.storage.sqlite.SQLiteFactStore.load_facts` without a
+    list in between.
+    """
+    from ..relational.tuples import Fact
+
+    if spec.facts < 0:
+        raise ReproError("an instance cannot have a negative fact count")
+    if spec.domain_size < 1:
+        raise ReproError("the instance domain needs at least one value")
+    if not spec.relations:
+        raise ReproError("the instance spec names no relations")
+    rng = random.Random(spec.seed)
+    names = sorted(spec.relations)
+    weights = [max(0.0, float(spec.relation_weights.get(name, 1.0))) for name in names]
+    if sum(weights) <= 0:
+        raise ReproError("the relation weights must have at least one positive entry")
+    exponent = 1.0 + max(0.0, spec.skew)
+
+    def draw_value() -> int:
+        return int(spec.domain_size * rng.random() ** exponent) % spec.domain_size
+
+    for _ in range(spec.facts):
+        name = rng.choices(names, weights=weights)[0]
+        arity = spec.relations[name]
+        yield Fact(name, tuple(draw_value() for _ in range(arity)))
+
+
+def generate_instance(spec: InstanceSpec):
+    """The seeded instance as an in-memory
+    :class:`~repro.relational.instance.Instance` (set semantics)."""
+    from ..relational.instance import Instance
+
+    return Instance(generate_facts(spec))
 
 
 # ---------------------------------------------------------------------------

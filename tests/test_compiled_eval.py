@@ -353,7 +353,7 @@ class TestEngineSelection:
         auditor = SecurityAuditor(employee_schema())
         document = auditor.observability()
         assert "query_evaluation" in document
-        assert document["query_evaluation"]["engine"] in ("compiled", "naive")
+        assert document["query_evaluation"]["engine"] in ("compiled", "naive", "sql")
 
 
 # ---------------------------------------------------------------------------

@@ -303,6 +303,16 @@ class TestMalformedRequests:
         assert response["error"]["code"] == ERROR_BAD_JSON
         assert client.ping() is True  # same connection still serves
 
+    def test_unhashable_op_keeps_connection(self, client):
+        # A dict-valued op crashed the pre-parse op lookup once; it must
+        # yield a structured error like every other malformed envelope.
+        response = client.send_raw(
+            json.dumps({"op": {"nested": True}}).encode() + b"\n"
+        )
+        assert response["ok"] is False
+        assert response["error"]["code"] == ERROR_INVALID_REQUEST
+        assert client.ping() is True
+
     def test_unknown_operation(self, client):
         response = client.request("escalate", schema=SCHEMA)
         assert response["ok"] is False

@@ -1,0 +1,277 @@
+"""SQL evaluation backend: three-engine cross-validation and plumbing.
+
+The sql engine compiles join plans into SQLite statements, so its
+answers must be indistinguishable from both the compiled and the naive
+engines on every query the library can express — including mixed-type
+domains, empty relations, comparison-heavy queries and unions — and the
+delta entry points must agree with full re-evaluation.  The suite also
+pins the fallback contract (unstorable values quietly re-route through
+the compiled engine) and the `eval_engine` plumbing through sessions,
+auditors and the wire protocol.
+"""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from test_compiled_eval import (
+    INT_VALUES,
+    MIXED_VALUES,
+    _assignment_set,
+    _fact_strategy,
+    _instance_strategy,
+    _query_strategy,
+)
+
+from repro.cq import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    Variable,
+    answer_contains,
+    delta_changes,
+    eval_engine_scope,
+    evaluate,
+    evaluate_boolean,
+    evaluation_engine,
+    q,
+    satisfying_assignments,
+    union_of,
+)
+from repro.cq.compiled import evaluation_stats, reset_evaluation_stats
+from repro.cq.sql import SQL_STATS
+from repro.exceptions import EvaluationError
+from repro.relational import Fact, Instance
+from repro.service.protocol import ProtocolError, parse_request, session_key
+from repro.session import AnalysisSession
+from repro.storage import SQLiteFactStore
+
+ENGINES = ("compiled", "naive", "sql")
+
+
+def _per_engine(fn):
+    """Run ``fn`` once per engine and return the three results by name."""
+    results = {}
+    for engine in ENGINES:
+        with eval_engine_scope(engine):
+            results[engine] = fn()
+    return results
+
+
+def _unanimous(fn):
+    results = _per_engine(fn)
+    assert results["sql"] == results["compiled"] == results["naive"]
+    return results["sql"]
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis cross-validation: sql vs compiled vs naive
+# ---------------------------------------------------------------------------
+class TestSqlMatchesOtherEngines:
+    # As in test_compiled_eval: order predicates over mixed-type domains
+    # raise QueryError at engine-dependent points (and SQLite would
+    # happily order across storage classes), so the general strategy
+    # sticks to =/!= and order predicates get an int-only strategy.
+    @settings(max_examples=80, deadline=None)
+    @given(
+        query=_query_strategy(MIXED_VALUES, ["=", "!="]),
+        instance=_instance_strategy(MIXED_VALUES),
+    )
+    def test_mixed_type_domains_equality_comparisons(self, query, instance):
+        _unanimous(lambda: evaluate(query, instance))
+        _unanimous(lambda: evaluate_boolean(query, instance))
+        _unanimous(
+            lambda: _assignment_set(satisfying_assignments(query, instance))
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        query=_query_strategy(INT_VALUES, ["=", "!=", "<", "<=", ">", ">="]),
+        instance=_instance_strategy(INT_VALUES),
+    )
+    def test_int_domains_order_comparisons(self, query, instance):
+        _unanimous(lambda: evaluate(query, instance))
+        _unanimous(
+            lambda: _assignment_set(satisfying_assignments(query, instance))
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        query=_query_strategy(MIXED_VALUES, ["=", "!="]),
+        instance=_instance_strategy(MIXED_VALUES),
+        probe=st.lists(st.sampled_from(MIXED_VALUES), max_size=3),
+    )
+    def test_answer_contains(self, query, instance, probe):
+        with eval_engine_scope("compiled"):
+            answers = evaluate(query, instance)
+        rows = list(answers)[:3] + [tuple(probe)]
+        for row in rows:
+            _unanimous(lambda: answer_contains(query, instance, row))
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        query=_query_strategy(MIXED_VALUES, ["=", "!="]),
+        instance=_instance_strategy(MIXED_VALUES),
+        fact=_fact_strategy(MIXED_VALUES),
+    )
+    def test_delta_changes(self, query, instance, fact):
+        _unanimous(lambda: delta_changes(query, instance, fact))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        first=_query_strategy(MIXED_VALUES, ["=", "!="]),
+        second=_query_strategy(MIXED_VALUES, ["=", "!="]),
+        instance=_instance_strategy(MIXED_VALUES),
+        fact=_fact_strategy(MIXED_VALUES),
+    )
+    def test_unions(self, first, second, instance, fact):
+        assume(len(first.head) == len(second.head))
+        union = union_of(first, second)
+        _unanimous(lambda: evaluate(union, instance))
+        _unanimous(lambda: evaluate_boolean(union, instance))
+        _unanimous(lambda: delta_changes(union, instance, fact))
+
+
+# ---------------------------------------------------------------------------
+# Store-backed evaluation
+# ---------------------------------------------------------------------------
+class TestStoreBackedEvaluation:
+    FACTS = [
+        Fact("R", (1, 2)),
+        Fact("R", (2, 3)),
+        Fact("R", (2, "a")),
+        Fact("S", ("a", 1)),
+    ]
+
+    def test_every_engine_accepts_a_fact_store(self):
+        store = SQLiteFactStore.mirror(self.FACTS)
+        query = q("Q(x, z) :- R(x, y), S(y, z)")
+        expected = evaluate(query, Instance(self.FACTS))
+        assert _unanimous(lambda: evaluate(query, store)) == expected
+        assert _unanimous(lambda: evaluate_boolean(query, store)) is True
+        _unanimous(lambda: delta_changes(query, store, Fact("S", ("a", 1))))
+
+    def test_sql_runs_directly_against_a_file_store(self, tmp_path):
+        with SQLiteFactStore(tmp_path / "facts.db") as store:
+            store.load_facts(self.FACTS)
+            with eval_engine_scope("sql"):
+                answers = evaluate(q("Q(y) :- R(2, y)"), store)
+        assert answers == {(3,), ("a",)}
+
+
+# ---------------------------------------------------------------------------
+# Engine selection and fallback
+# ---------------------------------------------------------------------------
+class TestEngineSelection:
+    def test_scope_overrides_and_restores(self):
+        ambient = evaluation_engine()
+        with eval_engine_scope("sql"):
+            assert evaluation_engine() == "sql"
+            with eval_engine_scope("naive"):
+                assert evaluation_engine() == "naive"
+            assert evaluation_engine() == "sql"
+        assert evaluation_engine() == ambient
+
+    def test_none_scope_is_a_no_op(self):
+        with eval_engine_scope(None) as resolved:
+            assert resolved == evaluation_engine()
+
+    def test_unknown_engine_error_names_all_three(self):
+        with pytest.raises(EvaluationError) as excinfo:
+            with eval_engine_scope("vectorised"):
+                pass  # pragma: no cover
+        message = str(excinfo.value)
+        for name in ENGINES:
+            assert f"'{name}'" in message
+        assert "vectorised" in message
+
+
+class TestFallback:
+    def test_unstorable_instance_values_fall_back_to_compiled(self):
+        # Symbolic values (the asymptotic engine's labeled nulls, or any
+        # non-scalar) cannot live in a sqlite column; the sql engine
+        # must still answer, via the compiled engine, and say so in its
+        # counters.
+        instance = Instance.of(Fact("R", ((1, 2), 3)), Fact("R", (4, 5)))
+        query = q("Q(x) :- R(x, y)")
+        before = SQL_STATS["sql_fallbacks"]
+        with eval_engine_scope("sql"):
+            answers = evaluate(query, instance)
+        assert answers == {((1, 2),), (4,)}
+        assert SQL_STATS["sql_fallbacks"] == before + 1
+
+    def test_unstorable_query_constant_falls_back(self):
+        query = ConjunctiveQuery(
+            (Variable("x"),),
+            (Atom("R", (Variable("x"), Constant(None))),),
+            (),
+        )
+        instance = Instance.of(Fact("R", (1, None)), Fact("R", (2, 3)))
+        before = SQL_STATS["sql_fallbacks"]
+        with eval_engine_scope("sql"):
+            assert evaluate(query, instance) == {(1,)}
+        assert SQL_STATS["sql_fallbacks"] > before
+
+
+class TestSqlStats:
+    def test_counters_flow_through_evaluation_stats(self):
+        reset_evaluation_stats()
+        instance = Instance.of(Fact("R", (1, 2)), Fact("R", (2, 3)))
+        query = q("Q(x, z) :- R(x, y), R(y, z)")
+        with eval_engine_scope("sql"):
+            evaluate(query, instance)
+            evaluate(query, instance)  # second call reuses the cached plan
+            delta_changes(query, instance, Fact("R", (2, 3)))
+        document = evaluation_stats()
+        assert document["sql_plans_compiled"] == 1
+        assert document["sql_plan_cache_hits"] >= 1
+        assert document["sql_statements_executed"] >= 2
+        assert document["sql_mirrors_built"] == 1  # cached on the instance
+        assert document["sql_delta_calls"] == 1
+        assert document["storage_facts_loaded"] >= 2
+        assert document["storage_tables_created"] >= 1
+        reset_evaluation_stats()
+        assert evaluation_stats()["sql_statements_executed"] == 0
+
+
+# ---------------------------------------------------------------------------
+# eval_engine plumbing: session, auditor, protocol
+# ---------------------------------------------------------------------------
+class TestEvalEnginePlumbing:
+    def test_session_pins_an_engine(self, binary_ab_schema):
+        session = AnalysisSession(binary_ab_schema, eval_engine="sql")
+        assert session.eval_engine == "sql"
+        with session.eval_scope():
+            assert evaluation_engine() == "sql"
+        pinned = session.decide("S(x) :- R(x, x)", ["V(x) :- R(x, y)"])
+        default = AnalysisSession(binary_ab_schema).decide(
+            "S(x) :- R(x, x)", ["V(x) :- R(x, y)"]
+        )
+        assert pinned.secure == default.secure
+
+    def test_session_rejects_unknown_engine(self, binary_ab_schema):
+        with pytest.raises(EvaluationError):
+            AnalysisSession(binary_ab_schema, eval_engine="vectorised")
+
+    def test_auditor_reports_its_engine(self, emp_schema):
+        from repro.audit import SecurityAuditor
+
+        auditor = SecurityAuditor(emp_schema, eval_engine="sql")
+        assert auditor.observability()["engines"]["evaluation"] == "sql"
+
+    def test_protocol_carries_and_keys_on_eval_engine(self):
+        from repro.bench import employee_schema
+        from repro.io import schema_to_dict
+
+        document = {
+            "op": "decide",
+            "schema": schema_to_dict(employee_schema()),
+            "secret": "S(n, p) :- Emp(n, d, p)",
+            "views": ["V(n, d) :- Emp(n, d, p)"],
+        }
+        plain = parse_request(document)
+        assert plain.eval_engine is None
+        pinned = parse_request({**document, "eval_engine": "sql"})
+        assert pinned.eval_engine == "sql"
+        assert session_key(plain) != session_key(pinned)
+        with pytest.raises(ProtocolError):
+            parse_request({**document, "eval_engine": 7})
