@@ -582,12 +582,19 @@ def evaluate_boolean(query, instance) -> bool:
 
 def satisfying_assignments(query, instance) -> Iterator[Dict[Variable, object]]:
     """The distinct satisfying assignments (per disjunct for unions)."""
+    # Every disjunct's plan and the store are resolved before the first
+    # yield: an UnstorableError (the only fallback trigger) can then
+    # only surface up front, so the fallback never re-yields
+    # assignments an earlier disjunct already produced.
     try:
         disjuncts = getattr(query, "disjuncts", None) or (query,)
-        for disjunct in disjuncts:
-            yield from sql_plan_for(disjunct).assignments(store_for(instance))
+        plans = [sql_plan_for(disjunct) for disjunct in disjuncts]
+        store = store_for(instance)
     except UnstorableError:
         yield from _fallback("satisfying_assignments", query, instance)
+        return
+    for plan in plans:
+        yield from plan.assignments(store)
 
 
 def answer_contains(query, instance, row: Sequence[object]) -> bool:

@@ -9,17 +9,18 @@ semantics: re-loading a fact is a no-op).  A ``repro_meta`` table maps
 relation/arity pairs to their physical tables, so a store file reopens
 with its full layout.
 
-**Typed columns.**  Column type declarations are inferred from the
-loaded values: a position whose values are all ``int`` is declared
-``INTEGER``, all ``str`` is declared ``TEXT``, anything else (floats,
-mixed types) gets no declared type — NONE affinity, under which SQLite
-stores every value exactly as bound.  Declaring an affinity only for
-type-uniform columns matters for correctness, not just speed: TEXT
-affinity would silently convert inserted integers to text and INTEGER
-affinity converts numeric-looking strings to integers, breaking the
-round-trip a fact store must guarantee.  If a later batch breaks a
-column's uniformity the table is migrated ("demoted") to undeclared
-columns before the batch is inserted, so no value is ever coerced.
+**Untyped columns.**  Every column is declared with *no* type — NONE
+affinity, under which SQLite stores each value exactly as bound and,
+crucially, never converts comparison operands.  Any declared affinity
+would be a correctness bug, not an optimisation choice: an ``INTEGER``
+column makes SQLite coerce the query constant ``"1"`` to the integer
+``1`` before comparing, so a typed store would report ``Fact("R",
+("1",))`` present in a store holding only ``Fact("R", (1,))`` — a wrong
+non-empty answer, where Python equality (and the naive/compiled
+engines) keep ``int`` and ``str`` forever distinct.  Under NONE
+affinity values of different storage classes never compare equal, while
+``int``/``float`` equality stays numeric (``1 == 1.0`` in SQL exactly
+as in Python).
 
 **Values.**  Fact values must be ``int``, ``float`` or ``str`` (``bool``
 is stored as its integer value, which matches ``Fact`` equality —
@@ -41,6 +42,7 @@ from __future__ import annotations
 
 import csv
 import json
+import re
 import sqlite3
 import threading
 from pathlib import Path
@@ -59,12 +61,17 @@ STORAGE_STATS: Dict[str, int] = {
     "facts_loaded": 0,
     "tables_created": 0,
     "indexes_created": 0,
-    "column_demotions": 0,
     "stores_opened": 0,
 }
 
 #: Name of the layout metadata table inside every store.
 _META_TABLE = "repro_meta"
+
+#: Every physical table this module generates is named ``f<N>``.  Names
+#: read back from a store file's catalog are interpolated into SQL text,
+#: so anything else is rejected at open time (a crafted catalog must not
+#: become arbitrary SQL).
+_TABLE_NAME = re.compile(r"f\d+")
 
 #: Facts are inserted in batches of this many rows.
 _BATCH_SIZE = 5000
@@ -86,33 +93,6 @@ def _check_value(value: object) -> object:
         f"fact value {value!r} of type {type(value).__name__} cannot be stored; "
         "a SQL-backed store holds int, float and str values only"
     )
-
-
-def _column_type(values: Iterable[object], position: int) -> str:
-    """The declared type of one column for a batch (may be '')."""
-    declared: Optional[str] = None
-    for row in values:
-        value = row[position]
-        if isinstance(value, int) and not isinstance(value, bool):
-            kind = "INTEGER"
-        elif isinstance(value, str):
-            kind = "TEXT"
-        else:
-            return ""
-        if declared is None:
-            declared = kind
-        elif declared != kind:
-            return ""
-    return declared or ""
-
-
-def _fits(value: object, declared: str) -> bool:
-    """True when a value can enter a column without affinity coercion."""
-    if not declared:
-        return True
-    if declared == "INTEGER":
-        return isinstance(value, int) and not isinstance(value, bool)
-    return isinstance(value, str)  # TEXT
 
 
 def _coerce_cell(text: str) -> object:
@@ -147,8 +127,6 @@ class SQLiteFactStore(FactStore):
         self._closed = False
         #: (relation, arity) -> physical table name
         self._tables: Dict[Tuple[str, int], str] = {}
-        #: physical table name -> declared column types ('' = no affinity)
-        self._column_types: Dict[str, List[str]] = {}
         #: (table, leading positions) pairs whose index exists
         self._indexes: set = set()
         self._table_counter = 0
@@ -160,16 +138,25 @@ class SQLiteFactStore(FactStore):
             cursor.execute(
                 f"CREATE TABLE IF NOT EXISTS {_META_TABLE} ("
                 "relation TEXT NOT NULL, arity INTEGER NOT NULL, "
-                "table_name TEXT NOT NULL UNIQUE, column_types TEXT NOT NULL, "
+                "table_name TEXT NOT NULL UNIQUE, "
                 "PRIMARY KEY (relation, arity))"
             )
-            for relation, arity, table, types in cursor.execute(
-                f"SELECT relation, arity, table_name, column_types FROM {_META_TABLE}"
+            for relation, arity, table in cursor.execute(
+                f"SELECT relation, arity, table_name FROM {_META_TABLE}"
             ).fetchall():
+                if not _TABLE_NAME.fullmatch(table):
+                    # The catalog names are interpolated into SQL text
+                    # verbatim; a crafted store file must not get to run
+                    # arbitrary statements through them.
+                    self._connection.close()
+                    self._closed = True
+                    raise ReproError(
+                        f"refusing to open {self._path!r}: catalog table "
+                        f"name {table!r} does not match the generated "
+                        "'f<N>' pattern"
+                    )
                 self._tables[(relation, arity)] = table
-                self._column_types[table] = json.loads(types)
-                number = int(table[1:]) if table[1:].isdigit() else -1
-                self._table_counter = max(self._table_counter, number + 1)
+                self._table_counter = max(self._table_counter, int(table[1:]) + 1)
             for (name,) in cursor.execute(
                 "SELECT name FROM sqlite_master WHERE type = 'index' "
                 "AND name LIKE 'ix_%'"
@@ -417,84 +404,29 @@ class SQLiteFactStore(FactStore):
         width = max(arity, 1)
         table = self._tables.get(key)
         if table is None:
-            table = self._create_table(cursor, relation, arity, rows)
-        else:
-            declared = self._column_types[table]
-            broken = [
-                p
-                for p in range(width)
-                if declared[p] and not all(_fits(row[p], declared[p]) for row in rows)
-            ]
-            if broken:
-                self._demote_columns(cursor, key, broken)
+            table = self._create_table(cursor, relation, arity)
         placeholders = ", ".join("?" for _ in range(width))
         cursor.executemany(
             f"INSERT OR IGNORE INTO {table} VALUES ({placeholders})", rows
         )
 
     def _create_table(
-        self,
-        cursor: sqlite3.Cursor,
-        relation: str,
-        arity: int,
-        rows: List[Tuple[object, ...]],
+        self, cursor: sqlite3.Cursor, relation: str, arity: int
     ) -> str:
         width = max(arity, 1)
-        types = (
-            ["INTEGER"]
-            if arity == 0
-            else [_column_type(rows, p) for p in range(width)]
-        )
         table = f"f{self._table_counter}"
         self._table_counter += 1
-        declarations = ", ".join(
-            f"c{p} {t}".rstrip() for p, t in enumerate(types)
-        )
-        unique = ", ".join(f"c{p}" for p in range(width))
-        cursor.execute(f"CREATE TABLE {table} ({declarations}, UNIQUE ({unique}))")
+        # Columns carry no declared type on purpose (NONE affinity);
+        # see the module docstring.
+        columns = ", ".join(f"c{p}" for p in range(width))
+        cursor.execute(f"CREATE TABLE {table} ({columns}, UNIQUE ({columns}))")
         cursor.execute(
-            f"INSERT INTO {_META_TABLE} VALUES (?, ?, ?, ?)",
-            (relation, arity, table, json.dumps(types)),
+            f"INSERT INTO {_META_TABLE} VALUES (?, ?, ?)",
+            (relation, arity, table),
         )
         self._tables[(relation, arity)] = table
-        self._column_types[table] = types
         STORAGE_STATS["tables_created"] += 1
         return table
-
-    def _demote_columns(
-        self, cursor: sqlite3.Cursor, key: Tuple[str, int], positions: List[int]
-    ) -> None:
-        """Migrate a table so the given columns lose their declared type.
-
-        Runs *before* the conflicting batch is inserted, so a typed
-        column only ever held values of its declared type — the copy is
-        coercion-free.  Indexes die with the old table and are lazily
-        recreated on the next query.
-        """
-        relation, arity = key
-        table = self._tables[key]
-        types = list(self._column_types[table])
-        for p in positions:
-            types[p] = ""
-        width = max(arity, 1)
-        declarations = ", ".join(f"c{p} {t}".rstrip() for p, t in enumerate(types))
-        unique = ", ".join(f"c{p}" for p in range(width))
-        replacement = f"{table}_demoted"
-        cursor.execute(
-            f"CREATE TABLE {replacement} ({declarations}, UNIQUE ({unique}))"
-        )
-        cursor.execute(f"INSERT INTO {replacement} SELECT * FROM {table}")
-        cursor.execute(f"DROP TABLE {table}")
-        cursor.execute(f"ALTER TABLE {replacement} RENAME TO {table}")
-        cursor.execute(
-            f"UPDATE {_META_TABLE} SET column_types = ? WHERE table_name = ?",
-            (json.dumps(types), table),
-        )
-        self._column_types[table] = types
-        self._indexes = {
-            name for name in self._indexes if not name.startswith(f"ix_{table}_")
-        }
-        STORAGE_STATS["column_demotions"] += 1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SQLiteFactStore(path={self._path!r}, tables={len(self._tables)})"

@@ -47,6 +47,12 @@ from repro.storage import SQLiteFactStore
 
 ENGINES = ("compiled", "naive", "sql")
 
+#: Type-punning pool: every int appears alongside its string spelling
+#: (and a float with its own), so type-uniform columns meet constants,
+#: probes and facts of the *other* type.  Any column affinity in the
+#: store would make SQLite coerce these together; Python never does.
+NUMSTR_VALUES = [0, 1, 2, "0", "1", "2", 1.5, "1.5"]
+
 
 def _per_engine(fn):
     """Run ``fn`` once per engine and return the three results by name."""
@@ -82,6 +88,21 @@ class TestSqlMatchesOtherEngines:
         _unanimous(
             lambda: _assignment_set(satisfying_assignments(query, instance))
         )
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        query=_query_strategy(NUMSTR_VALUES, ["=", "!="]),
+        instance=_instance_strategy(NUMSTR_VALUES),
+        fact=_fact_strategy(NUMSTR_VALUES),
+        probe=st.lists(st.sampled_from(NUMSTR_VALUES), max_size=3),
+    )
+    def test_numeric_string_type_punning(self, query, instance, fact, probe):
+        # Regression pool for the affinity bug: typed columns once let
+        # SQLite match the constant "1" against an all-int column.
+        _unanimous(lambda: evaluate(query, instance))
+        _unanimous(lambda: evaluate_boolean(query, instance))
+        _unanimous(lambda: answer_contains(query, instance, tuple(probe)))
+        _unanimous(lambda: delta_changes(query, instance, fact))
 
     @settings(max_examples=80, deadline=None)
     @given(
@@ -129,6 +150,61 @@ class TestSqlMatchesOtherEngines:
         _unanimous(lambda: evaluate(union, instance))
         _unanimous(lambda: evaluate_boolean(union, instance))
         _unanimous(lambda: delta_changes(union, instance, fact))
+
+
+# ---------------------------------------------------------------------------
+# Affinity regressions: int vs numeric-looking string, pinned exactly
+# ---------------------------------------------------------------------------
+class TestNoAffinityCoercion:
+    """Typed store columns once made SQLite coerce 1 and "1" together.
+
+    Each case pins one concrete path the reviewer showed diverging:
+    constants against type-uniform columns, joins across differently-
+    typed columns, head-seeded probes and the delta membership guard.
+    """
+
+    INT_FACTS = Instance.of(Fact("R", (1,)), Fact("R", (2,)))
+
+    def test_string_constant_never_matches_an_int_column(self):
+        query = ConjunctiveQuery((), (Atom("R", (Constant("1"),)),), ())
+        assert _unanimous(lambda: evaluate_boolean(query, self.INT_FACTS)) is False
+        assert _unanimous(lambda: evaluate(query, self.INT_FACTS)) == frozenset()
+
+    def test_int_constant_never_matches_a_string_column(self):
+        instance = Instance.of(Fact("R", ("1",)), Fact("R", ("2",)))
+        query = ConjunctiveQuery((), (Atom("R", (Constant(1),)),), ())
+        assert _unanimous(lambda: evaluate_boolean(query, instance)) is False
+
+    def test_join_across_differently_typed_columns_is_empty(self):
+        instance = Instance.of(Fact("R", (1,)), Fact("S", ("1",)))
+        query = q("Q(x) :- R(x), S(x)")
+        assert _unanimous(lambda: evaluate(query, instance)) == frozenset()
+
+    def test_head_seeded_probe_respects_types(self):
+        query = q("Q(x) :- R(x)")
+        assert _unanimous(
+            lambda: answer_contains(query, self.INT_FACTS, ("1",))
+        ) is False
+        assert _unanimous(
+            lambda: answer_contains(query, self.INT_FACTS, (1,))
+        ) is True
+
+    def test_delta_membership_guard_respects_types(self):
+        # Fact("R", ("1",)) is not in the instance, so removing it can
+        # never change the answer — the guard must not be fooled by a
+        # coerced membership probe.
+        query = q("Q(x) :- R(x)")
+        assert _unanimous(
+            lambda: delta_changes(query, self.INT_FACTS, Fact("R", ("1",)))
+        ) is False
+        assert _unanimous(
+            lambda: delta_changes(query, self.INT_FACTS, Fact("R", (1,)))
+        ) is True
+
+    def test_store_membership_respects_types(self):
+        store = SQLiteFactStore.mirror([Fact("R", (1,))])
+        assert Fact("R", ("1",)) not in store
+        assert Fact("R", (1,)) in store
 
 
 # ---------------------------------------------------------------------------
@@ -210,6 +286,32 @@ class TestFallback:
         with eval_engine_scope("sql"):
             assert evaluate(query, instance) == {(1,)}
         assert SQL_STATS["sql_fallbacks"] > before
+
+    def test_union_fallback_does_not_duplicate_assignments(self):
+        # A storable first disjunct followed by an unstorable one: the
+        # whole call must fall back *before* the first yield, or the
+        # fallback re-yields the first disjunct's assignments.
+        good = q("Q(x) :- R(x, y)")
+        bad = ConjunctiveQuery(
+            (Variable("x"),),
+            (Atom("R", (Variable("x"), Constant(None))),),
+            (),
+        )
+        union = union_of(good, bad)
+        instance = Instance.of(Fact("R", (1, 2)), Fact("R", (2, 3)))
+        with eval_engine_scope("sql"):
+            rows = [
+                frozenset(a.items())
+                for a in satisfying_assignments(union, instance)
+            ]
+        assert len(rows) == len(set(rows))
+        with eval_engine_scope("compiled"):
+            expected = [
+                frozenset(a.items())
+                for a in satisfying_assignments(union, instance)
+            ]
+        assert set(rows) == set(expected)
+        assert len(rows) == len(expected)
 
 
 class TestSqlStats:

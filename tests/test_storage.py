@@ -8,6 +8,7 @@ file persistence, bulk loading and SQL execution for the sql engine.
 
 import json
 import pickle
+import sqlite3
 
 import pytest
 
@@ -85,27 +86,45 @@ class TestRoundTrip:
         assert Fact("R", (None,)) not in store
 
 
-class TestTypedColumnsAndDemotion:
-    def test_uniform_batches_get_typed_columns(self):
+class TestNoAffinity:
+    def test_columns_carry_no_declared_type(self):
+        # NONE affinity is a correctness requirement: any declared type
+        # makes SQLite coerce comparison operands (1 would match "1").
         store = SQLiteFactStore.mirror([Fact("R", (1, "a")), Fact("R", (2, "b"))])
         table = store.table("R", 2)
-        types = store._column_types[table]
-        assert types == ["INTEGER", "TEXT"]
+        (sql,) = [
+            row[0]
+            for row in store.execute(
+                "SELECT sql FROM sqlite_master WHERE type = 'table' AND name = ?",
+                (table,),
+            )
+        ]
+        for affinity in ("INTEGER", "TEXT", "REAL", "NUMERIC", "BLOB"):
+            assert affinity not in sql.upper()
 
-    def test_breaking_uniformity_demotes_before_insert(self):
+    def test_int_and_numeric_string_never_compare_equal(self):
+        # The membership probe over an all-int column must not match a
+        # numeric-looking string, and vice versa.
         store = SQLiteFactStore.mirror([Fact("R", (1,)), Fact("R", (2,))])
-        table = store.table("R", 1)
-        assert store._column_types[table] == ["INTEGER"]
-        store.add(Fact("R", ("a",)))
-        assert store._column_types[store.table("R", 1)] == [""]
-        # Both the old ints and the new string survive un-coerced.
-        assert set(store) == {Fact("R", (1,)), Fact("R", (2,)), Fact("R", ("a",))}
+        assert Fact("R", (1,)) in store
+        assert Fact("R", ("1",)) not in store
+        text = SQLiteFactStore.mirror([Fact("S", ("1",)), Fact("S", ("2",))])
+        assert Fact("S", ("1",)) in text
+        assert Fact("S", (1,)) not in text
 
-    def test_numeric_strings_survive_a_demoted_column(self):
+    def test_int_and_numeric_string_coexist_as_distinct_facts(self):
         store = SQLiteFactStore.mirror([Fact("R", (1,))])
         store.add(Fact("R", ("1",)))
         assert set(store) == {Fact("R", (1,)), Fact("R", ("1",))}
         assert Fact("R", (1,)) in store and Fact("R", ("1",)) in store
+
+    def test_int_float_equality_stays_numeric(self):
+        # 1 == 1.0 in Python, so the store's UNIQUE constraint and
+        # membership must treat them as one fact.
+        store = SQLiteFactStore.mirror([Fact("R", (1,))])
+        assert Fact("R", (1.0,)) in store
+        store.add(Fact("R", (1.0,)))
+        assert len(store) == 1
 
 
 class TestPersistence:
@@ -120,6 +139,21 @@ class TestPersistence:
             assert reopened.relations() == [("R", 2, 2), ("T", 0, 1)]
             reopened.add(Fact("S", (5,)))
             assert len(reopened) == 4
+
+    def test_reopen_rejects_crafted_catalog_table_names(self, tmp_path):
+        # Catalog names are interpolated into SQL text, so a store file
+        # whose catalog was tampered with must not open at all.
+        path = tmp_path / "evil.db"
+        with SQLiteFactStore(path) as store:
+            store.add(Fact("R", (1,)))
+        connection = sqlite3.connect(str(path))
+        connection.execute(
+            "UPDATE repro_meta SET table_name = 'f0 WHERE 0; DROP TABLE f0; --'"
+        )
+        connection.commit()
+        connection.close()
+        with pytest.raises(ReproError, match="catalog table name"):
+            SQLiteFactStore(path)
 
     def test_closed_store_raises(self, tmp_path):
         store = SQLiteFactStore(tmp_path / "facts.db")
@@ -151,11 +185,14 @@ class TestIndexes:
         assert store.ensure_index("R", 2, [7]) is False
         assert store.ensure_index("Missing", 2, [0]) is False
 
-    def test_demotion_invalidates_the_tables_indexes(self):
+    def test_indexes_survive_mixed_type_inserts(self):
+        # Columns are untyped, so a batch of new-typed values never
+        # rebuilds the table (or its indexes).
         store = SQLiteFactStore.mirror([Fact("R", (1,))])
-        store.ensure_index("R", 1, [0])
-        store.add(Fact("R", ("a",)))  # demotes, drops the index with the table
-        assert store.ensure_index("R", 1, [0]) is True  # recreated on demand
+        assert store.ensure_index("R", 1, [0]) is True
+        store.add(Fact("R", ("a",)))
+        assert store.ensure_index("R", 1, [0]) is False  # still there
+        assert set(store) == {Fact("R", (1,)), Fact("R", ("a",))}
 
 
 class TestLoading:
