@@ -198,19 +198,32 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
     serve.add_argument("--port", type=int, default=8765, help="bind port (default 8765; 0 = ephemeral)")
     serve.add_argument(
-        "--workers", type=int, default=None, help="worker threads for analyses (default: CPU count, max 8)"
+        "--workers",
+        type=int,
+        default=None,
+        help="1 (default) runs the in-process daemon with a thread pool; "
+        "N >= 2 pre-forks N worker processes behind a sharding router "
+        "(fingerprint routing, fleet-wide coalescing)",
     )
     serve.add_argument(
         "--queue-limit",
         type=int,
         default=64,
-        help="pending analyses before requests are shed with an 'overloaded' error",
+        help="pending analyses before requests are shed with an 'overloaded' "
+        "error (per shard when --workers >= 2)",
     )
     serve.add_argument(
         "--max-payload",
         type=int,
         default=None,
         help="maximum request line size in bytes (default 1 MiB)",
+    )
+    serve.add_argument(
+        "--worker-threads",
+        type=int,
+        default=None,
+        help="analysis threads inside each fleet worker process "
+        "(only with --workers >= 2; default 2)",
     )
 
     request = subparsers.add_parser(
@@ -286,7 +299,32 @@ def _run_load(args, parser: argparse.ArgumentParser) -> int:
 
 
 def _run_serve(args) -> int:
-    """The ``serve`` command: run the audit daemon until shutdown."""
+    """The ``serve`` command: run the audit daemon until shutdown.
+
+    ``--workers N`` with N >= 2 boots the pre-forked fleet (a sharding
+    router in front of N worker processes); the default and ``--workers
+    1`` keep the single-process in-process daemon.
+    """
+    if args.workers is not None and args.workers >= 2:
+        from .service.fleet import run_fleet
+
+        options = {"workers": args.workers, "shard_queue_limit": args.queue_limit}
+        if args.max_payload is not None:
+            options["max_payload"] = args.max_payload
+        if args.worker_threads is not None:
+            options["worker_threads"] = args.worker_threads
+        run_fleet(
+            args.host,
+            args.port,
+            announce=lambda bound: print(
+                f"repro-audit fleet ({args.workers} workers) listening on "
+                f"{bound[0]}:{bound[1]}",
+                flush=True,
+            ),
+            **options,
+        )
+        return 0
+
     from .service.server import run_server
 
     options = {"queue_limit": args.queue_limit}

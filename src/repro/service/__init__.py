@@ -15,7 +15,14 @@ deployments front their engines with a query interface:
   in-flight requests, a bounded worker pool with explicit load shedding;
 * :mod:`repro.service.client` — sync and asyncio clients;
 * :mod:`repro.service.metrics` — per-operation counters and latency
-  percentiles served through the ``stats`` operation.
+  percentiles served through the ``stats`` operation, with a mergeable
+  snapshot form so a fleet can aggregate per-worker metrics;
+* :mod:`repro.service.fleet` — the pre-forked multi-process fleet: a
+  router that shards requests over worker processes by rendezvous
+  hashing of the request fingerprint, with fleet-wide coalescing
+  (:mod:`repro.service.coalesce`), worker supervision and aggregated
+  stats.  ``repro-audit serve --workers N`` (N ≥ 2) boots this instead
+  of the single-process daemon.
 
 Quick start::
 
@@ -33,7 +40,9 @@ Quick start::
 """
 
 from .client import AsyncAuditServiceClient, AuditServiceClient, ServiceError
-from .metrics import ServiceMetrics
+from .coalesce import FleetCoalescer
+from .fleet import FleetServer, FleetThread, run_fleet
+from .metrics import ServiceMetrics, merge_snapshots
 from .protocol import (
     ANALYSIS_OPERATIONS,
     CONTROL_OPERATIONS,
@@ -55,11 +64,16 @@ __all__ = [
     "AuditServer",
     "AuditServiceClient",
     "AsyncAuditServiceClient",
+    "FleetCoalescer",
+    "FleetServer",
+    "FleetThread",
     "ProtocolError",
     "ServerThread",
     "ServiceError",
     "ServiceMetrics",
+    "merge_snapshots",
     "parse_request",
     "request_key",
+    "run_fleet",
     "run_server",
 ]

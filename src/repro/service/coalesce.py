@@ -1,0 +1,208 @@
+"""The fleet-wide pending-request table (sqlite, WAL).
+
+One row per request fingerprint, shared by every process that can reach
+the table file, so a burst of N identical requests costs one computation
+*across the whole fleet* no matter which connections they arrive on:
+
+* the first arrival :meth:`~FleetCoalescer.claim`\\ s the fingerprint and
+  owns the computation;
+* concurrent twins see the ``pending`` row and subscribe to the owner's
+  result (in-process via a future, cross-process by polling the row);
+* once the owner :meth:`~FleetCoalescer.publish`\\ es, the row carries the
+  response and doubles as the fleet's shared result cache (bounded,
+  oldest-first eviction);
+* a failed or shed computation is :meth:`~FleetCoalescer.abandon`\\ ed so
+  the next identical request recomputes instead of inheriting the error.
+
+The table is deliberately stdlib-only (``sqlite3`` in WAL mode with
+``synchronous=OFF`` — it is an ephemeral coordination structure, not
+durable state) and keyed by the hex digest of
+:func:`repro.service.protocol.request_key`, never by raw payloads.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from ..exceptions import ReproError
+
+__all__ = ["FleetCoalescer", "PENDING", "DONE"]
+
+#: ``state`` values of one row.
+PENDING = 0
+DONE = 1
+
+#: Default bound on completed results kept in the table.
+DEFAULT_CACHE_SIZE = 1024
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS pending_requests (
+    fingerprint TEXT PRIMARY KEY,
+    state       INTEGER NOT NULL,
+    owner       INTEGER NOT NULL,
+    created     REAL NOT NULL,
+    result      TEXT
+) WITHOUT ROWID;
+"""
+
+
+class FleetCoalescer:
+    """The shared pending/result table, one connection per process.
+
+    Thread-safe (one lock around the connection); every operation is a
+    single small transaction, so routers and supervisors on different
+    processes can share one table file.
+    """
+
+    def __init__(self, path: str, *, owner: int, cache_size: int = DEFAULT_CACHE_SIZE):
+        if cache_size < 0:
+            raise ReproError("the coalescer cache size cannot be negative")
+        self._path = path
+        self._owner = owner
+        self._cache_size = cache_size
+        self._lock = threading.Lock()
+        self._connection = sqlite3.connect(
+            path, timeout=5.0, isolation_level=None, check_same_thread=False
+        )
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute("PRAGMA synchronous=OFF")
+        self._connection.execute(_SCHEMA)
+        self._claims = 0
+        self._coalesced = 0
+        self._cache_hits = 0
+        self._published = 0
+        self._abandoned = 0
+
+    # -- the request path --------------------------------------------------------
+    def claim(self, fingerprint: str) -> Optional[str]:
+        """Try to own the computation of one fingerprint.
+
+        Returns ``None`` when this caller became the owner (it must later
+        :meth:`publish` or :meth:`abandon`), the cached result text when
+        the fingerprint is already answered, and ``""`` when another
+        owner is still computing (subscribe and wait).
+        """
+        now = time.time()
+        with self._lock:
+            cursor = self._connection.execute(
+                "INSERT INTO pending_requests (fingerprint, state, owner, created) "
+                "VALUES (?, ?, ?, ?) "
+                "ON CONFLICT (fingerprint) DO NOTHING",
+                (fingerprint, PENDING, self._owner, now),
+            )
+            if cursor.rowcount:
+                self._claims += 1
+                return None
+            row = self._connection.execute(
+                "SELECT state, result FROM pending_requests WHERE fingerprint = ?",
+                (fingerprint,),
+            ).fetchone()
+            if row is None:  # the owner abandoned between our two statements
+                self._claims += 1
+                self._connection.execute(
+                    "INSERT OR REPLACE INTO pending_requests "
+                    "(fingerprint, state, owner, created) VALUES (?, ?, ?, ?)",
+                    (fingerprint, PENDING, self._owner, now),
+                )
+                return None
+            state, result = row
+            if state == DONE and result is not None:
+                self._cache_hits += 1
+                return result
+            self._coalesced += 1
+            return ""
+
+    def publish(self, fingerprint: str, result: str) -> None:
+        """Record the owner's completed result (and prune the cache)."""
+        with self._lock:
+            self._connection.execute(
+                "UPDATE pending_requests SET state = ?, result = ?, created = ? "
+                "WHERE fingerprint = ?",
+                (DONE, result, time.time(), fingerprint),
+            )
+            self._published += 1
+            if self._cache_size:
+                self._connection.execute(
+                    "DELETE FROM pending_requests WHERE state = ? AND fingerprint NOT IN "
+                    "(SELECT fingerprint FROM pending_requests WHERE state = ? "
+                    " ORDER BY created DESC LIMIT ?)",
+                    (DONE, DONE, self._cache_size),
+                )
+            else:
+                self._connection.execute(
+                    "DELETE FROM pending_requests WHERE fingerprint = ?", (fingerprint,)
+                )
+
+    def abandon(self, fingerprint: str) -> None:
+        """Drop a pending claim (failed/shed/crashed computation)."""
+        with self._lock:
+            self._connection.execute(
+                "DELETE FROM pending_requests WHERE fingerprint = ?", (fingerprint,)
+            )
+            self._abandoned += 1
+
+    def lookup(self, fingerprint: str) -> Optional[str]:
+        """The published result for a fingerprint, if any (no counters)."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT result FROM pending_requests WHERE fingerprint = ? AND state = ?",
+                (fingerprint, DONE),
+            ).fetchone()
+        return row[0] if row is not None else None
+
+    def forget(self, fingerprint: str) -> None:
+        """Remove a fingerprint outright (cache invalidation)."""
+        with self._lock:
+            self._connection.execute(
+                "DELETE FROM pending_requests WHERE fingerprint = ?", (fingerprint,)
+            )
+
+    def release_owner(self, owner: int) -> int:
+        """Abandon every pending claim of one owner (crash cleanup)."""
+        with self._lock:
+            cursor = self._connection.execute(
+                "DELETE FROM pending_requests WHERE state = ? AND owner = ?",
+                (PENDING, owner),
+            )
+            self._abandoned += cursor.rowcount
+            return cursor.rowcount
+
+    # -- bookkeeping -------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Counters plus the live table shape, as plain JSON."""
+        with self._lock:
+            pending, done = 0, 0
+            for state, count in self._connection.execute(
+                "SELECT state, COUNT(*) FROM pending_requests GROUP BY state"
+            ):
+                if state == PENDING:
+                    pending = count
+                else:
+                    done = count
+            return {
+                "path": self._path,
+                "pending": pending,
+                "cached_results": done,
+                "cache_size": self._cache_size,
+                "claims": self._claims,
+                "coalesced": self._coalesced,
+                "cache_hits": self._cache_hits,
+                "published": self._published,
+                "abandoned": self._abandoned,
+            }
+
+    def close(self) -> None:
+        """Close the connection (safe to call twice)."""
+        with self._lock:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "FleetCoalescer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

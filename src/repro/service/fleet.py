@@ -1,0 +1,1042 @@
+"""The pre-forked sharded audit fleet: a router in front of worker processes.
+
+The PR 4 daemon (:class:`~repro.service.server.AuditServer`) runs every
+analysis on one interpreter, so exact-kernel and crit_D computations
+contend on one GIL no matter how many threads the pool holds.  This
+module scales the service with *cores* instead:
+
+* **Workers** are pre-forked OS processes, each running the unmodified
+  :class:`AuditServer` core on a private unix domain socket — its own
+  session pool, kernel memos, result cache and thread pool, untouched by
+  any other worker.
+
+* **The router** is a lightweight asyncio process that accepts the same
+  JSON-lines-over-TCP protocol clients already speak, computes the
+  request fingerprint (:func:`~repro.service.protocol.request_key` —
+  which embeds the (schema, dictionary, eval-engine, criticality-engine)
+  session fingerprint the server already derives) and routes each
+  request to a fixed shard by **rendezvous hashing**.  A given question
+  always lands on the same worker, so its session, kernel memos and
+  cached result live exactly once — zero cross-process cache churn.
+  (Hashing the full request fingerprint rather than the bare session
+  fingerprint is deliberate: whole workloads often share one schema and
+  dictionary, and session-only routing would pin them all to a single
+  shard.)
+
+* **Fleet-wide coalescing**: a shared pending-request table
+  (:class:`~repro.service.coalesce.FleetCoalescer`, a small sqlite WAL
+  file keyed by the fingerprint) plus in-router subscription futures
+  guarantee that a burst of N identical requests arriving on different
+  connections costs exactly one computation across the whole fleet —
+  the other N−1 subscribe to the owner's result.
+
+* **Fleet load shedding**: the router tracks per-shard queue depth
+  (in-flight + waiting-for-a-pooled-connection) and answers with a
+  structured ``overloaded`` error once a shard saturates, noting whether
+  the whole fleet is saturated — bounded latency instead of collapse.
+
+* **Supervision**: the router watches each worker's process sentinel,
+  restarts crashed workers (same socket, same shard identity, so
+  routing is unchanged), fails the crashed worker's in-flight requests
+  with a retryable ``worker-crashed`` error, and *rewarms* the restarted
+  worker by replaying its shard's most recent distinct requests so the
+  session pool and caches repopulate before real traffic returns.
+
+* **Aggregated stats**: a ``stats`` request returns fleet totals merged
+  from every worker's mergeable metrics snapshot
+  (:func:`~repro.service.metrics.merge_snapshots` — true percentiles
+  over the union of latency reservoirs, not averages), per-shard queue
+  depths, restart counts and the coalescer table state.
+
+``shutdown`` (or :meth:`FleetServer.stop`) drains: the listener closes,
+in-flight requests finish and are answered, then every worker is asked
+to shut down and reaped — no dropped responses, no orphan processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import functools
+import hashlib
+import json
+import multiprocessing
+import os
+import shutil
+import signal
+import tempfile
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import ReproError
+from .coalesce import FleetCoalescer
+from .metrics import ServiceMetrics, merge_snapshots
+from .protocol import (
+    DEFAULT_MAX_PAYLOAD,
+    ERROR_INTERNAL,
+    ERROR_OVERLOADED,
+    ERROR_PAYLOAD_TOO_LARGE,
+    ERROR_WORKER_CRASHED,
+    OPERATIONS,
+    PROTOCOL_VERSION,
+    AuditRequest,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+    parse_request,
+    request_key,
+)
+
+__all__ = ["FleetServer", "FleetThread", "run_fleet", "DEFAULT_FLEET_WORKERS"]
+
+#: Default fleet size (pre-forked worker processes).
+DEFAULT_FLEET_WORKERS = max(2, min(8, os.cpu_count() or 2))
+
+#: Default per-shard queue depth (in-flight + waiting) before shedding.
+DEFAULT_SHARD_QUEUE_LIMIT = 32
+
+#: Default pooled router→worker connections per shard (concurrency bound).
+DEFAULT_CONNECTIONS_PER_WORKER = 8
+
+#: Default analysis threads inside each worker process.
+DEFAULT_WORKER_THREADS = 2
+
+#: Default number of recent distinct requests replayed to a restarted worker.
+DEFAULT_REWARM_REQUESTS = 8
+
+#: Default bound on fleet-wide cached results in the coalescer table.
+DEFAULT_FLEET_RESULT_CACHE = 1024
+
+#: The request id used for router-originated traffic to workers.
+_ROUTER_ID = "__fleet__"
+
+#: Serialises every ``Process.start`` in this interpreter.  Two forks
+#: racing on different threads can leak one worker's sentinel-pipe write
+#: end into the other child, which would keep the sentinel unreadable
+#: after that worker is killed — the supervisor would never see a crash.
+_SPAWN_LOCK = threading.Lock()
+
+
+def _parent_watchdog(parent_pid: int) -> None:
+    """Exit the worker if the router process disappears (orphan guard)."""
+    while True:
+        time.sleep(1.0)
+        if os.getppid() != parent_pid:
+            os._exit(1)
+
+
+def _fleet_worker_main(socket_path: str, options: Dict[str, Any], parent_pid: int) -> None:
+    """One worker process: the unmodified AuditServer on a unix socket."""
+    # A forked child inherits the router's thread-local "a loop is
+    # running" marker; clear it so asyncio.run starts fresh.
+    with contextlib.suppress(Exception):
+        asyncio.events._set_running_loop(None)  # type: ignore[attr-defined]
+    asyncio.set_event_loop(None)
+    # Ctrl-C is the router's business: it drains and asks us to stop.
+    with contextlib.suppress(Exception):
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    threading.Thread(
+        target=_parent_watchdog, args=(parent_pid,), name="parent-watchdog", daemon=True
+    ).start()
+
+    from .server import AuditServer
+
+    async def _amain() -> None:
+        server = AuditServer(path=socket_path, **options)
+        await server.start()
+        await server.serve_until_stopped()
+
+    asyncio.run(_amain())
+
+
+class _Connection:
+    """One pooled router→worker stream, tagged with the worker generation."""
+
+    __slots__ = ("reader", "writer", "generation")
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter, generation: int
+    ):
+        self.reader = reader
+        self.writer = writer
+        self.generation = generation
+
+
+class _Shard:
+    """Router-side state of one worker process."""
+
+    __slots__ = (
+        "index",
+        "path",
+        "process",
+        "generation",
+        "pool",
+        "created",
+        "outstanding",
+        "forwarded",
+        "shed",
+        "restarts",
+        "warm",
+    )
+
+    def __init__(self, index: int, path: str):
+        self.index = index
+        self.path = path
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.generation = 0
+        self.pool: "asyncio.Queue[_Connection]" = asyncio.Queue()
+        self.created = 0
+        self.outstanding = 0
+        self.forwarded = 0
+        self.shed = 0
+        self.restarts = 0
+        #: fingerprint → raw request line, most recent last (rewarm source).
+        self.warm: "OrderedDict[str, bytes]" = OrderedDict()
+
+
+class FleetServer:
+    """The multi-worker audit service: router + pre-forked shard fleet.
+
+    Parameters
+    ----------
+    host / port:
+        The router's public bind address (port 0 picks an ephemeral
+        port; read :attr:`address` back after :meth:`start`).
+    workers:
+        Number of pre-forked worker processes (shards).
+    worker_threads:
+        Analysis threads inside each worker (small on purpose — the
+        fleet's parallelism comes from processes).
+    shard_queue_limit:
+        Per-shard in-flight + waiting depth before the router sheds
+        requests for that shard with an ``overloaded`` error.
+    connections_per_worker:
+        Pooled router→worker connections (each carries one request at a
+        time, so this bounds per-worker concurrency).
+    result_cache_size:
+        Bound on fleet-wide cached results (the coalescer table) *and*
+        each worker's own result cache.
+    rewarm_requests:
+        Recent distinct requests replayed to a restarted worker.
+    start_method:
+        ``multiprocessing`` start method (default: ``fork`` where
+        available, else the platform default; override with the
+        ``REPRO_FLEET_START_METHOD`` environment variable).
+    worker_options:
+        Extra :class:`AuditServer` keyword arguments for every worker
+        (e.g. ``max_sessions``, ``session_cache_size``).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: Optional[int] = None,
+        worker_threads: int = DEFAULT_WORKER_THREADS,
+        shard_queue_limit: int = DEFAULT_SHARD_QUEUE_LIMIT,
+        connections_per_worker: int = DEFAULT_CONNECTIONS_PER_WORKER,
+        result_cache_size: int = DEFAULT_FLEET_RESULT_CACHE,
+        max_payload: int = DEFAULT_MAX_PAYLOAD,
+        rewarm_requests: int = DEFAULT_REWARM_REQUESTS,
+        start_method: Optional[str] = None,
+        worker_options: Optional[Mapping[str, Any]] = None,
+    ):
+        if workers is not None and workers < 1:
+            raise ReproError("a fleet needs at least one worker process")
+        if shard_queue_limit < 1:
+            raise ReproError("shard_queue_limit must be at least 1")
+        if connections_per_worker < 1:
+            raise ReproError("connections_per_worker must be at least 1")
+        self._host = host
+        self._port = port
+        self._workers = workers or DEFAULT_FLEET_WORKERS
+        self._shard_queue_limit = shard_queue_limit
+        self._connections_per_worker = connections_per_worker
+        self._result_cache_size = max(0, result_cache_size)
+        self._max_payload = max_payload
+        self._rewarm_requests = max(0, rewarm_requests)
+        self._stream_limit = max(4 * max_payload, 1 << 20)
+        method = start_method or os.environ.get("REPRO_FLEET_START_METHOD")
+        if method is None and "fork" in multiprocessing.get_all_start_methods():
+            method = "fork"
+        self._mp_context = (
+            multiprocessing.get_context(method) if method else multiprocessing.get_context()
+        )
+        self._worker_options: Dict[str, Any] = {
+            "workers": worker_threads,
+            "queue_limit": max(2 * connections_per_worker, 16),
+            "result_cache_size": self._result_cache_size,
+            "max_payload": max_payload,
+        }
+        if worker_options:
+            self._worker_options.update(worker_options)
+
+        self._metrics = ServiceMetrics()
+        self._shards: List[_Shard] = []
+        self._subscribers: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._stopping = False
+        self._active = 0
+        self._rewarmed = 0
+        self._directory: Optional[str] = None
+        self._coalescer: Optional[FleetCoalescer] = None
+        self._supervisors: List[asyncio.Task] = []
+        self._connection_tasks: "set[asyncio.Task]" = set()
+        self._started_at = time.time()
+
+    # -- lifecycle ---------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Fork the workers, wait for them, bind the router socket."""
+        if self._server is not None:
+            raise ReproError("the fleet is already running")
+        if not hasattr(asyncio.get_running_loop(), "create_unix_connection"):
+            raise ReproError("the worker fleet needs unix domain sockets")  # pragma: no cover
+        self._stopping = False
+        self._stop_event = asyncio.Event()
+        self._directory = tempfile.mkdtemp(prefix="repro-fleet-")
+        self._coalescer = FleetCoalescer(
+            os.path.join(self._directory, "coalesce.db"),
+            owner=os.getpid(),
+            cache_size=self._result_cache_size,
+        )
+        self._shards = [
+            _Shard(index, os.path.join(self._directory, f"worker-{index}.sock"))
+            for index in range(self._workers)
+        ]
+        try:
+            await asyncio.gather(*(self._spawn(shard) for shard in self._shards))
+            await asyncio.gather(*(self._wait_ready(shard) for shard in self._shards))
+            try:
+                self._server = await asyncio.start_server(
+                    self._on_connection,
+                    self._host,
+                    self._port,
+                    limit=self._stream_limit,
+                )
+            except OSError as error:
+                import errno
+
+                if error.errno == errno.EADDRINUSE:
+                    raise ReproError(
+                        f"cannot bind {self._host}:{self._port}: address already in "
+                        "use (is another daemon running on this port?)"
+                    ) from error
+                raise ReproError(
+                    f"cannot bind {self._host}:{self._port}: {error.strerror or error}"
+                ) from error
+        except BaseException:
+            await self._halt_workers()
+            self._cleanup()
+            raise
+        self._supervisors = [
+            asyncio.get_running_loop().create_task(self._supervise(shard))
+            for shard in self._shards
+        ]
+        return self.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The router's bound ``(host, port)``."""
+        if self._server is None or not self._server.sockets:
+            raise ReproError("the fleet is not running")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    @property
+    def metrics(self) -> ServiceMetrics:
+        """The router-level metrics (shed / coalesced / cached / errors)."""
+        return self._metrics
+
+    @property
+    def worker_pids(self) -> List[int]:
+        """Live worker process ids, by shard index."""
+        return [
+            shard.process.pid if shard.process is not None and shard.process.pid else -1
+            for shard in self._shards
+        ]
+
+    async def serve_until_stopped(self) -> None:
+        """Block until a ``shutdown`` request (or :meth:`stop`) arrives."""
+        if self._stop_event is None:
+            raise ReproError("call start() first")
+        await self._stop_event.wait()
+        await self.stop()
+
+    async def stop(self, drain_timeout: float = 60.0) -> None:
+        """Drain-then-stop: finish in-flight work, then stop the fleet."""
+        if self._stopping and self._server is None:
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Drain: every request already accepted is answered first.
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + drain_timeout
+        while self._active and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        await asyncio.sleep(0.05)  # let just-resolved subscribers flush
+        for task in self._supervisors:
+            task.cancel()
+        if self._supervisors:
+            await asyncio.gather(*self._supervisors, return_exceptions=True)
+        self._supervisors = []
+        await self._halt_workers()
+        for task in list(self._connection_tasks):
+            task.cancel()
+        if self._connection_tasks:
+            await asyncio.gather(*self._connection_tasks, return_exceptions=True)
+        self._cleanup()
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def _halt_workers(self) -> None:
+        """Ask every worker to shut down; escalate to terminate/kill."""
+        await asyncio.gather(
+            *(self._stop_worker(shard) for shard in self._shards),
+            return_exceptions=True,
+        )
+
+    async def _stop_worker(self, shard: _Shard, timeout: float = 10.0) -> None:
+        process = shard.process
+        if process is None:
+            return
+        loop = asyncio.get_running_loop()
+        if process.is_alive():
+            with contextlib.suppress(Exception):
+                await asyncio.wait_for(
+                    self._forward(shard, encode_message({"id": _ROUTER_ID, "op": "shutdown"})),
+                    timeout=5.0,
+                )
+            await loop.run_in_executor(None, functools.partial(process.join, timeout))
+            if process.is_alive():
+                process.terminate()
+                await loop.run_in_executor(None, functools.partial(process.join, 5.0))
+            if process.is_alive():  # pragma: no cover - last resort
+                process.kill()
+                await loop.run_in_executor(None, functools.partial(process.join, 5.0))
+        else:
+            await loop.run_in_executor(None, functools.partial(process.join, 1.0))
+        self._drain_pool(shard)
+
+    def _cleanup(self) -> None:
+        for shard in self._shards:
+            self._drain_pool(shard)
+        if self._coalescer is not None:
+            self._coalescer.close()
+            self._coalescer = None
+        if self._directory is not None:
+            shutil.rmtree(self._directory, ignore_errors=True)
+            self._directory = None
+
+    # -- worker processes --------------------------------------------------------
+    async def _spawn(self, shard: _Shard) -> None:
+        """Fork one worker (off-loop so no running-loop state is inherited)."""
+        with contextlib.suppress(OSError):
+            os.unlink(shard.path)
+        process = self._mp_context.Process(
+            target=_fleet_worker_main,
+            args=(shard.path, dict(self._worker_options), os.getpid()),
+            name=f"repro-fleet-worker-{shard.index}",
+        )
+        shard.process = process
+
+        def _locked_start() -> None:
+            with _SPAWN_LOCK:
+                process.start()
+
+        await asyncio.get_running_loop().run_in_executor(None, _locked_start)
+
+    async def _wait_ready(self, shard: _Shard, timeout: float = 30.0) -> None:
+        """Wait until the worker's socket accepts (its loop is serving)."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while True:
+            process = shard.process
+            if process is not None and not process.is_alive():
+                raise ReproError(
+                    f"fleet worker {shard.index} exited with status "
+                    f"{process.exitcode} during startup"
+                )
+            try:
+                reader, writer = await asyncio.open_unix_connection(
+                    shard.path, limit=self._stream_limit
+                )
+            except (FileNotFoundError, ConnectionRefusedError, OSError):
+                if loop.time() >= deadline:
+                    raise ReproError(
+                        f"fleet worker {shard.index} did not come up within {timeout}s"
+                    )
+                await asyncio.sleep(0.05)
+                continue
+            shard.created += 1
+            shard.pool.put_nowait(_Connection(reader, writer, shard.generation))
+            return
+
+    async def _supervise(self, shard: _Shard) -> None:
+        """Restart-on-crash: watch the sentinel, respawn, rewarm."""
+        while True:
+            process = shard.process
+            if process is None:
+                return
+            await self._wait_exit(process)
+            if self._stopping:
+                return
+            shard.restarts += 1
+            shard.generation += 1
+            shard.created = 0
+            self._drain_pool(shard)
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, functools.partial(process.join, 1.0))
+            try:
+                await self._spawn(shard)
+                await self._wait_ready(shard)
+            except ReproError:
+                if self._stopping:
+                    return
+                await asyncio.sleep(0.5)
+                continue
+            for raw in list(shard.warm.values()):
+                loop.create_task(self._rewarm(shard, raw))
+
+    async def _wait_exit(self, process: multiprocessing.process.BaseProcess) -> None:
+        """Resolve when the process exits.
+
+        The sentinel pipe is the prompt signal; a periodic ``is_alive``
+        poll backs it up, because a grandchild the worker forked (e.g. a
+        criticality process pool) inherits the sentinel's write end and
+        can outlive a SIGKILLed worker for a moment, keeping the pipe
+        open past the actual death.
+        """
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[None]" = loop.create_future()
+        sentinel = process.sentinel
+
+        def _on_exit() -> None:
+            if not future.done():
+                future.set_result(None)
+
+        loop.add_reader(sentinel, _on_exit)
+        try:
+            while process.is_alive():
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(asyncio.shield(future), timeout=1.0)
+                if future.done():
+                    return
+        finally:
+            with contextlib.suppress(Exception):
+                loop.remove_reader(sentinel)
+
+    async def _rewarm(self, shard: _Shard, raw: bytes) -> None:
+        """Replay one remembered request so the new worker's caches warm up."""
+        with contextlib.suppress(Exception):
+            await self._forward(shard, raw)
+            self._rewarmed += 1
+
+    # -- connection pool ---------------------------------------------------------
+    async def _acquire(self, shard: _Shard) -> _Connection:
+        while True:
+            try:
+                connection = shard.pool.get_nowait()
+            except asyncio.QueueEmpty:
+                if shard.created < self._connections_per_worker:
+                    shard.created += 1
+                    try:
+                        reader, writer = await asyncio.open_unix_connection(
+                            shard.path, limit=self._stream_limit
+                        )
+                    except Exception as error:
+                        shard.created -= 1
+                        raise ReproError(
+                            f"cannot reach worker {shard.index}: {error}"
+                        ) from error
+                    return _Connection(reader, writer, shard.generation)
+                connection = await shard.pool.get()
+            if connection.generation != shard.generation or connection.writer.is_closing():
+                self._close_connection(connection)
+                continue
+            return connection
+
+    def _release(self, shard: _Shard, connection: _Connection) -> None:
+        if connection.generation != shard.generation or connection.writer.is_closing():
+            self._close_connection(connection)
+            return
+        shard.pool.put_nowait(connection)
+
+    def _discard(self, shard: _Shard, connection: _Connection) -> None:
+        if connection.generation == shard.generation:
+            shard.created -= 1
+        self._close_connection(connection)
+
+    def _drain_pool(self, shard: _Shard) -> None:
+        while True:
+            try:
+                connection = shard.pool.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            self._close_connection(connection)
+
+    @staticmethod
+    def _close_connection(connection: _Connection) -> None:
+        with contextlib.suppress(Exception):
+            connection.writer.close()
+
+    async def _forward(self, shard: _Shard, raw: bytes) -> Dict[str, Any]:
+        """Send one raw request line to a worker; return its response doc."""
+        shard.outstanding += 1
+        try:
+            connection = await self._acquire(shard)
+            try:
+                connection.writer.write(raw)
+                await connection.writer.drain()
+                line = await connection.reader.readline()
+            except asyncio.CancelledError:
+                self._discard(shard, connection)
+                raise
+            except Exception as error:
+                self._discard(shard, connection)
+                raise ReproError(f"worker {shard.index} connection failed: {error}") from error
+            if not line:
+                self._discard(shard, connection)
+                raise ReproError(f"worker {shard.index} closed the connection")
+            self._release(shard, connection)
+            shard.forwarded += 1
+            try:
+                return json.loads(line)
+            except json.JSONDecodeError as error:  # pragma: no cover - defensive
+                raise ReproError(
+                    f"unparsable response from worker {shard.index}: {error}"
+                ) from error
+        finally:
+            shard.outstanding -= 1
+
+    # -- routing -----------------------------------------------------------------
+    def _shard_for(self, fingerprint: str) -> _Shard:
+        """Rendezvous hashing: the highest-scoring shard owns the key."""
+        return max(
+            self._shards,
+            key=lambda shard: hashlib.blake2b(
+                f"{fingerprint}|{shard.index}".encode("ascii"), digest_size=8
+            ).digest(),
+        )
+
+    # -- the client-facing protocol ----------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self._metrics.observe("unknown", "error")
+                    writer.write(
+                        encode_message(
+                            error_response(
+                                None,
+                                ERROR_PAYLOAD_TOO_LARGE,
+                                "request line exceeded the stream buffer; "
+                                "connection closed",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                response = await self._handle_line(line)
+                writer.write(encode_message(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if task is not None:
+                self._connection_tasks.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _handle_line(self, line: bytes) -> Dict[str, Any]:
+        request_id = None
+        op = "unknown"
+        try:
+            document = decode_message(line, self._max_payload)
+            if isinstance(document, Mapping):
+                candidate = document.get("id")
+                if isinstance(candidate, (str, int, float)):
+                    request_id = candidate
+                named = document.get("op")
+                if isinstance(named, str) and named in OPERATIONS:
+                    op = named
+            request = parse_request(document)
+        except ProtocolError as error:
+            self._metrics.observe(op, "error")
+            return error_response(request_id, error.code, str(error))
+        if request.is_control:
+            return await self._handle_control(request)
+        self._active += 1
+        try:
+            return await self._handle_analysis(request, line)
+        finally:
+            self._active -= 1
+
+    async def _handle_control(self, request: AuditRequest) -> Dict[str, Any]:
+        if request.op == "ping":
+            self._metrics.observe("ping", "computed")
+            return ok_response(
+                request.id,
+                "ping",
+                {
+                    "pong": True,
+                    "version": PROTOCOL_VERSION,
+                    "fleet": {"workers": len(self._shards)},
+                },
+            )
+        if request.op == "stats":
+            return await self._fleet_stats(request)
+        # shutdown: acknowledge, then drain-then-stop via serve_until_stopped.
+        self._metrics.observe("shutdown", "computed")
+        if self._stop_event is not None:
+            self._stop_event.set()
+        return ok_response(
+            request.id, "shutdown", {"stopping": True, "workers": len(self._shards)}
+        )
+
+    async def _handle_analysis(
+        self, request: AuditRequest, raw: bytes
+    ) -> Dict[str, Any]:
+        fingerprint = hashlib.sha256(request_key(request).encode("utf8")).hexdigest()
+        started = time.perf_counter()
+        coalescer = self._coalescer
+        assert coalescer is not None
+
+        # 1. Subscribe to an identical in-flight computation (same router).
+        waiter = self._subscribers.get(fingerprint)
+        if waiter is not None:
+            core = await asyncio.shield(waiter)
+            elapsed = time.perf_counter() - started
+            self._metrics.observe(request.op, "coalesced", elapsed)
+            return self._respond(request, core, elapsed, fleet="coalesced")
+
+        # 2. Claim the fingerprint on the shared fleet table.
+        for _ in range(3):
+            claimed = coalescer.claim(fingerprint)
+            if claimed is None:
+                break  # we own the computation
+            if claimed:
+                core = json.loads(claimed)
+                elapsed = time.perf_counter() - started
+                self._metrics.observe(request.op, "cached", elapsed)
+                return self._respond(request, core, elapsed, fleet="cached")
+            # Pending, but owned by a process without a local future (e.g.
+            # another router sharing the table, or an abandon race): wait
+            # for the row to resolve, then retry the claim.
+            core = await self._await_remote(coalescer, fingerprint)
+            if core is not None:
+                elapsed = time.perf_counter() - started
+                self._metrics.observe(request.op, "coalesced", elapsed)
+                return self._respond(request, core, elapsed, fleet="coalesced")
+        else:
+            claimed = None  # claim churn: compute without a table entry
+
+        # 3. Route to the fingerprint's shard; shed when it is saturated.
+        shard = self._shard_for(fingerprint)
+        if shard.outstanding >= self._shard_queue_limit:
+            fleet_saturated = all(
+                other.outstanding >= self._shard_queue_limit for other in self._shards
+            )
+            coalescer.abandon(fingerprint)
+            shard.shed += 1
+            self._metrics.observe(request.op, "shed")
+            scope = "all shards are" if fleet_saturated else f"shard {shard.index} is"
+            return error_response(
+                request.id,
+                ERROR_OVERLOADED,
+                f"{scope} saturated ({shard.outstanding} in flight, "
+                f"limit {self._shard_queue_limit}); retry later",
+            )
+
+        # 4. Own the computation; twins subscribe to this future.
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Dict[str, Any]]" = loop.create_future()
+        self._subscribers[fingerprint] = future
+        try:
+            try:
+                response = await self._forward(shard, raw)
+                core = {
+                    key: response[key]
+                    for key in ("ok", "op", "result", "error", "server")
+                    if key in response
+                }
+                core["shard"] = shard.index
+            except ReproError as error:
+                core = {
+                    "ok": False,
+                    "shard": shard.index,
+                    "error": {
+                        "code": ERROR_WORKER_CRASHED,
+                        "message": f"{error}; the request is safe to retry",
+                    },
+                }
+        finally:
+            self._subscribers.pop(fingerprint, None)
+            if not future.done():
+                future.set_result(core)
+        elapsed = time.perf_counter() - started
+        if core.get("ok"):
+            coalescer.publish(
+                fingerprint, json.dumps(core, separators=(",", ":"), default=str)
+            )
+            if self._rewarm_requests:
+                shard.warm[fingerprint] = raw
+                shard.warm.move_to_end(fingerprint)
+                while len(shard.warm) > self._rewarm_requests:
+                    shard.warm.popitem(last=False)
+        else:
+            coalescer.abandon(fingerprint)
+            error_doc = core.get("error") or {}
+            if error_doc.get("code") == ERROR_WORKER_CRASHED:
+                self._metrics.observe(request.op, "error", elapsed)
+        return self._respond(request, core, elapsed)
+
+    async def _await_remote(
+        self, coalescer: FleetCoalescer, fingerprint: str, timeout: float = 120.0
+    ) -> Optional[Dict[str, Any]]:
+        """Poll a pending row owned by another process until it resolves."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while loop.time() < deadline:
+            await asyncio.sleep(0.01)
+            waiter = self._subscribers.get(fingerprint)
+            if waiter is not None:
+                return await asyncio.shield(waiter)
+            published = coalescer.lookup(fingerprint)
+            if published is not None:
+                return json.loads(published)
+            if coalescer.claim(fingerprint) is None:
+                # The owner abandoned; we inherited the claim.
+                coalescer.abandon(fingerprint)
+                return None
+            # Our claim attempt re-coalesced (row still pending): keep waiting.
+        return None
+
+    def _respond(
+        self,
+        request: AuditRequest,
+        core: Mapping[str, Any],
+        elapsed: float,
+        *,
+        fleet: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        shard = core.get("shard")
+        if not core.get("ok"):
+            error_doc = core.get("error") or {}
+            return error_response(
+                request.id,
+                error_doc.get("code", ERROR_INTERNAL),
+                error_doc.get("message", "unknown fleet error"),
+            )
+        server: Dict[str, Any] = dict(core.get("server") or {})
+        if fleet == "coalesced":
+            server["coalesced"] = True
+            server["fleet_coalesced"] = True
+        elif fleet == "cached":
+            server["cached"] = True
+            server["fleet_cached"] = True
+        if shard is not None:
+            server["shard"] = shard
+        server["elapsed_ms"] = round(elapsed * 1000.0, 3)
+        return {
+            "id": request.id,
+            "ok": True,
+            "op": request.op,
+            "result": core.get("result"),
+            "server": server,
+        }
+
+    # -- fleet stats -------------------------------------------------------------
+    async def _worker_stats(self, shard: _Shard) -> Dict[str, Any]:
+        raw = encode_message(
+            {"id": _ROUTER_ID, "op": "stats", "options": {"mergeable": True}}
+        )
+        response = await asyncio.wait_for(self._forward(shard, raw), timeout=15.0)
+        if not response.get("ok"):
+            raise ReproError(f"worker {shard.index} stats failed: {response!r}")
+        return response.get("result") or {}
+
+    async def _fleet_stats(self, request: AuditRequest) -> Dict[str, Any]:
+        self._metrics.observe("stats", "computed")
+        payloads = await asyncio.gather(
+            *(self._worker_stats(shard) for shard in self._shards),
+            return_exceptions=True,
+        )
+        mergeables = [self._metrics.mergeable_snapshot()]
+        shards_doc = []
+        for shard, payload in zip(self._shards, payloads):
+            process = shard.process
+            entry: Dict[str, Any] = {
+                "shard": shard.index,
+                "pid": process.pid if process is not None else None,
+                "alive": bool(process is not None and process.is_alive()),
+                "restarts": shard.restarts,
+                "outstanding": shard.outstanding,
+                "queue_limit": self._shard_queue_limit,
+                "forwarded": shard.forwarded,
+                "shed": shard.shed,
+                "connections": shard.created,
+            }
+            if isinstance(payload, dict):
+                mergeable = payload.pop("mergeable", None)
+                if mergeable:
+                    mergeables.append(mergeable)
+                entry["worker"] = {
+                    key: payload[key]
+                    for key in (
+                        "pending",
+                        "workers",
+                        "connections",
+                        "result_cache_entries",
+                    )
+                    if key in payload
+                }
+                entry["sessions"] = payload.get("sessions", [])
+            elif isinstance(payload, BaseException):
+                entry["error"] = str(payload)
+            shards_doc.append(entry)
+        merged = merge_snapshots(mergeables)
+        coalescer = self._coalescer
+        merged["fleet"] = {
+            "workers": len(self._shards),
+            "routing": "rendezvous/request-fingerprint",
+            "shard_queue_limit": self._shard_queue_limit,
+            "connections_per_worker": self._connections_per_worker,
+            "active_requests": self._active,
+            "rewarmed": self._rewarmed,
+            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "coalescer": coalescer.stats() if coalescer is not None else None,
+            "shards": shards_doc,
+        }
+        return ok_response(request.id, "stats", merged)
+
+
+# ---------------------------------------------------------------------------
+# Runners
+# ---------------------------------------------------------------------------
+def run_fleet(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    announce=None,
+    **fleet_options,
+) -> None:
+    """Run a fleet until ``shutdown`` / Ctrl-C (the CLI entry point)."""
+
+    async def _amain() -> None:
+        fleet = FleetServer(host, port, **fleet_options)
+        bound = await fleet.start()
+        if announce is not None:
+            announce(bound)
+        try:
+            await fleet.serve_until_stopped()
+        except asyncio.CancelledError:  # pragma: no cover - Ctrl-C path
+            await fleet.stop()
+            raise
+
+    try:
+        asyncio.run(_amain())
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+
+
+class FleetThread:
+    """A fleet running on a background thread (tests, benchmarks, demos).
+
+    Usage::
+
+        with FleetThread(workers=2) as fleet:
+            client = AuditServiceClient(*fleet.address)
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, **fleet_options):
+        self._fleet = FleetServer(host, port, **fleet_options)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self._address: Optional[Tuple[str, int]] = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The router's bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._address is None:
+            raise ReproError("the fleet thread is not running")
+        return self._address
+
+    @property
+    def fleet(self) -> FleetServer:
+        """The wrapped :class:`FleetServer` (e.g. for ``worker_pids``)."""
+        return self._fleet
+
+    def start(self) -> "FleetThread":
+        """Boot the router loop thread and wait until the fleet listens."""
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            asyncio.set_event_loop(loop)
+
+            async def _main() -> None:
+                try:
+                    self._address = await self._fleet.start()
+                except BaseException as error:
+                    self._error = error
+                    self._started.set()
+                    return
+                self._started.set()
+                await self._fleet.serve_until_stopped()
+
+            try:
+                loop.run_until_complete(_main())
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(target=_run, name="repro-fleet-router", daemon=True)
+        self._thread.start()
+        self._started.wait(timeout=120)
+        if self._error is not None:
+            raise ReproError(f"the fleet failed to start: {self._error}")
+        if self._address is None:
+            raise ReproError("the fleet did not come up within 120s")
+        return self
+
+    def stop(self, timeout: float = 60) -> None:
+        """Request a drain-then-stop and join the router thread."""
+        loop, thread = self._loop, self._thread
+        if loop is not None and thread is not None and thread.is_alive():
+            try:
+                loop.call_soon_threadsafe(
+                    lambda: self._fleet._stop_event is not None
+                    and self._fleet._stop_event.set()
+                )
+            except RuntimeError:
+                pass  # the loop already stopped (e.g. a client sent shutdown)
+            thread.join(timeout=timeout)
+        self._thread = None
+
+    def __enter__(self) -> "FleetThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

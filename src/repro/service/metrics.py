@@ -12,6 +12,20 @@ Latencies are kept per operation in a bounded ring (the most recent
 :data:`LATENCY_WINDOW` observations) from which the ``stats`` operation
 derives p50/p95/p99.  Everything is guarded by one lock: observations
 come from the event loop *and* from worker threads.
+
+Fleet aggregation
+-----------------
+A multi-worker fleet holds one :class:`ServiceMetrics` per worker
+process plus one in the router, so the ``stats`` operation needs a
+*mergeable* form: :meth:`ServiceMetrics.mergeable_snapshot` exports the
+raw counters and the latency reservoir itself (not derived percentiles),
+and :func:`merge_snapshots` combines any number of those into one
+document shaped exactly like :meth:`ServiceMetrics.snapshot`.  Because
+the reservoirs travel whole, the merged p50/p95/p99 are computed over
+the union of the samples — identical to what a single combined stream
+would report (up to each ring's :data:`LATENCY_WINDOW` truncation) —
+instead of averaging per-worker percentiles, which has no fidelity
+guarantee.
 """
 
 from __future__ import annotations
@@ -19,9 +33,14 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Any, Deque, Dict, Iterable, List, Mapping, Optional
 
-__all__ = ["ServiceMetrics", "LATENCY_WINDOW", "percentile"]
+__all__ = [
+    "ServiceMetrics",
+    "LATENCY_WINDOW",
+    "percentile",
+    "merge_snapshots",
+]
 
 #: Number of recent latency samples kept per operation.
 LATENCY_WINDOW = 4096
@@ -54,6 +73,18 @@ class _OpMetrics:
     def __init__(self) -> None:
         self.counts: Dict[str, int] = {outcome: 0 for outcome in OUTCOMES}
         self.latencies: Deque[float] = deque(maxlen=LATENCY_WINDOW)
+
+
+def _latency_doc(ordered: List[float]) -> Dict[str, object]:
+    """The derived latency block of one sorted, non-empty sample list."""
+    return {
+        "count": len(ordered),
+        "mean": round(sum(ordered) / len(ordered), 3),
+        "p50": round(percentile(ordered, 50), 3),
+        "p95": round(percentile(ordered, 95), 3),
+        "p99": round(percentile(ordered, 99), 3),
+        "max": round(ordered[-1], 3),
+    }
 
 
 class ServiceMetrics:
@@ -100,15 +131,7 @@ class ServiceMetrics:
                 requests = sum(entry.counts.values())
                 op_doc: Dict[str, object] = {"requests": requests, **entry.counts}
                 if entry.latencies:
-                    ordered = sorted(entry.latencies)
-                    op_doc["latency_ms"] = {
-                        "count": len(ordered),
-                        "mean": round(sum(ordered) / len(ordered), 3),
-                        "p50": round(percentile(ordered, 50), 3),
-                        "p95": round(percentile(ordered, 95), 3),
-                        "p99": round(percentile(ordered, 99), 3),
-                        "max": round(ordered[-1], 3),
-                    }
+                    op_doc["latency_ms"] = _latency_doc(sorted(entry.latencies))
                 operations[op] = op_doc
             requests = sum(totals.values())
             duplicates = totals["coalesced"] + totals["cached"]
@@ -129,3 +152,78 @@ class ServiceMetrics:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         totals = self.snapshot()["totals"]
         return f"ServiceMetrics(requests={totals['requests']}, duplicates={totals['duplicate_hits']})"
+
+    def mergeable_snapshot(self) -> Dict[str, Any]:
+        """The raw, lossless form :func:`merge_snapshots` combines.
+
+        Unlike :meth:`snapshot`, latency reservoirs are exported as the
+        sample lists themselves so the fleet can derive percentiles over
+        the *union* of the workers' observations::
+
+            {"started": <epoch>,
+             "operations": {op: {"counts": {...}, "latencies_ms": [...]}}}
+        """
+        with self._lock:
+            return {
+                "started": self._started,
+                "operations": {
+                    op: {
+                        "counts": dict(entry.counts),
+                        "latencies_ms": [round(v, 6) for v in entry.latencies],
+                    }
+                    for op, entry in self._ops.items()
+                },
+            }
+
+
+def merge_snapshots(parts: Iterable[Mapping[str, Any]]) -> Dict[str, object]:
+    """Combine mergeable snapshots into one :meth:`ServiceMetrics.snapshot` doc.
+
+    Counters are summed and latency reservoirs concatenated, so the
+    merged p50/p95/p99 equal those of a single stream that had seen every
+    observation (each source ring is still bounded by
+    :data:`LATENCY_WINDOW`, so extremely long-lived fleets merge the most
+    recent window of each worker).  ``uptime_seconds`` is measured from
+    the earliest ``started`` stamp.
+    """
+    started: Optional[float] = None
+    counts: Dict[str, Dict[str, int]] = {}
+    samples: Dict[str, List[float]] = {}
+    for part in parts:
+        part_started = part.get("started")
+        if isinstance(part_started, (int, float)):
+            started = part_started if started is None else min(started, part_started)
+        operations = part.get("operations")
+        if not isinstance(operations, Mapping):
+            continue
+        for op, entry in operations.items():
+            merged = counts.setdefault(op, {outcome: 0 for outcome in OUTCOMES})
+            for outcome, count in (entry.get("counts") or {}).items():
+                if outcome in merged and isinstance(count, int):
+                    merged[outcome] += count
+            latencies = entry.get("latencies_ms") or []
+            samples.setdefault(op, []).extend(float(v) for v in latencies)
+
+    operations_doc: Dict[str, object] = {}
+    totals = {outcome: 0 for outcome in OUTCOMES}
+    for op in sorted(counts):
+        op_counts = counts[op]
+        for outcome, count in op_counts.items():
+            totals[outcome] += count
+        op_doc: Dict[str, object] = {"requests": sum(op_counts.values()), **op_counts}
+        if samples.get(op):
+            op_doc["latency_ms"] = _latency_doc(sorted(samples[op]))
+        operations_doc[op] = op_doc
+    requests = sum(totals.values())
+    duplicates = totals["coalesced"] + totals["cached"]
+    return {
+        "uptime_seconds": round(time.time() - started, 3) if started is not None else 0.0,
+        "totals": {
+            "requests": requests,
+            **totals,
+            "duplicate_hits": duplicates,
+            "coalescing_hit_rate": totals["coalesced"] / requests if requests else 0.0,
+            "duplicate_hit_rate": duplicates / requests if requests else 0.0,
+        },
+        "operations": operations_doc,
+    }

@@ -33,6 +33,7 @@ Error codes
 ``unknown-operation``   ``op`` is not one of the operations above;
 ``analysis-error``      the analysis itself failed (bad query, no dictionary, ...);
 ``overloaded``          the worker queue is full; retry later;
+``worker-crashed``      a fleet worker died mid-request; safe to retry;
 ``internal``            unexpected server-side failure.
 """
 
@@ -63,6 +64,7 @@ __all__ = [
     "ERROR_UNKNOWN_OPERATION",
     "ERROR_ANALYSIS",
     "ERROR_OVERLOADED",
+    "ERROR_WORKER_CRASHED",
     "ERROR_INTERNAL",
     "ProtocolError",
     "AuditRequest",
@@ -98,6 +100,7 @@ ERROR_INVALID_REQUEST = "invalid-request"
 ERROR_UNKNOWN_OPERATION = "unknown-operation"
 ERROR_ANALYSIS = "analysis-error"
 ERROR_OVERLOADED = "overloaded"
+ERROR_WORKER_CRASHED = "worker-crashed"
 ERROR_INTERNAL = "internal"
 
 
@@ -197,8 +200,15 @@ def parse_request(document: Any) -> AuditRequest:
     request_id = document.get("id")
     if request_id is not None and not isinstance(request_id, (str, int, float)):
         raise ProtocolError(ERROR_INVALID_REQUEST, "the request 'id' must be a JSON scalar")
+    options = document.get("options") or {}
+    if not isinstance(options, Mapping) or not all(isinstance(k, str) for k in options):
+        raise ProtocolError(
+            ERROR_INVALID_REQUEST, "'options' must be an object with string keys"
+        )
     if op in CONTROL_OPERATIONS:
-        return AuditRequest(op=op, id=request_id)
+        # Control operations accept options too (e.g. the fleet router asks
+        # each worker for ``stats`` with ``{"mergeable": true}``).
+        return AuditRequest(op=op, id=request_id, options=dict(options))
 
     schema = _require(document, "schema", op)
     if not isinstance(schema, Mapping) or not schema.get("relations"):
@@ -209,11 +219,6 @@ def parse_request(document: Any) -> AuditRequest:
     dictionary = document.get("dictionary")
     if dictionary is not None and not isinstance(dictionary, Mapping):
         raise ProtocolError(ERROR_INVALID_REQUEST, "'dictionary' must be a JSON object")
-    options = document.get("options") or {}
-    if not isinstance(options, Mapping) or not all(isinstance(k, str) for k in options):
-        raise ProtocolError(
-            ERROR_INVALID_REQUEST, "'options' must be an object with string keys"
-        )
     engine = document.get("engine", "exact")
     if not isinstance(engine, str):
         raise ProtocolError(ERROR_INVALID_REQUEST, "'engine' must be a string")

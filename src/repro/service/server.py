@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import errno
 import hashlib
 import os
 import threading
@@ -162,6 +163,10 @@ class AuditServer:
     host / port:
         Bind address; port 0 picks an ephemeral port (read it back from
         :attr:`address` after :meth:`start`).
+    path:
+        Bind a unix domain socket at this path instead of a TCP port
+        (how fleet workers listen for their router); ``address`` then
+        returns ``(path, 0)``.
     workers:
         Worker-pool size for CPU-bound analyses (default: CPU count,
         capped at 8).
@@ -182,6 +187,7 @@ class AuditServer:
         host: str = "127.0.0.1",
         port: int = 0,
         *,
+        path: Optional[str] = None,
         workers: Optional[int] = None,
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
         max_sessions: int = DEFAULT_MAX_SESSIONS,
@@ -193,6 +199,7 @@ class AuditServer:
             raise ReproError("queue_limit must be at least 1")
         self._host = host
         self._port = port
+        self._path = path
         self._workers = workers or min(8, os.cpu_count() or 1)
         self._queue_limit = queue_limit
         self._max_sessions = max(1, max_sessions)
@@ -221,19 +228,37 @@ class AuditServer:
         )
         # The stream limit sits above max_payload so an oversized-but-bounded
         # line is still read whole and answered with a structured error.
-        self._server = await asyncio.start_server(
-            self._on_connection,
-            self._host,
-            self._port,
-            limit=max(2 * self._max_payload, 1 << 16),
-        )
+        limit = max(2 * self._max_payload, 1 << 16)
+        try:
+            if self._path is not None:
+                self._server = await asyncio.start_unix_server(
+                    self._on_connection, path=self._path, limit=limit
+                )
+            else:
+                self._server = await asyncio.start_server(
+                    self._on_connection, self._host, self._port, limit=limit
+                )
+        except OSError as error:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+            where = self._path if self._path is not None else f"{self._host}:{self._port}"
+            if error.errno == errno.EADDRINUSE:
+                raise ReproError(
+                    f"cannot bind {where}: address already in use "
+                    "(is another daemon running on this port?)"
+                ) from error
+            raise ReproError(
+                f"cannot bind {where}: {error.strerror or error}"
+            ) from error
         return self.address
 
     @property
     def address(self) -> Tuple[str, int]:
-        """The bound ``(host, port)``."""
+        """The bound ``(host, port)`` — or ``(path, 0)`` on a unix socket."""
         if self._server is None or not self._server.sockets:
             raise ReproError("the server is not running")
+        if self._path is not None:
+            return self._path, 0
         host, port = self._server.sockets[0].getsockname()[:2]
         return host, port
 
@@ -347,7 +372,13 @@ class AuditServer:
             )
         if request.op == "stats":
             self._metrics.observe("stats", "computed")
-            return ok_response(request.id, "stats", self._stats_payload())
+            payload = self._stats_payload()
+            if request.options.get("mergeable"):
+                # The raw counters + latency reservoirs, so a fleet router
+                # can merge per-worker stats without losing percentile
+                # fidelity (see repro.service.metrics.merge_snapshots).
+                payload["mergeable"] = self._metrics.mergeable_snapshot()
+            return ok_response(request.id, "stats", payload)
         # shutdown
         self._metrics.observe("shutdown", "computed")
         if self._stop_event is not None:

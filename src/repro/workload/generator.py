@@ -332,10 +332,14 @@ def replay_workload(
         {"requests": N, "ok": N, "errors": N, "overloaded": N,
          "seconds": s, "requests_per_second": r,
          "latency_ms": {"p50": ..., "p95": ..., "max": ...},
-         "coalesced": N, "cached": N}
+         "coalesced": N, "cached": N,
+         "fleet_coalesced": N, "fleet_cached": N}
 
     ``overloaded`` (structured load-shedding answers) counts separately
     from hard ``errors``: shedding is the server behaving as designed.
+    Against a multi-worker fleet, ``fleet_coalesced``/``fleet_cached``
+    count the answers the router satisfied without reaching any worker
+    (they are subsets of ``coalesced``/``cached``).
     """
     from ..service.client import AuditServiceClient
     from ..service.metrics import percentile
@@ -346,7 +350,15 @@ def replay_workload(
     for index, request in enumerate(requests):
         pending.put((index, request))
     lock = threading.Lock()
-    outcomes = {"ok": 0, "errors": 0, "overloaded": 0, "coalesced": 0, "cached": 0}
+    outcomes = {
+        "ok": 0,
+        "errors": 0,
+        "overloaded": 0,
+        "coalesced": 0,
+        "cached": 0,
+        "fleet_coalesced": 0,
+        "fleet_cached": 0,
+    }
     latencies: List[float] = []
     failures: List[str] = []
 
@@ -385,6 +397,10 @@ def replay_workload(
                             outcomes["coalesced"] += 1
                         if server.get("cached"):
                             outcomes["cached"] += 1
+                        if server.get("fleet_coalesced"):
+                            outcomes["fleet_coalesced"] += 1
+                        if server.get("fleet_cached"):
+                            outcomes["fleet_cached"] += 1
                     else:
                         error = response.get("error") or {}
                         if error.get("code") == "overloaded":
