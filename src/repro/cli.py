@@ -26,13 +26,19 @@ flags or read verbatim from ``--payload file.json``).
 Every command exits with status 0 when the secret is safe under the
 requested analysis and status 1 when a disclosure was found, so the
 tool can gate a CI pipeline or a publishing workflow; transport and
-configuration errors exit 2.
+configuration errors exit 2.  ``request`` additionally distinguishes
+the service's retryable-class failures — exit 3 = overloaded, 4 =
+worker-crashed, 5 = deadline-exceeded — and takes ``--deadline-ms``
+(end-to-end time budget) and ``--retries`` (attempts with jittered
+backoff).  ``serve --fault-plan`` installs a deterministic
+fault-injection plan (see :mod:`repro.faults`) for chaos testing.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -225,6 +231,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="analysis threads inside each fleet worker process "
         "(only with --workers >= 2; default 2)",
     )
+    serve.add_argument(
+        "--fault-plan",
+        default=None,
+        help="fault-injection plan: inline JSON or a path to a JSON file "
+        "(testing only; exported as REPRO_FAULT_PLAN so fleet workers "
+        "inherit it)",
+    )
 
     request = subparsers.add_parser(
         "request", help="send one operation to a running audit daemon"
@@ -259,6 +272,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     request.add_argument(
         "--eval-engine", default=None, help="query-evaluation engine name"
+    )
+    request.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="total time budget in milliseconds (queue wait + computation); "
+        "an expired budget exits 5 with a 'deadline-exceeded' error",
+    )
+    request.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="total attempts for retryable failures (overloaded, worker "
+        "crash, dropped connection); default 1 = no retry",
     )
 
     return parser
@@ -305,6 +332,12 @@ def _run_serve(args) -> int:
     router in front of N worker processes); the default and ``--workers
     1`` keep the single-process in-process daemon.
     """
+    if getattr(args, "fault_plan", None):
+        from .faults import FAULT_PLAN_ENV, FaultPlan
+
+        FaultPlan.from_text(args.fault_plan)  # validate before booting
+        os.environ[FAULT_PLAN_ENV] = args.fault_plan
+
     if args.workers is not None and args.workers >= 2:
         from .service.fleet import run_fleet
 
@@ -343,13 +376,26 @@ def _run_serve(args) -> int:
     return 0
 
 
+#: Structured service errors each get their own exit code so scripted
+#: callers can distinguish "back off" from "retry now" from "give up".
+_REQUEST_ERROR_EXITS = {
+    "overloaded": 3,
+    "worker-crashed": 4,
+    "deadline-exceeded": 5,
+}
+
+
 def _run_request(args, parser: argparse.ArgumentParser) -> int:
     """The ``request`` command: one operation against a running daemon.
 
-    Exit codes mirror the local commands: 0 = ok (and not a disclosure),
-    1 = the analysis found a disclosure, 2 = transport/protocol errors.
+    Exit codes mirror the local commands — 0 = ok (and not a
+    disclosure), 1 = the analysis found a disclosure, 2 = transport/
+    protocol/other errors — plus one distinct code per retryable-class
+    service error: 3 = overloaded, 4 = worker-crashed, 5 =
+    deadline-exceeded (each with a one-line ``error: [code] message``
+    on stderr).
     """
-    from .service.client import AuditServiceClient
+    from .service.client import AuditServiceClient, RetryPolicy
 
     if args.payload is not None:
         with open(args.payload, "r", encoding="utf8") as handle:
@@ -376,14 +422,29 @@ def _run_request(args, parser: argparse.ArgumentParser) -> int:
         if args.eval_engine is not None:
             document["eval_engine"] = args.eval_engine
 
+    if args.deadline_ms is not None:
+        if args.deadline_ms <= 0:
+            parser.error("--deadline-ms must be positive")
+        document["deadline_ms"] = args.deadline_ms
+    retry_policy = None
+    if args.retries is not None:
+        if args.retries < 1:
+            parser.error("--retries must be at least 1 (1 = no retry)")
+        if args.retries > 1:
+            retry_policy = RetryPolicy(max_attempts=args.retries)
+
     op = document.pop("op")
-    with AuditServiceClient(args.host, args.port) as client:
+    with AuditServiceClient(args.host, args.port, retry_policy=retry_policy) as client:
         response = client.request(op, **{
             key: value for key, value in document.items() if key != "id"
         })
     print(json.dumps(response, indent=2))
     if not response.get("ok"):
-        return 2
+        error_doc = response.get("error") or {}
+        code = error_doc.get("code", "internal")
+        message = error_doc.get("message", "unknown service error")
+        print(f"error: [{code}] {message}", file=sys.stderr)
+        return _REQUEST_ERROR_EXITS.get(code, 2)
     verdict = (response.get("result") or {}).get("verdict")
     if op == "quick":
         # Mirror the local command: only the sound "certainly secure"

@@ -40,8 +40,10 @@ ones with well-defined answers — agree across all three engines.
 
 from __future__ import annotations
 
+import sqlite3
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
+from .. import faults
 from ..exceptions import EvaluationError, QueryError, ReproError
 from ..relational.instance import Instance
 from ..relational.tuples import Fact
@@ -73,6 +75,7 @@ SQL_STATS: Dict[str, int] = {
     "sql_mirrors_built": 0,
     "sql_delta_calls": 0,
     "sql_fallbacks": 0,
+    "sql_io_fallbacks": 0,
 }
 
 
@@ -143,6 +146,8 @@ def store_for(instance) -> SQLiteFactStore:
 def _execute(
     store: SQLiteFactStore, sql: str, params: Sequence[object]
 ) -> List[Tuple[object, ...]]:
+    for rule in faults.fire("sql.execute"):
+        faults.perform(rule)
     SQL_STATS["sql_statements_executed"] += 1
     rows = store.execute(sql, params)
     SQL_STATS["sql_rows_fetched"] += len(rows)
@@ -537,13 +542,18 @@ class SQLPlan:
 # ---------------------------------------------------------------------------
 # Engine entry points (called by the repro.cq.evaluation dispatcher)
 # ---------------------------------------------------------------------------
-def _fallback(entry: str, *args):
+def _fallback(entry: str, *args, counter: str = "sql_fallbacks"):
     """Re-dispatch one call through the compiled engine.
 
     Taken when the instance or query holds symbolic (unstorable)
-    values; see :class:`UnstorableError`.
+    values (see :class:`UnstorableError`), and — under ``counter=
+    "sql_io_fallbacks"`` — when sqlite itself fails with an I/O-class
+    :class:`sqlite3.OperationalError` (disk error, corrupt page,
+    injected fault).  The verdict is the same either way; only the
+    engine that produced it differs, and the degradation is counted so
+    operators can see it in ``evaluation_stats()`` / service stats.
     """
-    SQL_STATS["sql_fallbacks"] += 1
+    SQL_STATS[counter] += 1
     from . import evaluation
 
     with evaluation.eval_engine_scope("compiled"):
@@ -564,6 +574,8 @@ def evaluate(query, instance) -> FrozenSet[Tuple[object, ...]]:
         return sql_plan_for(query).evaluate(store_for(instance))
     except UnstorableError:
         return _fallback("evaluate", query, instance)
+    except sqlite3.OperationalError:
+        return _fallback("evaluate", query, instance, counter="sql_io_fallbacks")
 
 
 def evaluate_boolean(query, instance) -> bool:
@@ -578,23 +590,34 @@ def evaluate_boolean(query, instance) -> bool:
         return sql_plan_for(query).evaluate_boolean(store_for(instance))
     except UnstorableError:
         return _fallback("evaluate_boolean", query, instance)
+    except sqlite3.OperationalError:
+        return _fallback(
+            "evaluate_boolean", query, instance, counter="sql_io_fallbacks"
+        )
 
 
 def satisfying_assignments(query, instance) -> Iterator[Dict[Variable, object]]:
     """The distinct satisfying assignments (per disjunct for unions)."""
-    # Every disjunct's plan and the store are resolved before the first
-    # yield: an UnstorableError (the only fallback trigger) can then
-    # only surface up front, so the fallback never re-yields
-    # assignments an earlier disjunct already produced.
+    # The whole answer is drained inside the try: a fallback trigger
+    # (unstorable values up front, or a sqlite I/O error on any
+    # statement) then re-dispatches the *entire* call to the compiled
+    # engine, so the caller never sees duplicated or torn streams.
     try:
         disjuncts = getattr(query, "disjuncts", None) or (query,)
         plans = [sql_plan_for(disjunct) for disjunct in disjuncts]
         store = store_for(instance)
+        produced = [
+            assignment for plan in plans for assignment in plan.assignments(store)
+        ]
     except UnstorableError:
         yield from _fallback("satisfying_assignments", query, instance)
         return
-    for plan in plans:
-        yield from plan.assignments(store)
+    except sqlite3.OperationalError:
+        yield from _fallback(
+            "satisfying_assignments", query, instance, counter="sql_io_fallbacks"
+        )
+        return
+    yield from produced
 
 
 def answer_contains(query, instance, row: Sequence[object]) -> bool:
@@ -608,6 +631,10 @@ def answer_contains(query, instance, row: Sequence[object]) -> bool:
         )
     except UnstorableError:
         return _fallback("answer_contains", query, instance, row)
+    except sqlite3.OperationalError:
+        return _fallback(
+            "answer_contains", query, instance, row, counter="sql_io_fallbacks"
+        )
 
 
 def delta_changes(query, instance, fact: Fact) -> bool:
@@ -639,3 +666,7 @@ def delta_changes(query, instance, fact: Fact) -> bool:
         return False
     except UnstorableError:
         return _fallback("delta_changes", query, instance, fact)
+    except sqlite3.OperationalError:
+        return _fallback(
+            "delta_changes", query, instance, fact, counter="sql_io_fallbacks"
+        )

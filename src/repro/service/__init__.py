@@ -22,7 +22,20 @@ deployments front their engines with a query interface:
   hashing of the request fingerprint, with fleet-wide coalescing
   (:mod:`repro.service.coalesce`), worker supervision and aggregated
   stats.  ``repro-audit serve --workers N`` (N ≥ 2) boots this instead
-  of the single-process daemon.
+  of the single-process daemon;
+* :mod:`repro.service.health` — the per-shard circuit breaker behind
+  the fleet's graceful-degradation ladder (healthy → degraded →
+  quarantined with half-open probing);
+* :mod:`repro.service.faults` — the deterministic fault-injection
+  harness (``REPRO_FAULT_PLAN``) the chaos tests drive.
+
+Resilience: requests may carry a ``deadline_ms`` budget (expiry is a
+structured ``deadline-exceeded`` error and overrunning computations are
+abandoned, not leaked), both clients take a :class:`RetryPolicy`
+(seeded decorrelated-jitter backoff over retryable errors), and the
+fleet's shared coalescer rows are owner-liveness-checked and
+boot-namespaced so crashes and restarts never wedge followers or serve
+stale verdicts.
 
 Quick start::
 
@@ -39,9 +52,11 @@ Quick start::
             print(response["result"]["verdict"])
 """
 
-from .client import AsyncAuditServiceClient, AuditServiceClient, ServiceError
+from .client import AsyncAuditServiceClient, AuditServiceClient, RetryPolicy, ServiceError
 from .coalesce import FleetCoalescer
+from .faults import FaultPlan, FaultRule
 from .fleet import FleetServer, FleetThread, run_fleet
+from .health import CircuitBreaker
 from .metrics import ServiceMetrics, merge_snapshots
 from .protocol import (
     ANALYSIS_OPERATIONS,
@@ -64,10 +79,14 @@ __all__ = [
     "AuditServer",
     "AuditServiceClient",
     "AsyncAuditServiceClient",
+    "CircuitBreaker",
+    "FaultPlan",
+    "FaultRule",
     "FleetCoalescer",
     "FleetServer",
     "FleetThread",
     "ProtocolError",
+    "RetryPolicy",
     "ServerThread",
     "ServiceError",
     "ServiceMetrics",

@@ -6,6 +6,25 @@ response envelope; :meth:`call` raises :class:`ServiceError` on a
 structured error instead.  One client instance owns one connection and
 issues requests sequentially on it; for concurrent traffic (e.g. to
 exercise the server's coalescing) open several clients.
+
+Timeouts
+--------
+Both clients separate *connect* timeouts (how long to wait for the TCP
+handshake) from *read* timeouts (how long to wait for one response
+line).  A hung server therefore surfaces as a :class:`ReproError`
+instead of blocking forever.
+
+Retries
+-------
+Pass a :class:`RetryPolicy` to either client and :meth:`request` /
+:meth:`call` transparently retry transport failures and structured
+errors the server marks safe to retry (``overloaded``,
+``worker-crashed``), with decorrelated-jitter exponential backoff under
+a total backoff budget.  Retrying is idempotent by construction: a
+retried request re-sends the identical document, so the fleet's
+request-fingerprint dedup (coalescer + result caches) answers repeats
+without recomputing.  ``deadline-exceeded`` is *not* retried — the
+caller's budget is spent.
 """
 
 from __future__ import annotations
@@ -13,13 +32,21 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import random
 import socket
-from typing import Any, Dict, Optional, Tuple
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Optional
 
 from ..exceptions import ReproError
-from .protocol import encode_message
+from .protocol import RETRYABLE_ERROR_CODES, encode_message
 
-__all__ = ["ServiceError", "AuditServiceClient", "AsyncAuditServiceClient"]
+__all__ = [
+    "ServiceError",
+    "RetryPolicy",
+    "AuditServiceClient",
+    "AsyncAuditServiceClient",
+]
 
 
 class ServiceError(ReproError):
@@ -30,6 +57,86 @@ class ServiceError(ReproError):
         self.code = code
         self.message = message
         self.response = response
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client retries failed requests.
+
+    Backoff uses *decorrelated jitter*: each delay is drawn uniformly
+    from ``[base_delay, 3 × previous_delay]`` and capped at
+    ``max_delay`` — retries spread out instead of synchronising into
+    thundering herds.  ``seed`` makes the jitter sequence reproducible
+    (chaos tests rely on this); ``None`` seeds from the OS.
+
+    ``budget_seconds`` bounds the *total sleep time* across one
+    logical request's retries; when the next delay would exceed the
+    remaining budget the last failure is returned/raised as-is.
+    """
+
+    #: Total attempts including the first (1 = no retries).
+    max_attempts: int = 4
+    #: Lower bound of every backoff delay, seconds.
+    base_delay: float = 0.05
+    #: Upper cap on one backoff delay, seconds.
+    max_delay: float = 2.0
+    #: Total backoff sleep allowed per logical request, seconds.
+    budget_seconds: float = 15.0
+    #: Structured error codes worth retrying (the server's ``retryable``
+    #: flag is honoured too, for codes this policy predates).
+    retry_codes: FrozenSet[str] = RETRYABLE_ERROR_CODES
+    #: Also retry transport failures (connection reset/refused/timeout)?
+    retry_transport_errors: bool = True
+    #: RNG seed for deterministic jitter (``None`` = nondeterministic).
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproError("RetryPolicy.max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ReproError("RetryPolicy needs 0 <= base_delay <= max_delay")
+        if self.budget_seconds < 0:
+            raise ReproError("RetryPolicy.budget_seconds must be >= 0")
+
+    def rng(self) -> random.Random:
+        """A fresh jitter RNG (one per client, seeded when asked)."""
+        return random.Random(self.seed)
+
+    def next_delay(self, rng: random.Random, previous: float) -> float:
+        """The next backoff delay given the ``previous`` one (0 initially)."""
+        floor = self.base_delay
+        ceiling = max(floor, 3.0 * (previous if previous > 0 else floor))
+        return min(self.max_delay, rng.uniform(floor, ceiling))
+
+    def should_retry_response(self, response: Dict[str, Any]) -> bool:
+        """Is this structured-error envelope worth retrying?"""
+        if response.get("ok"):
+            return False
+        error = response.get("error") or {}
+        code = error.get("code")
+        if code in self.retry_codes:
+            return True
+        return error.get("retryable") is True
+
+
+class _RetryState:
+    """Per-client bookkeeping shared by both client flavours."""
+
+    def __init__(self, policy: Optional[RetryPolicy]):
+        self.policy = policy
+        self.rng = policy.rng() if policy is not None else None
+        self.stats = {"requests": 0, "retries": 0, "backoff_seconds": 0.0, "gave_up": 0}
+
+    def plan_delay(self, previous: float, slept: float) -> Optional[float]:
+        """The next backoff delay, or ``None`` when the budget is spent."""
+        assert self.policy is not None and self.rng is not None
+        delay = self.policy.next_delay(self.rng, previous)
+        if slept + delay > self.policy.budget_seconds:
+            self.stats["gave_up"] += 1
+            return None
+        self.stats["retries"] += 1
+        self.stats["backoff_seconds"] = round(self.stats["backoff_seconds"] + delay, 6)
+        return delay
 
 
 def _check_envelope(response: Any) -> Dict[str, Any]:
@@ -48,23 +155,47 @@ def _raise_for_error(response: Dict[str, Any]) -> Dict[str, Any]:
 
 
 class AuditServiceClient:
-    """Blocking client: one TCP connection, sequential requests."""
+    """Blocking client: one TCP connection, sequential requests.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 60.0):
+    ``timeout`` is the legacy single knob; ``connect_timeout`` /
+    ``read_timeout`` override it for the handshake and the per-request
+    response wait respectively.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        timeout: float = 60.0,
+        *,
+        connect_timeout: Optional[float] = None,
+        read_timeout: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
         self._host = host
         self._port = port
-        self._timeout = timeout
+        self._connect_timeout = (
+            connect_timeout if connect_timeout is not None else min(timeout, 10.0)
+        )
+        self._read_timeout = read_timeout if read_timeout is not None else timeout
+        self._retry = _RetryState(retry_policy)
         self._socket: Optional[socket.socket] = None
         self._file = None
         self._ids = itertools.count(1)
+
+    @property
+    def retry_stats(self) -> Dict[str, Any]:
+        """Retry counters for this client (all zero without a policy)."""
+        return dict(self._retry.stats)
 
     # -- connection --------------------------------------------------------------
     def connect(self) -> "AuditServiceClient":
         """Open the connection (idempotent; ``request`` connects lazily)."""
         if self._socket is None:
             self._socket = socket.create_connection(
-                (self._host, self._port), timeout=self._timeout
+                (self._host, self._port), timeout=self._connect_timeout
             )
+            self._socket.settimeout(self._read_timeout)
             self._file = self._socket.makefile("rb")
         return self
 
@@ -85,19 +216,60 @@ class AuditServiceClient:
 
     # -- requests ----------------------------------------------------------------
     def send_raw(self, payload: bytes) -> Dict[str, Any]:
-        """Send pre-encoded bytes and read one response line (for tests)."""
+        """Send pre-encoded bytes and read one response line (no retries)."""
         self.connect()
         assert self._socket is not None and self._file is not None
-        self._socket.sendall(payload)
-        line = self._file.readline()
+        try:
+            self._socket.sendall(payload)
+            line = self._file.readline()
+        except socket.timeout:
+            # The connection is desynchronised (a late response may still
+            # arrive); drop it so the next attempt starts clean.
+            self.close()
+            raise ReproError(
+                f"no response within the {self._read_timeout}s read timeout"
+            ) from None
         if not line:
             raise ReproError("the service closed the connection")
         return _check_envelope(json.loads(line))
 
     def request(self, op: str, **fields: Any) -> Dict[str, Any]:
-        """Send one operation; returns the full response envelope."""
+        """Send one operation; returns the full response envelope.
+
+        With a :class:`RetryPolicy`, transport failures and retryable
+        structured errors are retried with backoff; the identical
+        document (same id) is re-sent each attempt.
+        """
         document = {"id": next(self._ids), "op": op, **fields}
-        return self.send_raw(encode_message(document))
+        payload = encode_message(document)
+        policy = self._retry.policy
+        self._retry.stats["requests"] += 1
+        if policy is None:
+            return self.send_raw(payload)
+        delay, slept = 0.0, 0.0
+        for attempt in range(1, policy.max_attempts + 1):
+            last = attempt >= policy.max_attempts
+            response: Optional[Dict[str, Any]] = None
+            failure: Optional[BaseException] = None
+            try:
+                response = self.send_raw(payload)
+            except (ReproError, OSError) as error:
+                self.close()
+                if last or not policy.retry_transport_errors:
+                    raise
+                failure = error
+            else:
+                if not policy.should_retry_response(response) or last:
+                    return response
+            delay = self._retry.plan_delay(delay, slept)
+            if delay is None:  # budget spent; surface the last failure
+                if response is not None:
+                    return response
+                assert failure is not None
+                raise failure
+            time.sleep(delay)
+            slept += delay
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def call(self, op: str, **fields: Any) -> Dict[str, Any]:
         """Like :meth:`request` but raises :class:`ServiceError` on errors
@@ -121,20 +293,43 @@ class AuditServiceClient:
 class AsyncAuditServiceClient:
     """Asyncio client: one connection, requests serialised by a lock."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8765):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        *,
+        connect_timeout: float = 10.0,
+        read_timeout: float = 120.0,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
         self._host = host
         self._port = port
+        self._connect_timeout = connect_timeout
+        self._read_timeout = read_timeout
+        self._retry = _RetryState(retry_policy)
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._lock = asyncio.Lock()
         self._ids = itertools.count(1)
 
+    @property
+    def retry_stats(self) -> Dict[str, Any]:
+        """Retry counters for this client (all zero without a policy)."""
+        return dict(self._retry.stats)
+
     async def connect(self) -> "AsyncAuditServiceClient":
         """Open the connection (idempotent)."""
         if self._writer is None:
-            self._reader, self._writer = await asyncio.open_connection(
-                self._host, self._port
-            )
+            try:
+                self._reader, self._writer = await asyncio.wait_for(
+                    asyncio.open_connection(self._host, self._port),
+                    timeout=self._connect_timeout,
+                )
+            except asyncio.TimeoutError:
+                raise ReproError(
+                    f"could not connect to {self._host}:{self._port} within "
+                    f"the {self._connect_timeout}s connect timeout"
+                ) from None
         return self
 
     async def close(self) -> None:
@@ -154,18 +349,61 @@ class AsyncAuditServiceClient:
     async def __aexit__(self, *exc_info) -> None:
         await self.close()
 
-    async def request(self, op: str, **fields: Any) -> Dict[str, Any]:
-        """Send one operation; returns the full response envelope."""
+    async def _send_once(self, payload: bytes) -> Dict[str, Any]:
         await self.connect()
         assert self._reader is not None and self._writer is not None
-        document = {"id": next(self._ids), "op": op, **fields}
         async with self._lock:
-            self._writer.write(encode_message(document))
+            self._writer.write(payload)
             await self._writer.drain()
-            line = await self._reader.readline()
+            try:
+                line = await asyncio.wait_for(
+                    self._reader.readline(), timeout=self._read_timeout
+                )
+            except asyncio.TimeoutError:
+                await self.close()
+                raise ReproError(
+                    f"no response within the {self._read_timeout}s read timeout"
+                ) from None
         if not line:
             raise ReproError("the service closed the connection")
         return _check_envelope(json.loads(line))
+
+    async def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one operation; returns the full response envelope.
+
+        With a :class:`RetryPolicy`, retries mirror the blocking
+        client's behaviour (``asyncio.sleep`` for the backoff).
+        """
+        document = {"id": next(self._ids), "op": op, **fields}
+        payload = encode_message(document)
+        policy = self._retry.policy
+        self._retry.stats["requests"] += 1
+        if policy is None:
+            return await self._send_once(payload)
+        delay, slept = 0.0, 0.0
+        for attempt in range(1, policy.max_attempts + 1):
+            last = attempt >= policy.max_attempts
+            response: Optional[Dict[str, Any]] = None
+            failure: Optional[BaseException] = None
+            try:
+                response = await self._send_once(payload)
+            except (ReproError, OSError) as error:
+                await self.close()
+                if last or not policy.retry_transport_errors:
+                    raise
+                failure = error
+            else:
+                if not policy.should_retry_response(response) or last:
+                    return response
+            delay = self._retry.plan_delay(delay, slept)
+            if delay is None:  # budget spent; surface the last failure
+                if response is not None:
+                    return response
+                assert failure is not None
+                raise failure
+            await asyncio.sleep(delay)
+            slept += delay
+        raise AssertionError("unreachable")  # pragma: no cover
 
     async def call(self, op: str, **fields: Any) -> Dict[str, Any]:
         """Like :meth:`request` but raises :class:`ServiceError` on errors

@@ -14,6 +14,18 @@ the table file, so a burst of N identical requests costs one computation
 * a failed or shed computation is :meth:`~FleetCoalescer.abandon`\\ ed so
   the next identical request recomputes instead of inheriting the error.
 
+Crash safety
+------------
+A claim is only useful while its owner is alive to publish.  Each row
+records the owner pid, and :meth:`~FleetCoalescer.claim` reclaims a
+pending row when the owner process no longer exists (``os.kill(pid, 0)``)
+or the claim has outlived ``claim_ttl`` seconds — so a SIGKILLed router
+never wedges followers until their drain timeout.  Rows are additionally
+namespaced by a *boot id* chosen by the fleet at start-up: a restarted
+fleet pointed at the same table file starts from a clean namespace and
+can never serve a stale cached verdict published by a previous process
+generation (stale rows from dead boots are purged on start).
+
 The table is deliberately stdlib-only (``sqlite3`` in WAL mode with
 ``synchronous=OFF`` — it is an ephemeral coordination structure, not
 durable state) and keyed by the hex digest of
@@ -22,6 +34,7 @@ durable state) and keyed by the hex digest of
 
 from __future__ import annotations
 
+import os
 import sqlite3
 import threading
 import time
@@ -29,7 +42,7 @@ from typing import Any, Dict, Optional
 
 from ..exceptions import ReproError
 
-__all__ = ["FleetCoalescer", "PENDING", "DONE"]
+__all__ = ["FleetCoalescer", "PENDING", "DONE", "DEFAULT_CLAIM_TTL"]
 
 #: ``state`` values of one row.
 PENDING = 0
@@ -38,15 +51,37 @@ DONE = 1
 #: Default bound on completed results kept in the table.
 DEFAULT_CACHE_SIZE = 1024
 
+#: Default age after which a pending claim may be reclaimed even if its
+#: owner pid still exists (a wedged owner; generous next to any sane
+#: request deadline).
+DEFAULT_CLAIM_TTL = 120.0
+
 _SCHEMA = """
-CREATE TABLE IF NOT EXISTS pending_requests (
-    fingerprint TEXT PRIMARY KEY,
+CREATE TABLE IF NOT EXISTS fleet_requests (
+    boot        TEXT NOT NULL,
+    fingerprint TEXT NOT NULL,
     state       INTEGER NOT NULL,
     owner       INTEGER NOT NULL,
     created     REAL NOT NULL,
-    result      TEXT
+    result      TEXT,
+    PRIMARY KEY (boot, fingerprint)
 ) WITHOUT ROWID;
 """
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe (signal 0; EPERM counts as alive)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return True
+    return True
 
 
 class FleetCoalescer:
@@ -55,14 +90,31 @@ class FleetCoalescer:
     Thread-safe (one lock around the connection); every operation is a
     single small transaction, so routers and supervisors on different
     processes can share one table file.
+
+    ``boot`` namespaces this fleet generation's rows (see the module
+    docstring); ``claim_ttl`` bounds how long a pending claim is
+    honoured before followers may steal it (``0`` disables the age
+    check; owner-death reclamation always applies).
     """
 
-    def __init__(self, path: str, *, owner: int, cache_size: int = DEFAULT_CACHE_SIZE):
+    def __init__(
+        self,
+        path: str,
+        *,
+        owner: int,
+        boot: str = "",
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        claim_ttl: float = DEFAULT_CLAIM_TTL,
+    ):
         if cache_size < 0:
             raise ReproError("the coalescer cache size cannot be negative")
+        if claim_ttl < 0:
+            raise ReproError("the coalescer claim TTL cannot be negative")
         self._path = path
         self._owner = owner
+        self._boot = boot
         self._cache_size = cache_size
+        self._claim_ttl = claim_ttl
         self._lock = threading.Lock()
         self._connection = sqlite3.connect(
             path, timeout=5.0, isolation_level=None, check_same_thread=False
@@ -70,11 +122,37 @@ class FleetCoalescer:
         self._connection.execute("PRAGMA journal_mode=WAL")
         self._connection.execute("PRAGMA synchronous=OFF")
         self._connection.execute(_SCHEMA)
+        # The pre-boot-id table, if this path was written by an older
+        # build: coordination rows are ephemeral, drop them outright.
+        self._connection.execute("DROP TABLE IF EXISTS pending_requests")
+        self._purge_dead_boots()
         self._claims = 0
         self._coalesced = 0
         self._cache_hits = 0
         self._published = 0
         self._abandoned = 0
+        self._reclaimed = 0
+
+    def _purge_dead_boots(self) -> None:
+        """Drop rows left by process generations that no longer run.
+
+        A row belongs to a dead generation when its boot id differs from
+        ours and its owner pid is gone.  Live foreign boots (two fleets
+        deliberately sharing one table file) are left untouched.
+        """
+        owners = [
+            row[0]
+            for row in self._connection.execute(
+                "SELECT DISTINCT owner FROM fleet_requests WHERE boot != ?",
+                (self._boot,),
+            )
+        ]
+        dead = [pid for pid in owners if not _pid_alive(pid)]
+        for pid in dead:
+            self._connection.execute(
+                "DELETE FROM fleet_requests WHERE boot != ? AND owner = ?",
+                (self._boot, pid),
+            )
 
     # -- the request path --------------------------------------------------------
     def claim(self, fingerprint: str) -> Optional[str]:
@@ -84,34 +162,55 @@ class FleetCoalescer:
         :meth:`publish` or :meth:`abandon`), the cached result text when
         the fingerprint is already answered, and ``""`` when another
         owner is still computing (subscribe and wait).
+
+        A pending row whose owner is dead, or older than the claim TTL,
+        is *reclaimed*: the caller becomes the new owner (return
+        ``None``) instead of subscribing to a result that will never be
+        published.
         """
         now = time.time()
         with self._lock:
             cursor = self._connection.execute(
-                "INSERT INTO pending_requests (fingerprint, state, owner, created) "
-                "VALUES (?, ?, ?, ?) "
-                "ON CONFLICT (fingerprint) DO NOTHING",
-                (fingerprint, PENDING, self._owner, now),
+                "INSERT INTO fleet_requests (boot, fingerprint, state, owner, created) "
+                "VALUES (?, ?, ?, ?, ?) "
+                "ON CONFLICT (boot, fingerprint) DO NOTHING",
+                (self._boot, fingerprint, PENDING, self._owner, now),
             )
             if cursor.rowcount:
                 self._claims += 1
                 return None
             row = self._connection.execute(
-                "SELECT state, result FROM pending_requests WHERE fingerprint = ?",
-                (fingerprint,),
+                "SELECT state, owner, created, result FROM fleet_requests "
+                "WHERE boot = ? AND fingerprint = ?",
+                (self._boot, fingerprint),
             ).fetchone()
             if row is None:  # the owner abandoned between our two statements
                 self._claims += 1
                 self._connection.execute(
-                    "INSERT OR REPLACE INTO pending_requests "
-                    "(fingerprint, state, owner, created) VALUES (?, ?, ?, ?)",
-                    (fingerprint, PENDING, self._owner, now),
+                    "INSERT OR REPLACE INTO fleet_requests "
+                    "(boot, fingerprint, state, owner, created) VALUES (?, ?, ?, ?, ?)",
+                    (self._boot, fingerprint, PENDING, self._owner, now),
                 )
                 return None
-            state, result = row
+            state, row_owner, created, result = row
             if state == DONE and result is not None:
                 self._cache_hits += 1
                 return result
+            stale = (
+                row_owner != self._owner and not _pid_alive(row_owner)
+            ) or (self._claim_ttl and now - created > self._claim_ttl)
+            if stale:
+                # Guarded update: only steal the exact row we inspected,
+                # so two concurrent reclaimers cannot both win.
+                cursor = self._connection.execute(
+                    "UPDATE fleet_requests SET owner = ?, created = ? "
+                    "WHERE boot = ? AND fingerprint = ? AND state = ? AND owner = ?",
+                    (self._owner, now, self._boot, fingerprint, PENDING, row_owner),
+                )
+                if cursor.rowcount:
+                    self._claims += 1
+                    self._reclaimed += 1
+                    return None
             self._coalesced += 1
             return ""
 
@@ -119,28 +218,32 @@ class FleetCoalescer:
         """Record the owner's completed result (and prune the cache)."""
         with self._lock:
             self._connection.execute(
-                "UPDATE pending_requests SET state = ?, result = ?, created = ? "
-                "WHERE fingerprint = ?",
-                (DONE, result, time.time(), fingerprint),
+                "UPDATE fleet_requests SET state = ?, result = ?, created = ? "
+                "WHERE boot = ? AND fingerprint = ?",
+                (DONE, result, time.time(), self._boot, fingerprint),
             )
             self._published += 1
             if self._cache_size:
                 self._connection.execute(
-                    "DELETE FROM pending_requests WHERE state = ? AND fingerprint NOT IN "
-                    "(SELECT fingerprint FROM pending_requests WHERE state = ? "
+                    "DELETE FROM fleet_requests WHERE boot = ? AND state = ? "
+                    "AND fingerprint NOT IN "
+                    "(SELECT fingerprint FROM fleet_requests "
+                    " WHERE boot = ? AND state = ? "
                     " ORDER BY created DESC LIMIT ?)",
-                    (DONE, DONE, self._cache_size),
+                    (self._boot, DONE, self._boot, DONE, self._cache_size),
                 )
             else:
                 self._connection.execute(
-                    "DELETE FROM pending_requests WHERE fingerprint = ?", (fingerprint,)
+                    "DELETE FROM fleet_requests WHERE boot = ? AND fingerprint = ?",
+                    (self._boot, fingerprint),
                 )
 
     def abandon(self, fingerprint: str) -> None:
         """Drop a pending claim (failed/shed/crashed computation)."""
         with self._lock:
             self._connection.execute(
-                "DELETE FROM pending_requests WHERE fingerprint = ?", (fingerprint,)
+                "DELETE FROM fleet_requests WHERE boot = ? AND fingerprint = ?",
+                (self._boot, fingerprint),
             )
             self._abandoned += 1
 
@@ -148,8 +251,9 @@ class FleetCoalescer:
         """The published result for a fingerprint, if any (no counters)."""
         with self._lock:
             row = self._connection.execute(
-                "SELECT result FROM pending_requests WHERE fingerprint = ? AND state = ?",
-                (fingerprint, DONE),
+                "SELECT result FROM fleet_requests "
+                "WHERE boot = ? AND fingerprint = ? AND state = ?",
+                (self._boot, fingerprint, DONE),
             ).fetchone()
         return row[0] if row is not None else None
 
@@ -157,15 +261,16 @@ class FleetCoalescer:
         """Remove a fingerprint outright (cache invalidation)."""
         with self._lock:
             self._connection.execute(
-                "DELETE FROM pending_requests WHERE fingerprint = ?", (fingerprint,)
+                "DELETE FROM fleet_requests WHERE boot = ? AND fingerprint = ?",
+                (self._boot, fingerprint),
             )
 
     def release_owner(self, owner: int) -> int:
         """Abandon every pending claim of one owner (crash cleanup)."""
         with self._lock:
             cursor = self._connection.execute(
-                "DELETE FROM pending_requests WHERE state = ? AND owner = ?",
-                (PENDING, owner),
+                "DELETE FROM fleet_requests WHERE boot = ? AND state = ? AND owner = ?",
+                (self._boot, PENDING, owner),
             )
             self._abandoned += cursor.rowcount
             return cursor.rowcount
@@ -176,7 +281,9 @@ class FleetCoalescer:
         with self._lock:
             pending, done = 0, 0
             for state, count in self._connection.execute(
-                "SELECT state, COUNT(*) FROM pending_requests GROUP BY state"
+                "SELECT state, COUNT(*) FROM fleet_requests WHERE boot = ? "
+                "GROUP BY state",
+                (self._boot,),
             ):
                 if state == PENDING:
                     pending = count
@@ -184,14 +291,17 @@ class FleetCoalescer:
                     done = count
             return {
                 "path": self._path,
+                "boot": self._boot,
                 "pending": pending,
                 "cached_results": done,
                 "cache_size": self._cache_size,
+                "claim_ttl": self._claim_ttl,
                 "claims": self._claims,
                 "coalesced": self._coalesced,
                 "cache_hits": self._cache_hits,
                 "published": self._published,
                 "abandoned": self._abandoned,
+                "reclaimed": self._reclaimed,
             }
 
     def close(self) -> None:

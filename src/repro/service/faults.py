@@ -1,0 +1,53 @@
+"""Deterministic fault injection for the audit service (public face).
+
+The machinery lives in :mod:`repro.faults` — a leaf module with no
+intra-package dependencies, so the storage and evaluation layers can
+consult fault points without importing the service stack.  This module
+re-exports it under the service namespace, which is where users and
+the chaos test-suite look for it:
+
+>>> from repro.service import faults
+>>> plan = faults.FaultPlan.from_spec(
+...     {"seed": 7, "faults": [
+...         {"point": "server.execute", "action": "delay",
+...          "op": "decide", "delay": 0.2},
+...     ]}
+... )
+>>> faults.install(plan)      # or REPRO_FAULT_PLAN='{"seed": 7, ...}'
+>>> faults.uninstall()
+
+See :mod:`repro.faults` for the fault-point catalog, the JSON plan
+format, and the determinism guarantees.
+"""
+
+from ..faults import (  # noqa: F401
+    FAULT_ACTIONS,
+    FAULT_PLAN_ENV,
+    FAULT_POINTS,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    fire,
+    install,
+    install_from_env,
+    perform,
+    set_context,
+    stats,
+    uninstall,
+)
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "FAULT_POINTS",
+    "FAULT_ACTIONS",
+    "FaultRule",
+    "FaultPlan",
+    "install",
+    "uninstall",
+    "install_from_env",
+    "active_plan",
+    "set_context",
+    "fire",
+    "perform",
+    "stats",
+]

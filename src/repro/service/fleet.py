@@ -67,14 +67,18 @@ import signal
 import tempfile
 import threading
 import time
+import uuid
 from collections import OrderedDict
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Awaitable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import ReproError
-from .coalesce import FleetCoalescer
+from . import faults
+from .coalesce import DEFAULT_CLAIM_TTL, FleetCoalescer
+from .health import CircuitBreaker
 from .metrics import ServiceMetrics, merge_snapshots
 from .protocol import (
     DEFAULT_MAX_PAYLOAD,
+    ERROR_DEADLINE_EXCEEDED,
     ERROR_INTERNAL,
     ERROR_OVERLOADED,
     ERROR_PAYLOAD_TOO_LARGE,
@@ -129,7 +133,9 @@ def _parent_watchdog(parent_pid: int) -> None:
             os._exit(1)
 
 
-def _fleet_worker_main(socket_path: str, options: Dict[str, Any], parent_pid: int) -> None:
+def _fleet_worker_main(
+    socket_path: str, options: Dict[str, Any], parent_pid: int, shard_index: int
+) -> None:
     """One worker process: the unmodified AuditServer on a unix socket."""
     # A forked child inherits the router's thread-local "a loop is
     # running" marker; clear it so asyncio.run starts fresh.
@@ -139,6 +145,11 @@ def _fleet_worker_main(socket_path: str, options: Dict[str, Any], parent_pid: in
     # Ctrl-C is the router's business: it drains and asks us to stop.
     with contextlib.suppress(Exception):
         signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # Fault rules with a "shard" selector only fire in the targeted
+    # worker; the plan itself arrives via fork inheritance or the
+    # REPRO_FAULT_PLAN environment variable (spawn start methods).
+    faults.set_context(shard=shard_index)
+    faults.install_from_env()
     threading.Thread(
         target=_parent_watchdog, args=(parent_pid,), name="parent-watchdog", daemon=True
     ).start()
@@ -181,9 +192,11 @@ class _Shard:
         "shed",
         "restarts",
         "warm",
+        "breaker",
+        "diverted",
     )
 
-    def __init__(self, index: int, path: str):
+    def __init__(self, index: int, path: str, breaker: CircuitBreaker):
         self.index = index
         self.path = path
         self.process: Optional[multiprocessing.process.BaseProcess] = None
@@ -196,6 +209,10 @@ class _Shard:
         self.restarts = 0
         #: fingerprint → raw request line, most recent last (rewarm source).
         self.warm: "OrderedDict[str, bytes]" = OrderedDict()
+        #: Health ladder fed by transport outcomes (see repro.service.health).
+        self.breaker = breaker
+        #: Requests this shard owned but lost to rerouting while quarantined.
+        self.diverted = 0
 
 
 class FleetServer:
@@ -222,6 +239,21 @@ class FleetServer:
         each worker's own result cache.
     rewarm_requests:
         Recent distinct requests replayed to a restarted worker.
+    coalesce_path:
+        Path of the shared coalescer table (default: a file in the
+        fleet's private temp directory).  Point two boots at one path
+        and the boot-id namespace keeps their rows apart; stale rows
+        from dead boots are purged on start.
+    claim_ttl:
+        Seconds before a pending coalescer claim may be stolen by a
+        follower (owner-death reclamation is immediate regardless).
+    breaker_options:
+        :class:`~repro.service.health.CircuitBreaker` keyword arguments
+        applied to every shard (``degrade_after``, ``quarantine_after``,
+        ``cooldown_seconds``).
+    watchdog_seconds:
+        Per-worker computation cap (see
+        :class:`~repro.service.server.AuditServer`); ``None`` disables.
     start_method:
         ``multiprocessing`` start method (default: ``fork`` where
         available, else the platform default; override with the
@@ -243,6 +275,10 @@ class FleetServer:
         result_cache_size: int = DEFAULT_FLEET_RESULT_CACHE,
         max_payload: int = DEFAULT_MAX_PAYLOAD,
         rewarm_requests: int = DEFAULT_REWARM_REQUESTS,
+        coalesce_path: Optional[str] = None,
+        claim_ttl: float = DEFAULT_CLAIM_TTL,
+        breaker_options: Optional[Mapping[str, Any]] = None,
+        watchdog_seconds: Optional[float] = None,
         start_method: Optional[str] = None,
         worker_options: Optional[Mapping[str, Any]] = None,
     ):
@@ -260,6 +296,11 @@ class FleetServer:
         self._result_cache_size = max(0, result_cache_size)
         self._max_payload = max_payload
         self._rewarm_requests = max(0, rewarm_requests)
+        self._coalesce_path = coalesce_path
+        self._claim_ttl = claim_ttl
+        self._breaker_options = dict(breaker_options or {})
+        self._boot_id = ""
+        self._diverted = 0
         self._stream_limit = max(4 * max_payload, 1 << 20)
         method = start_method or os.environ.get("REPRO_FLEET_START_METHOD")
         if method is None and "fork" in multiprocessing.get_all_start_methods():
@@ -273,6 +314,8 @@ class FleetServer:
             "result_cache_size": self._result_cache_size,
             "max_payload": max_payload,
         }
+        if watchdog_seconds is not None:
+            self._worker_options["watchdog_seconds"] = watchdog_seconds
         if worker_options:
             self._worker_options.update(worker_options)
 
@@ -297,16 +340,24 @@ class FleetServer:
             raise ReproError("the fleet is already running")
         if not hasattr(asyncio.get_running_loop(), "create_unix_connection"):
             raise ReproError("the worker fleet needs unix domain sockets")  # pragma: no cover
+        faults.install_from_env()
         self._stopping = False
         self._stop_event = asyncio.Event()
+        self._boot_id = uuid.uuid4().hex[:16]
         self._directory = tempfile.mkdtemp(prefix="repro-fleet-")
         self._coalescer = FleetCoalescer(
-            os.path.join(self._directory, "coalesce.db"),
+            self._coalesce_path or os.path.join(self._directory, "coalesce.db"),
             owner=os.getpid(),
+            boot=self._boot_id,
             cache_size=self._result_cache_size,
+            claim_ttl=self._claim_ttl,
         )
         self._shards = [
-            _Shard(index, os.path.join(self._directory, f"worker-{index}.sock"))
+            _Shard(
+                index,
+                os.path.join(self._directory, f"worker-{index}.sock"),
+                CircuitBreaker(**self._breaker_options),
+            )
             for index in range(self._workers)
         ]
         try:
@@ -443,7 +494,7 @@ class FleetServer:
             os.unlink(shard.path)
         process = self._mp_context.Process(
             target=_fleet_worker_main,
-            args=(shard.path, dict(self._worker_options), os.getpid()),
+            args=(shard.path, dict(self._worker_options), os.getpid(), shard.index),
             name=f"repro-fleet-worker-{shard.index}",
         )
         shard.process = process
@@ -619,13 +670,31 @@ class FleetServer:
 
     # -- routing -----------------------------------------------------------------
     def _shard_for(self, fingerprint: str) -> _Shard:
-        """Rendezvous hashing: the highest-scoring shard owns the key."""
-        return max(
+        """Rendezvous hashing with health-aware fallback.
+
+        The highest-scoring shard owns the key; when its circuit
+        breaker is open (quarantined), the key falls to the next shard
+        in rendezvous order — a stable reassignment, so a quarantined
+        shard's fingerprints consistently land on one fallback instead
+        of scattering.  If every breaker is open the primary is used
+        anyway (shedding everything would turn a partial outage into a
+        total one).
+        """
+        ranked = sorted(
             self._shards,
             key=lambda shard: hashlib.blake2b(
                 f"{fingerprint}|{shard.index}".encode("ascii"), digest_size=8
             ).digest(),
+            reverse=True,
         )
+        primary = ranked[0]
+        for shard in ranked:
+            if shard.breaker.allows():
+                if shard is not primary:
+                    primary.diverted += 1
+                    self._diverted += 1
+                return shard
+        return primary
 
     # -- the client-facing protocol ----------------------------------------------
     async def _on_connection(
@@ -655,6 +724,16 @@ class FleetServer:
                 if not line:
                     break
                 response = await self._handle_line(line)
+                dropped = False
+                for rule in faults.fire("server.respond", op=response.get("op")):
+                    if rule.action == "drop":
+                        dropped = True
+                    elif rule.action == "delay":
+                        await asyncio.sleep(rule.delay)
+                if dropped:
+                    # Simulate a connection lost mid-response: close
+                    # without answering (the client sees EOF and retries).
+                    break
                 writer.write(encode_message(response))
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
@@ -714,24 +793,61 @@ class FleetServer:
             request.id, "shutdown", {"stopping": True, "workers": len(self._shards)}
         )
 
+    @staticmethod
+    async def _await_within(
+        awaitable: Awaitable[Any], deadline: Optional[float]
+    ) -> Any:
+        """Await (shielded) until ``deadline`` (perf_counter clock)."""
+        if deadline is None:
+            return await asyncio.shield(awaitable)
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0:
+            raise asyncio.TimeoutError
+        return await asyncio.wait_for(asyncio.shield(awaitable), timeout=remaining)
+
+    def _deadline_error(
+        self, request: AuditRequest, started: float, where: str
+    ) -> Dict[str, Any]:
+        elapsed = time.perf_counter() - started
+        self._metrics.observe(request.op, "deadline", elapsed)
+        return error_response(
+            request.id,
+            ERROR_DEADLINE_EXCEEDED,
+            f"deadline of {request.deadline_ms:g}ms exceeded {where}",
+        )
+
     async def _handle_analysis(
         self, request: AuditRequest, raw: bytes
     ) -> Dict[str, Any]:
         fingerprint = hashlib.sha256(request_key(request).encode("utf8")).hexdigest()
         started = time.perf_counter()
+        deadline = (
+            started + request.deadline_ms / 1000.0
+            if request.deadline_ms is not None
+            else None
+        )
         coalescer = self._coalescer
         assert coalescer is not None
 
         # 1. Subscribe to an identical in-flight computation (same router).
         waiter = self._subscribers.get(fingerprint)
         if waiter is not None:
-            core = await asyncio.shield(waiter)
+            try:
+                core = await self._await_within(waiter, deadline)
+            except asyncio.TimeoutError:
+                return self._deadline_error(
+                    request, started, "while awaiting a twin computation"
+                )
             elapsed = time.perf_counter() - started
             self._metrics.observe(request.op, "coalesced", elapsed)
             return self._respond(request, core, elapsed, fleet="coalesced")
 
         # 2. Claim the fingerprint on the shared fleet table.
         for _ in range(3):
+            if deadline is not None and time.perf_counter() >= deadline:
+                return self._deadline_error(
+                    request, started, "while negotiating the fleet coalescer"
+                )
             claimed = coalescer.claim(fingerprint)
             if claimed is None:
                 break  # we own the computation
@@ -742,14 +858,20 @@ class FleetServer:
                 return self._respond(request, core, elapsed, fleet="cached")
             # Pending, but owned by a process without a local future (e.g.
             # another router sharing the table, or an abandon race): wait
-            # for the row to resolve, then retry the claim.
-            core = await self._await_remote(coalescer, fingerprint)
+            # for the row to resolve, then retry the claim.  A dead or
+            # over-TTL owner is reclaimed by claim() itself on the retry.
+            core = await self._await_remote(coalescer, fingerprint, deadline=deadline)
             if core is not None:
                 elapsed = time.perf_counter() - started
                 self._metrics.observe(request.op, "coalesced", elapsed)
                 return self._respond(request, core, elapsed, fleet="coalesced")
         else:
             claimed = None  # claim churn: compute without a table entry
+
+        # 2b. The budget may have been consumed waiting for the claim.
+        if deadline is not None and time.perf_counter() >= deadline:
+            coalescer.abandon(fingerprint)
+            return self._deadline_error(request, started, "in the router queue")
 
         # 3. Route to the fingerprint's shard; shed when it is saturated.
         shard = self._shard_for(fingerprint)
@@ -768,20 +890,62 @@ class FleetServer:
                 f"limit {self._shard_queue_limit}); retry later",
             )
 
-        # 4. Own the computation; twins subscribe to this future.
+        # 4. Own the computation; twins subscribe to this future.  With a
+        # deadline, the forwarded copy carries only the *remaining*
+        # budget (the worker enforces it), and the router adds a small
+        # grace before abandoning the worker connection outright.
+        forward_raw = raw
+        warm_raw = raw
+        if deadline is not None:
+            document = request.to_document()
+            remaining_ms = max(1.0, (deadline - time.perf_counter()) * 1000.0)
+            document["deadline_ms"] = round(remaining_ms, 3)
+            forward_raw = encode_message(document)
+            document.pop("deadline_ms", None)
+            warm_raw = encode_message(document)  # rewarm replays undeadlined
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[Dict[str, Any]]" = loop.create_future()
         self._subscribers[fingerprint] = future
         try:
             try:
-                response = await self._forward(shard, raw)
+                for rule in faults.fire("router.forward", op=request.op):
+                    if rule.action == "delay":
+                        await asyncio.sleep(rule.delay)
+                    elif rule.action == "error":
+                        raise ReproError(
+                            rule.message or "injected fault at router.forward"
+                        )
+                if deadline is not None:
+                    grace = max(0.0, deadline - time.perf_counter()) + 0.5
+                    response = await asyncio.wait_for(
+                        self._forward(shard, forward_raw), timeout=grace
+                    )
+                else:
+                    response = await self._forward(shard, forward_raw)
+                shard.breaker.record_success()
                 core = {
                     key: response[key]
                     for key in ("ok", "op", "result", "error", "server")
                     if key in response
                 }
                 core["shard"] = shard.index
+            except asyncio.TimeoutError:
+                # The worker missed the deadline *and* the grace: the
+                # cancelled _forward discarded its connection, so the
+                # router-side slot is reclaimed even if the worker is
+                # wedged mid-computation.
+                shard.breaker.record_failure()
+                core = {
+                    "ok": False,
+                    "shard": shard.index,
+                    "error": {
+                        "code": ERROR_DEADLINE_EXCEEDED,
+                        "message": f"deadline of {request.deadline_ms:g}ms "
+                        f"exceeded awaiting worker {shard.index}",
+                    },
+                }
             except ReproError as error:
+                shard.breaker.record_failure()
                 core = {
                     "ok": False,
                     "shard": shard.index,
@@ -800,28 +964,44 @@ class FleetServer:
                 fingerprint, json.dumps(core, separators=(",", ":"), default=str)
             )
             if self._rewarm_requests:
-                shard.warm[fingerprint] = raw
+                shard.warm[fingerprint] = warm_raw
                 shard.warm.move_to_end(fingerprint)
                 while len(shard.warm) > self._rewarm_requests:
                     shard.warm.popitem(last=False)
         else:
             coalescer.abandon(fingerprint)
-            error_doc = core.get("error") or {}
-            if error_doc.get("code") == ERROR_WORKER_CRASHED:
+            code = (core.get("error") or {}).get("code")
+            if code == ERROR_WORKER_CRASHED:
                 self._metrics.observe(request.op, "error", elapsed)
+            elif code == ERROR_DEADLINE_EXCEEDED:
+                self._metrics.observe(request.op, "deadline", elapsed)
         return self._respond(request, core, elapsed)
 
     async def _await_remote(
-        self, coalescer: FleetCoalescer, fingerprint: str, timeout: float = 120.0
+        self,
+        coalescer: FleetCoalescer,
+        fingerprint: str,
+        timeout: float = 120.0,
+        *,
+        deadline: Optional[float] = None,
     ) -> Optional[Dict[str, Any]]:
-        """Poll a pending row owned by another process until it resolves."""
+        """Poll a pending row owned by another process until it resolves.
+
+        Returns ``None`` when the row went away (the caller retries its
+        claim) or the budget ran out (the caller's expiry check fires).
+        """
         loop = asyncio.get_running_loop()
-        deadline = loop.time() + timeout
-        while loop.time() < deadline:
+        stop = loop.time() + timeout
+        if deadline is not None:
+            stop = min(stop, loop.time() + max(0.0, deadline - time.perf_counter()))
+        while loop.time() < stop:
             await asyncio.sleep(0.01)
             waiter = self._subscribers.get(fingerprint)
             if waiter is not None:
-                return await asyncio.shield(waiter)
+                try:
+                    return await self._await_within(waiter, deadline)
+                except asyncio.TimeoutError:
+                    return None
             published = coalescer.lookup(fingerprint)
             if published is not None:
                 return json.loads(published)
@@ -896,6 +1076,9 @@ class FleetServer:
                 "forwarded": shard.forwarded,
                 "shed": shard.shed,
                 "connections": shard.created,
+                "health": shard.breaker.state,
+                "breaker": shard.breaker.stats(),
+                "diverted": shard.diverted,
             }
             if isinstance(payload, dict):
                 mergeable = payload.pop("mergeable", None)
@@ -908,6 +1091,9 @@ class FleetServer:
                         "workers",
                         "connections",
                         "result_cache_entries",
+                        "abandoned",
+                        "query_evaluation",
+                        "faults",
                     )
                     if key in payload
                 }
@@ -920,14 +1106,19 @@ class FleetServer:
         merged["fleet"] = {
             "workers": len(self._shards),
             "routing": "rendezvous/request-fingerprint",
+            "boot_id": self._boot_id,
             "shard_queue_limit": self._shard_queue_limit,
             "connections_per_worker": self._connections_per_worker,
             "active_requests": self._active,
             "rewarmed": self._rewarmed,
+            "diverted": self._diverted,
             "uptime_seconds": round(time.time() - self._started_at, 3),
             "coalescer": coalescer.stats() if coalescer is not None else None,
             "shards": shards_doc,
         }
+        fault_stats = faults.stats()
+        if fault_stats is not None:
+            merged["fleet"]["faults"] = fault_stats
         return ok_response(request.id, "stats", merged)
 
 

@@ -6,7 +6,9 @@ The server records one observation per handled request:
 * ``coalesced`` — the request awaited an identical in-flight computation;
 * ``cached`` — the request was answered from the server's result cache;
 * ``error`` — the request failed (malformed, analysis error, internal);
-* ``shed`` — the request was rejected because the worker queue was full.
+* ``shed`` — the request was rejected because the worker queue was full;
+* ``deadline`` — the request's ``deadline_ms`` budget expired before an
+  answer was ready (the computation was abandoned or never started).
 
 Latencies are kept per operation in a bounded ring (the most recent
 :data:`LATENCY_WINDOW` observations) from which the ``stats`` operation
@@ -46,7 +48,7 @@ __all__ = [
 LATENCY_WINDOW = 4096
 
 #: Observation outcomes (see module docstring).
-OUTCOMES = ("computed", "coalesced", "cached", "error", "shed")
+OUTCOMES = ("computed", "coalesced", "cached", "error", "shed", "deadline")
 
 
 def percentile(samples: List[float], q: float) -> float:

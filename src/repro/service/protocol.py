@@ -34,7 +34,24 @@ Error codes
 ``analysis-error``      the analysis itself failed (bad query, no dictionary, ...);
 ``overloaded``          the worker queue is full; retry later;
 ``worker-crashed``      a fleet worker died mid-request; safe to retry;
+``deadline-exceeded``   the request's ``deadline_ms`` budget ran out;
 ``internal``            unexpected server-side failure.
+
+Error envelopes carry a ``retryable`` flag so clients need not hard-code
+the code list: ``overloaded`` and ``worker-crashed`` are safe to retry
+(the request never ran, or is idempotent and deduplicated fleet-wide by
+its fingerprint); ``deadline-exceeded`` is *not* marked retryable — the
+caller's time budget is spent and only the caller can grant more.
+
+Deadlines
+---------
+Analysis requests may carry ``deadline_ms``, a wall-clock budget in
+milliseconds covering queue wait **and** computation.  The fleet router
+deducts its own queue time before forwarding (workers see the remaining
+budget), and a worker that overruns abandons the computation, reclaims
+the slot, and answers ``deadline-exceeded``.  The deadline is excluded
+from the coalescing fingerprint: two requests that differ only in
+budget still share one computation.
 """
 
 from __future__ import annotations
@@ -65,7 +82,9 @@ __all__ = [
     "ERROR_ANALYSIS",
     "ERROR_OVERLOADED",
     "ERROR_WORKER_CRASHED",
+    "ERROR_DEADLINE_EXCEEDED",
     "ERROR_INTERNAL",
+    "RETRYABLE_ERROR_CODES",
     "ProtocolError",
     "AuditRequest",
     "parse_request",
@@ -101,7 +120,14 @@ ERROR_UNKNOWN_OPERATION = "unknown-operation"
 ERROR_ANALYSIS = "analysis-error"
 ERROR_OVERLOADED = "overloaded"
 ERROR_WORKER_CRASHED = "worker-crashed"
+ERROR_DEADLINE_EXCEEDED = "deadline-exceeded"
 ERROR_INTERNAL = "internal"
+
+#: Codes a client may retry without changing the request: the work
+#: either never started (``overloaded``) or is idempotent and
+#: deduplicated fleet-wide by the request fingerprint
+#: (``worker-crashed``).
+RETRYABLE_ERROR_CODES = frozenset({ERROR_OVERLOADED, ERROR_WORKER_CRASHED})
 
 
 class ProtocolError(ReproError):
@@ -140,11 +166,36 @@ class AuditRequest:
     criticality_engine: Optional[str] = None
     eval_engine: Optional[str] = None
     options: Mapping[str, Any] = field(default_factory=dict)
+    #: Wall-clock budget (queue wait + computation) in milliseconds.
+    deadline_ms: Optional[float] = None
 
     @property
     def is_control(self) -> bool:
         """True for ``ping`` / ``stats`` / ``shutdown``."""
         return self.op in CONTROL_OPERATIONS
+
+    def to_document(self) -> Dict[str, Any]:
+        """The request as a wire document (round-trips through
+        :func:`parse_request` with an identical :func:`request_key`).
+
+        The fleet router uses this to rewrite ``deadline_ms`` to the
+        *remaining* budget before forwarding to a worker.
+        """
+        document: Dict[str, Any] = {"op": self.op, "id": self.id}
+        for key in ("schema", "secret", "views", "secrets", "dictionary", "knowledge"):
+            value = getattr(self, key)
+            if value is not None:
+                document[key] = value
+        document["engine"] = self.engine
+        if self.criticality_engine is not None:
+            document["criticality_engine"] = self.criticality_engine
+        if self.eval_engine is not None:
+            document["eval_engine"] = self.eval_engine
+        if self.options:
+            document["options"] = dict(self.options)
+        if self.deadline_ms is not None:
+            document["deadline_ms"] = self.deadline_ms
+        return document
 
 
 def _require(document: Mapping[str, Any], key: str, op: str) -> Any:
@@ -205,6 +256,17 @@ def parse_request(document: Any) -> AuditRequest:
         raise ProtocolError(
             ERROR_INVALID_REQUEST, "'options' must be an object with string keys"
         )
+    deadline_ms = document.get("deadline_ms")
+    if deadline_ms is not None:
+        if (
+            isinstance(deadline_ms, bool)
+            or not isinstance(deadline_ms, (int, float))
+            or deadline_ms <= 0
+        ):
+            raise ProtocolError(
+                ERROR_INVALID_REQUEST, "'deadline_ms' must be a positive number"
+            )
+        deadline_ms = float(deadline_ms)
     if op in CONTROL_OPERATIONS:
         # Control operations accept options too (e.g. the fleet router asks
         # each worker for ``stats`` with ``{"mergeable": true}``).
@@ -261,6 +323,7 @@ def parse_request(document: Any) -> AuditRequest:
         criticality_engine=criticality_engine,
         eval_engine=eval_engine,
         options=dict(options),
+        deadline_ms=deadline_ms,
     )
 
 
@@ -423,6 +486,22 @@ def ok_response(
     return {"id": request_id, "ok": True, "op": op, "result": result, "server": server}
 
 
-def error_response(request_id: RequestId, code: str, message: str) -> Dict[str, Any]:
-    """A structured-error envelope (the connection stays open)."""
-    return {"id": request_id, "ok": False, "error": {"code": code, "message": message}}
+def error_response(
+    request_id: RequestId,
+    code: str,
+    message: str,
+    *,
+    retryable: Optional[bool] = None,
+) -> Dict[str, Any]:
+    """A structured-error envelope (the connection stays open).
+
+    ``retryable`` defaults to the code's membership in
+    :data:`RETRYABLE_ERROR_CODES`; pass it explicitly to override.
+    """
+    if retryable is None:
+        retryable = code in RETRYABLE_ERROR_CODES
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message, "retryable": bool(retryable)},
+    }

@@ -37,6 +37,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import errno
+import functools
 import hashlib
 import os
 import threading
@@ -44,10 +45,11 @@ import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from fractions import Fraction
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Awaitable, Dict, Mapping, Optional, Tuple
 
 from ..audit.auditor import SecurityAuditor
 from ..exceptions import ReproError
+from . import faults
 from ..io import dictionary_from_dict, schema_from_dict
 from ..session import AnalysisSession, PublishingPlan
 from ..session.results import (
@@ -63,6 +65,7 @@ from .metrics import ServiceMetrics
 from .protocol import (
     DEFAULT_MAX_PAYLOAD,
     ERROR_ANALYSIS,
+    ERROR_DEADLINE_EXCEEDED,
     ERROR_INTERNAL,
     ERROR_OVERLOADED,
     ERROR_PAYLOAD_TOO_LARGE,
@@ -180,6 +183,14 @@ class AuditServer:
         ``CriticalTupleCache`` size of each shared session.
     max_payload:
         Upper bound (bytes) on one request line.
+    watchdog_seconds:
+        Server-side cap on any one computation, applied even to
+        requests that carry no ``deadline_ms`` (``None`` disables).
+        Overrunning computations are *abandoned*: the worker slot is
+        reclaimed immediately, the caller (and any coalesced twins)
+        get a ``deadline-exceeded`` error, and if the stray thread
+        eventually finishes its result still lands in the result cache
+        so the work is not wasted.
     """
 
     def __init__(
@@ -194,9 +205,12 @@ class AuditServer:
         result_cache_size: int = DEFAULT_RESULT_CACHE,
         session_cache_size: int = 512,
         max_payload: int = DEFAULT_MAX_PAYLOAD,
+        watchdog_seconds: Optional[float] = None,
     ):
         if queue_limit < 1:
             raise ReproError("queue_limit must be at least 1")
+        if watchdog_seconds is not None and watchdog_seconds <= 0:
+            raise ReproError("watchdog_seconds must be positive (or None)")
         self._host = host
         self._port = port
         self._path = path
@@ -206,6 +220,9 @@ class AuditServer:
         self._result_cache_size = max(0, result_cache_size)
         self._session_cache_size = session_cache_size
         self._max_payload = max_payload
+        self._watchdog_seconds = watchdog_seconds
+        self._abandoned_total = 0
+        self._abandoned_running = 0
         self._metrics = ServiceMetrics()
         self._sessions: "OrderedDict[str, AnalysisSession]" = OrderedDict()
         self._inflight: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
@@ -222,6 +239,7 @@ class AuditServer:
         """Bind and start accepting connections; returns the bound address."""
         if self._server is not None:
             raise ReproError("the server is already running")
+        faults.install_from_env()
         self._stop_event = asyncio.Event()
         self._executor = ThreadPoolExecutor(
             max_workers=self._workers, thread_name_prefix="repro-audit"
@@ -326,6 +344,16 @@ class AuditServer:
                 if not line:
                     break
                 response = await self._handle_line(line)
+                dropped = False
+                for rule in faults.fire("server.respond", op=response.get("op")):
+                    if rule.action == "drop":
+                        dropped = True
+                    elif rule.action == "delay":
+                        await asyncio.sleep(rule.delay)
+                if dropped:
+                    # Simulate a connection lost mid-response: close
+                    # without answering (the client sees EOF and retries).
+                    break
                 writer.write(encode_message(response))
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):  # pragma: no cover - client vanished
@@ -401,27 +429,98 @@ class AuditServer:
             sessions.append(entry)
         from ..cq.compiled import evaluation_stats
 
-        return {
+        payload = {
             **self._metrics.snapshot(),
             "pending": self._pending,
             "queue_limit": self._queue_limit,
             "workers": self._workers,
             "connections": self._connections,
             "result_cache_entries": len(self._results),
+            "abandoned": {
+                "total": self._abandoned_total,
+                "running": self._abandoned_running,
+            },
             "query_evaluation": evaluation_stats(),
             "sessions": sessions,
         }
+        fault_stats = faults.stats()
+        if fault_stats is not None:
+            payload["faults"] = fault_stats
+        return payload
 
     # -- analysis dispatch --------------------------------------------------------
+    def _deadline_of(self, request: AuditRequest, started: float) -> Optional[float]:
+        """Absolute expiry (perf_counter clock) of one request, if any."""
+        deadline = None
+        if request.deadline_ms is not None:
+            deadline = started + request.deadline_ms / 1000.0
+        if self._watchdog_seconds is not None:
+            cap = started + self._watchdog_seconds
+            deadline = cap if deadline is None else min(deadline, cap)
+        return deadline
+
+    def _budget_text(self, request: AuditRequest) -> str:
+        if request.deadline_ms is not None:
+            return f"deadline of {request.deadline_ms:g}ms"
+        return f"watchdog of {self._watchdog_seconds:g}s"
+
+    def _deadline_expired(
+        self, request: AuditRequest, started: float, where: str
+    ) -> Dict[str, Any]:
+        elapsed = time.perf_counter() - started
+        self._metrics.observe(request.op, "deadline", elapsed)
+        return error_response(
+            request.id,
+            ERROR_DEADLINE_EXCEEDED,
+            f"{self._budget_text(request)} exceeded {where}",
+        )
+
+    @staticmethod
+    async def _await_within(
+        awaitable: Awaitable[Any], deadline: Optional[float]
+    ) -> Any:
+        """Await (shielded) until ``deadline``; raises ``TimeoutError``.
+
+        Shielding matters twice over: an impatient client must not
+        cancel a computation twins are awaiting, and a deadline expiry
+        must abandon — not cancel — the executor future so the eventual
+        result can still be harvested into the cache.
+        """
+        if deadline is None:
+            return await asyncio.shield(awaitable)
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0:
+            raise asyncio.TimeoutError
+        return await asyncio.wait_for(asyncio.shield(awaitable), timeout=remaining)
+
+    def _reap_abandoned(self, key: str, task: "asyncio.Future") -> None:
+        """An abandoned computation finished: harvest it (loop thread)."""
+        self._abandoned_running -= 1
+        try:
+            payload = task.result()
+        except BaseException:  # noqa: BLE001 - late failures are uninteresting
+            return
+        if self._result_cache_size:
+            self._results[key] = {"ok": True, "result": payload}
+            self._results.move_to_end(key)
+            while len(self._results) > self._result_cache_size:
+                self._results.popitem(last=False)
+
     async def _handle_analysis(self, request: AuditRequest) -> Dict[str, Any]:
         key = request_key(request)
         started = time.perf_counter()
+        deadline = self._deadline_of(request, started)
 
         inflight = self._inflight.get(key)
         if inflight is not None:
             # Coalesce: await the twin computation (shielded so one
             # impatient client cannot cancel it from under the others).
-            response_core = await asyncio.shield(inflight)
+            try:
+                response_core = await self._await_within(inflight, deadline)
+            except asyncio.TimeoutError:
+                return self._deadline_expired(
+                    request, started, "while awaiting a twin computation"
+                )
             elapsed = time.perf_counter() - started
             self._metrics.observe(request.op, "coalesced", elapsed)
             return self._finish(request, response_core, elapsed, coalesced=True)
@@ -432,6 +531,11 @@ class AuditServer:
             elapsed = time.perf_counter() - started
             self._metrics.observe(request.op, "cached", elapsed)
             return self._finish(request, cached, elapsed, cached=True)
+
+        if deadline is not None and time.perf_counter() >= deadline:
+            # The budget was spent upstream (router queue, network):
+            # answer structurally instead of starting doomed work.
+            return self._deadline_expired(request, started, "before computation started")
 
         if self._pending >= self._queue_limit:
             self._metrics.observe(request.op, "shed")
@@ -446,13 +550,26 @@ class AuditServer:
         future: "asyncio.Future[Dict[str, Any]]" = loop.create_future()
         self._inflight[key] = future
         self._pending += 1
+        work: Optional["asyncio.Future"] = None
+        abandoned = False
         try:
             try:
                 session = self._session_for(request)
-                payload = await loop.run_in_executor(
+                work = loop.run_in_executor(
                     self._executor, self._execute, session, request
                 )
+                payload = await self._await_within(work, deadline)
                 response_core = {"ok": True, "result": payload}
+            except asyncio.TimeoutError:
+                # Watchdog: reclaim the slot now, let the stray thread
+                # run to completion in the background (harvested below).
+                abandoned = True
+                response_core = {
+                    "ok": False,
+                    "code": ERROR_DEADLINE_EXCEEDED,
+                    "message": f"{self._budget_text(request)} exceeded "
+                    "mid-computation; the computation was abandoned",
+                }
             except ProtocolError as error:
                 response_core = {"ok": False, "code": error.code, "message": str(error)}
             except ReproError as error:
@@ -468,6 +585,10 @@ class AuditServer:
             self._inflight.pop(key, None)
             if not future.done():
                 future.set_result(response_core)
+        if abandoned and work is not None:
+            self._abandoned_total += 1
+            self._abandoned_running += 1
+            work.add_done_callback(functools.partial(self._reap_abandoned, key))
         elapsed = time.perf_counter() - started
         if response_core["ok"] and self._result_cache_size:
             self._results[key] = response_core
@@ -475,7 +596,9 @@ class AuditServer:
             while len(self._results) > self._result_cache_size:
                 self._results.popitem(last=False)
         self._metrics.observe(
-            request.op, "computed" if response_core["ok"] else "error", elapsed
+            request.op,
+            "deadline" if abandoned else "computed" if response_core["ok"] else "error",
+            elapsed,
         )
         return self._finish(request, response_core, elapsed)
 
@@ -527,6 +650,8 @@ class AuditServer:
     # -- the worker-side execution ------------------------------------------------
     def _execute(self, session: AnalysisSession, request: AuditRequest) -> Dict[str, Any]:
         """Run one analysis (worker thread; session state is thread-safe)."""
+        for rule in faults.fire("server.execute", op=request.op):
+            faults.perform(rule)
         op = request.op
         options = dict(request.options)
         if op == "decide":

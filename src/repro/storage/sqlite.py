@@ -48,6 +48,7 @@ import threading
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
+from .. import faults
 from ..exceptions import ReproError
 from ..relational.instance import Instance
 from ..relational.tuples import Fact
@@ -349,6 +350,8 @@ class SQLiteFactStore(FactStore):
         self, sql: str, params: Sequence[object] = ()
     ) -> List[Tuple[object, ...]]:
         """Run one statement and fetch every row (thread-safe)."""
+        for rule in faults.fire("storage.execute"):
+            faults.perform(rule)
         with self._lock:
             if self._closed:
                 raise ReproError(f"the fact store {self._path!r} is closed")

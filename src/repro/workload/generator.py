@@ -322,6 +322,8 @@ def replay_workload(
     port: int,
     concurrency: int = 8,
     timeout: float = 120.0,
+    *,
+    retry_policy: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Drive a live daemon with a workload over concurrent connections.
 
@@ -330,16 +332,22 @@ def replay_workload(
     server's coalescing path.  Returns a summary document::
 
         {"requests": N, "ok": N, "errors": N, "overloaded": N,
-         "seconds": s, "requests_per_second": r,
+         "deadline_exceeded": N, "seconds": s, "requests_per_second": r,
          "latency_ms": {"p50": ..., "p95": ..., "max": ...},
          "coalesced": N, "cached": N,
          "fleet_coalesced": N, "fleet_cached": N}
 
-    ``overloaded`` (structured load-shedding answers) counts separately
-    from hard ``errors``: shedding is the server behaving as designed.
-    Against a multi-worker fleet, ``fleet_coalesced``/``fleet_cached``
-    count the answers the router satisfied without reaching any worker
-    (they are subsets of ``coalesced``/``cached``).
+    ``overloaded`` (structured load-shedding answers) and
+    ``deadline_exceeded`` (expired ``deadline_ms`` budgets) count
+    separately from hard ``errors``: both are the server behaving as
+    designed.  Against a multi-worker fleet,
+    ``fleet_coalesced``/``fleet_cached`` count the answers the router
+    satisfied without reaching any worker (they are subsets of
+    ``coalesced``/``cached``).
+
+    ``retry_policy`` (a :class:`repro.service.client.RetryPolicy`) is
+    handed to every replay connection, so chaos runs can ride over
+    injected worker crashes and shed requests.
     """
     from ..service.client import AuditServiceClient
     from ..service.metrics import percentile
@@ -354,6 +362,7 @@ def replay_workload(
         "ok": 0,
         "errors": 0,
         "overloaded": 0,
+        "deadline_exceeded": 0,
         "coalesced": 0,
         "cached": 0,
         "fleet_coalesced": 0,
@@ -362,8 +371,13 @@ def replay_workload(
     latencies: List[float] = []
     failures: List[str] = []
 
+    def _connect() -> "AuditServiceClient":
+        return AuditServiceClient(
+            host, port, timeout=timeout, retry_policy=retry_policy
+        )
+
     def _drain() -> None:
-        client = AuditServiceClient(host, port, timeout=timeout)
+        client = _connect()
         try:
             while True:
                 try:
@@ -385,7 +399,7 @@ def replay_workload(
                                 f"transport: {error}"
                             )
                     client.close()
-                    client = AuditServiceClient(host, port, timeout=timeout)
+                    client = _connect()
                     continue
                 elapsed_ms = (time.perf_counter() - started) * 1000.0
                 with lock:
@@ -405,6 +419,8 @@ def replay_workload(
                         error = response.get("error") or {}
                         if error.get("code") == "overloaded":
                             outcomes["overloaded"] += 1
+                        elif error.get("code") == "deadline-exceeded":
+                            outcomes["deadline_exceeded"] += 1
                         else:
                             outcomes["errors"] += 1
                             if len(failures) < 5:
