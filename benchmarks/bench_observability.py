@@ -1,0 +1,179 @@
+"""Observability overhead: tracing off must be (almost) free.
+
+The tracing subsystem promises near-zero cost when no trace is active:
+every instrumentation point is one module-global boolean check
+returning a shared null object.  This benchmark holds the serving tier
+to that promise with an A/B ablation on the seeded Table 1 workload:
+
+* **Baseline** — the pre-tracing request path, reconstructed at runtime
+  by bypassing the server's trace wrapper and traced-submit branch
+  (``_handle_analysis_core`` / the bare ``run_in_executor`` call), i.e.
+  exactly the code that ran before the observability layer landed.
+* **Tracing off** — the stock server with tracing disabled (the
+  default): the wrapper checks ``request.trace`` once and falls
+  through.
+
+Each configuration gets its own fresh server (no cache warm-over
+between runs) and is replayed ``ROUNDS`` times interleaved; the best
+round of each side is compared.  The gate: tracing-off throughput must
+stay within ``MAX_OVERHEAD`` (5%) of baseline.  A traced replay (every
+request carrying ``trace``) is also measured and recorded — ungated —
+so the cost of *enabled* tracing stays visible across PRs.
+
+The run writes ``BENCH_observability.json`` with the gate embedded as
+``required_throughput_ratio`` (consumed by ``check_trajectory.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import types
+from pathlib import Path
+
+from repro.obs import span
+from repro.service import ServerThread
+from repro.workload import WorkloadSpec, generate_workload, replay_workload
+
+#: Tracing off may cost at most this fraction of baseline throughput.
+MAX_OVERHEAD = 0.05
+
+#: The acceptance gate on tracing-off / baseline throughput.
+MIN_THROUGHPUT_RATIO = 1.0 - MAX_OVERHEAD
+
+#: Replay rounds per configuration (best round is compared).
+ROUNDS = 2
+
+#: Mixed-workload size and replay fan-out (mirrors BENCH_service.json).
+WORKLOAD_REQUESTS = 200
+CONCURRENCY = 12
+
+#: Where the machine-readable results land (repo root under CI).
+JSON_PATH = Path("BENCH_observability.json")
+
+
+def _bare_submit(self, loop, session, request):
+    """The pre-tracing submit path: no branch, no context copy."""
+    return loop.run_in_executor(self._executor, self._execute, session, request)
+
+
+def _strip_instrumentation(server_thread: ServerThread) -> None:
+    """Rebuild the pre-tracing request path on a live server.
+
+    Binding ``_handle_analysis`` straight to the core handler and
+    ``_submit`` to the bare executor call removes the trace wrapper and
+    the traced-submit branch entirely — the remaining code is the
+    request path as it existed before the observability layer.
+    """
+    server = server_thread.server
+    server._handle_analysis = server._handle_analysis_core
+    server._submit = types.MethodType(_bare_submit, server)
+
+
+def _replay(requests, *, strip: bool, traced: bool = False) -> dict:
+    """One fresh server, one replay; returns the summary document."""
+    if traced:
+        requests = [dict(request, trace={"return": True}) for request in requests]
+    with ServerThread(workers=4) as server:
+        if strip:
+            _strip_instrumentation(server)
+        return replay_workload(requests, *server.address, concurrency=CONCURRENCY)
+
+
+def _disarmed_span_cost_ns(iterations: int = 200_000) -> float:
+    """Nanoseconds per ``span()`` call with tracing off (the guard cost)."""
+    started = time.perf_counter()
+    for _ in range(iterations):
+        with span("bench.noop"):
+            pass
+    return (time.perf_counter() - started) / iterations * 1e9
+
+
+def test_tracing_off_overhead(experiment_report):
+    report = experiment_report(
+        "Observability — tracing-off overhead on the Table 1 workload",
+        ("configuration", "best rps", "p50 (ms)", "ok", "ratio", "required"),
+    )
+    spec = WorkloadSpec(
+        seed=42, requests=WORKLOAD_REQUESTS, duplicate_fraction=0.3, random_fraction=0.0
+    )
+    requests = generate_workload(spec)
+
+    baseline_runs, off_runs = [], []
+    for _ in range(ROUNDS):
+        baseline_runs.append(_replay(requests, strip=True))
+        off_runs.append(_replay(requests, strip=False))
+    for summary in (*baseline_runs, *off_runs):
+        assert summary["errors"] == 0, summary.get("failures")
+        assert summary["ok"] == WORKLOAD_REQUESTS
+
+    baseline = max(baseline_runs, key=lambda s: s["requests_per_second"])
+    off = max(off_runs, key=lambda s: s["requests_per_second"])
+    ratio = off["requests_per_second"] / baseline["requests_per_second"]
+
+    traced = _replay(requests, strip=False, traced=True)
+    assert traced["errors"] == 0, traced.get("failures")
+    traced_ratio = traced["requests_per_second"] / baseline["requests_per_second"]
+    guard_ns = _disarmed_span_cost_ns()
+
+    report.add_row(
+        "baseline (pre-tracing path)",
+        f"{baseline['requests_per_second']:.0f}",
+        f"{baseline['latency_ms']['p50']:.2f}",
+        baseline["ok"],
+        "1.00",
+        "",
+    )
+    report.add_row(
+        "tracing off (stock)",
+        f"{off['requests_per_second']:.0f}",
+        f"{off['latency_ms']['p50']:.2f}",
+        off["ok"],
+        f"{ratio:.3f}",
+        f"≥ {MIN_THROUGHPUT_RATIO:.2f}",
+    )
+    report.add_row(
+        "traced (every request)",
+        f"{traced['requests_per_second']:.0f}",
+        f"{traced['latency_ms']['p50']:.2f}",
+        traced["ok"],
+        f"{traced_ratio:.3f}",
+        "(informational)",
+    )
+
+    JSON_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "observability_overhead",
+                "workload": {
+                    "seed": spec.seed,
+                    "requests": spec.requests,
+                    "duplicate_fraction": spec.duplicate_fraction,
+                    "source": "table1-3-variable",
+                },
+                "concurrency": CONCURRENCY,
+                "rounds": ROUNDS,
+                "baseline_requests_per_second": baseline["requests_per_second"],
+                "tracing_off_requests_per_second": off["requests_per_second"],
+                "throughput_ratio": round(ratio, 4),
+                "required_throughput_ratio": MIN_THROUGHPUT_RATIO,
+                "traced_requests_per_second": traced["requests_per_second"],
+                # Named so it escapes the ``required_throughput_ratio``
+                # suffix gate: enabled tracing is recorded, not gated.
+                "traced_vs_baseline": round(traced_ratio, 4),
+                "latency_ms": {
+                    "baseline_p50": baseline["latency_ms"]["p50"],
+                    "tracing_off_p50": off["latency_ms"]["p50"],
+                    "traced_p50": traced["latency_ms"]["p50"],
+                },
+                "disarmed_span_guard_ns": round(guard_ns, 1),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert ratio >= MIN_THROUGHPUT_RATIO, (
+        f"tracing-off throughput is {(1 - ratio) * 100:.1f}% below the "
+        f"pre-tracing baseline (allowed ≤ {MAX_OVERHEAD * 100:.0f}%)"
+    )

@@ -23,6 +23,7 @@ Typical use::
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.collusion import CollusionReport, largest_safe_view_set
@@ -33,6 +34,7 @@ from ..core.security import SecurityDecision
 from ..cq.query import ConjunctiveQuery
 from ..cq.union import UnionQuery
 from ..exceptions import SecurityAnalysisError
+from ..obs import span, tracing_enabled
 from ..probability.dictionary import Dictionary
 from ..relational.domain import Domain
 from ..relational.schema import Schema
@@ -157,6 +159,7 @@ class SecurityAuditor:
                 "evaluation": query_evaluation["engine"],
             },
             "query_evaluation": query_evaluation,
+            "tracing": {"enabled": tracing_enabled()},
         }
         kernels = self.kernel_stats_for(self._dictionary)
         if kernels is not None:
@@ -242,16 +245,23 @@ class SecurityAuditor:
         if not view_list:
             raise SecurityAnalysisError("at least one view is required")
 
+        timings: Dict[str, float] = {}
         with self._session.eval_scope():
-            assessment = classify_disclosure(
-                secret_query,
-                view_list,
-                self._schema,
-                dictionary=self._dictionary,
-                domain=self._domain,
-                critical_fn=self._session.critical_fn,
-            )
-            practical = practical_security_check(secret_query, view_list)
+            started = time.perf_counter()
+            with span("audit.classify"):
+                assessment = classify_disclosure(
+                    secret_query,
+                    view_list,
+                    self._schema,
+                    dictionary=self._dictionary,
+                    domain=self._domain,
+                    critical_fn=self._session.critical_fn,
+                )
+            timings["classify"] = time.perf_counter() - started
+            started = time.perf_counter()
+            with span("audit.practical"):
+                practical = practical_security_check(secret_query, view_list)
+            timings["practical"] = time.perf_counter() - started
         finding = AuditFinding(
             secret_name=secret_query.name,
             view_names=tuple(v.name for v in view_list),
@@ -261,16 +271,24 @@ class SecurityAuditor:
         )
         collusion: Optional[CollusionReport] = None
         if include_collusion and len(view_list) > 1:
-            collusion = self._session.collusion(
-                secret_query, named_views, domain=self._domain
-            ).report
+            started = time.perf_counter()
+            with span("audit.collusion"):
+                collusion = self._session.collusion(
+                    secret_query, named_views, domain=self._domain
+                ).report
+            timings["collusion"] = time.perf_counter() - started
         notes: List[str] = []
         if practical.possibly_insecure and assessment.secure:
             notes.append(
                 "the practical algorithm flagged this pair although it is secure — "
                 "one of the rare false positives the paper mentions"
             )
-        return AuditReport(findings=(finding,), collusion=collusion, notes=tuple(notes))
+        return AuditReport(
+            findings=(finding,),
+            collusion=collusion,
+            notes=tuple(notes),
+            timings=timings,
+        )
 
     def audit_many(
         self,

@@ -10,7 +10,7 @@ would attach to a data-exchange review.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from ..core.collusion import CollusionReport
 from ..core.leakage import LeakageResult
@@ -64,6 +64,9 @@ class AuditReport:
     findings: Tuple[AuditFinding, ...]
     collusion: Optional[CollusionReport] = None
     notes: Tuple[str, ...] = field(default_factory=tuple)
+    #: Wall-clock seconds per audit phase (``classify``, ``practical``,
+    #: ``collusion``), when the producer measured them.
+    timings: Optional[Mapping[str, float]] = None
 
     @property
     def all_secure(self) -> bool:
@@ -112,6 +115,11 @@ class AuditReport:
                 "secure_overall": self.collusion.secure_overall,
                 "recipients": list(self.collusion.recipients),
                 "insecure_recipients": list(self.collusion.insecure_recipients),
+            }
+        if self.timings is not None:
+            document["timings_ms"] = {
+                phase: round(seconds * 1000.0, 3)
+                for phase, seconds in self.timings.items()
             }
         return document
 

@@ -22,7 +22,11 @@ the same document extended with ``secrets`` and ``views`` mappings and
 runs the batch :meth:`~repro.session.AnalysisSession.audit_plan`.
 ``serve`` runs the asyncio audit daemon of :mod:`repro.service` and
 ``request`` sends it one operation (either assembled from the usual
-flags or read verbatim from ``--payload file.json``).
+flags or read verbatim from ``--payload file.json``); ``request
+--trace`` asks the daemon to return its span tree inline.  ``trace``
+sends the same request and renders the distributed span waterfall
+instead of raw JSON, and ``top`` polls a daemon's merged ``stats`` and
+``traces`` operations into a live per-shard/per-op view.
 Every command exits with status 0 when the secret is safe under the
 requested analysis and status 1 when a disclosure was found, so the
 tool can gate a CI pipeline or a publishing workflow; transport and
@@ -287,6 +291,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="total attempts for retryable failures (overloaded, worker "
         "crash, dropped connection); default 1 = no retry",
     )
+    request.add_argument(
+        "--trace",
+        action="store_true",
+        help="ask the daemon for its server-side span tree, returned "
+        "inline under result 'server.trace'",
+    )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="send one traced operation and print its span waterfall",
+    )
+    for flag_parser in (trace,):
+        flag_parser.add_argument("--host", default="127.0.0.1", help="daemon address")
+        flag_parser.add_argument("--port", type=int, default=8765, help="daemon port")
+        flag_parser.add_argument(
+            "--payload",
+            default=None,
+            help="path to a JSON request document sent verbatim (overrides the flags below)",
+        )
+        flag_parser.add_argument(
+            "--op", default=None, help="operation: decide, quick, audit, ..."
+        )
+        flag_parser.add_argument("--schema", default=None, help="path to the schema JSON file")
+        flag_parser.add_argument("--secret", default=None, help="the confidential query (datalog)")
+        flag_parser.add_argument(
+            "--view",
+            action="append",
+            default=None,
+            help="a view, optionally prefixed recipient=QUERY; repeat for several",
+        )
+        flag_parser.add_argument(
+            "--probability", default=None, help="uniform tuple probability (e.g. 1/4)"
+        )
+        flag_parser.add_argument("--engine", default=None, help="verification engine name")
+        flag_parser.add_argument(
+            "--criticality-engine", default=None, help="criticality engine name"
+        )
+        flag_parser.add_argument(
+            "--eval-engine", default=None, help="query-evaluation engine name"
+        )
+        flag_parser.add_argument("--deadline-ms", type=float, default=None, help=argparse.SUPPRESS)
+        flag_parser.add_argument("--retries", type=int, default=None, help=argparse.SUPPRESS)
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw trace document instead of the rendered waterfall",
+    )
+
+    top = subparsers.add_parser(
+        "top",
+        help="live per-shard/per-op view of a running daemon (stats + traces)",
+    )
+    top.add_argument("--host", default="127.0.0.1", help="daemon address")
+    top.add_argument("--port", type=int, default=8765, help="daemon port")
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between polls (default 2)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="number of polls before exiting (default 0 = until interrupted)",
+    )
 
     return parser
 
@@ -385,17 +455,13 @@ _REQUEST_ERROR_EXITS = {
 }
 
 
-def _run_request(args, parser: argparse.ArgumentParser) -> int:
-    """The ``request`` command: one operation against a running daemon.
+def _request_parts(args, parser: argparse.ArgumentParser):
+    """Assemble one service request from CLI flags (or ``--payload``).
 
-    Exit codes mirror the local commands — 0 = ok (and not a
-    disclosure), 1 = the analysis found a disclosure, 2 = transport/
-    protocol/other errors — plus one distinct code per retryable-class
-    service error: 3 = overloaded, 4 = worker-crashed, 5 =
-    deadline-exceeded (each with a one-line ``error: [code] message``
-    on stderr).
+    Returns ``(op, document, retry_policy)``; shared by ``request`` and
+    ``trace``.
     """
-    from .service.client import AuditServiceClient, RetryPolicy
+    from .service.client import RetryPolicy
 
     if args.payload is not None:
         with open(args.payload, "r", encoding="utf8") as handle:
@@ -404,7 +470,7 @@ def _run_request(args, parser: argparse.ArgumentParser) -> int:
             parser.error("--payload must hold a JSON object with an 'op' field")
     else:
         if args.op is None:
-            parser.error("request needs --op (or --payload)")
+            parser.error(f"{args.command} needs --op (or --payload)")
         document = {"op": args.op}
         if args.schema is not None:
             with open(args.schema, "r", encoding="utf8") as handle:
@@ -432,12 +498,89 @@ def _run_request(args, parser: argparse.ArgumentParser) -> int:
             parser.error("--retries must be at least 1 (1 = no retry)")
         if args.retries > 1:
             retry_policy = RetryPolicy(max_attempts=args.retries)
+    return document.pop("op"), document, retry_policy
 
-    op = document.pop("op")
+
+def _send_request(args, op: str, document: dict, retry_policy) -> dict:
+    from .service.client import AuditServiceClient
+
     with AuditServiceClient(args.host, args.port, retry_policy=retry_policy) as client:
-        response = client.request(op, **{
+        return client.request(op, **{
             key: value for key, value in document.items() if key != "id"
         })
+
+
+def _run_trace(args, parser: argparse.ArgumentParser) -> int:
+    """The ``trace`` command: one traced request, rendered as a waterfall.
+
+    Exit codes match ``request``; the span tree is the daemon's own
+    (router plus worker for a fleet), printed to stdout.
+    """
+    from .obs import render_waterfall
+
+    op, document, retry_policy = _request_parts(args, parser)
+    document["trace"] = {"return": True}
+    response = _send_request(args, op, document, retry_policy)
+    if not response.get("ok"):
+        error_doc = response.get("error") or {}
+        code = error_doc.get("code", "internal")
+        print(f"error: [{code}] {error_doc.get('message', 'unknown service error')}", file=sys.stderr)
+        return _REQUEST_ERROR_EXITS.get(code, 2)
+    trace_doc = (response.get("server") or {}).get("trace")
+    if not isinstance(trace_doc, dict):
+        print("error: the daemon returned no trace document", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(trace_doc, indent=2))
+    else:
+        print(render_waterfall(trace_doc))
+    verdict = (response.get("result") or {}).get("verdict")
+    if verdict is not None:
+        print(f"verdict: {verdict}")
+    return 1 if verdict is False else 0
+
+
+def _run_top(args) -> int:
+    """The ``top`` command: poll a daemon's stats and traces, render live."""
+    import time as _time
+
+    from .obs import render_top
+    from .service.client import AuditServiceClient
+
+    iteration = 0
+    try:
+        with AuditServiceClient(args.host, args.port) as client:
+            while True:
+                iteration += 1
+                stats = client.request("stats")
+                traces = client.request("traces")
+                stats_doc = stats.get("result") if stats.get("ok") else {}
+                traces_doc = traces.get("result") if traces.get("ok") else None
+                if sys.stdout.isatty() and iteration > 1:
+                    print("\x1b[2J\x1b[H", end="")
+                print(f"repro-audit top — {args.host}:{args.port}  (poll {iteration})")
+                print(render_top(stats_doc or {}, traces_doc))
+                if args.iterations and iteration >= args.iterations:
+                    return 0
+                _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _run_request(args, parser: argparse.ArgumentParser) -> int:
+    """The ``request`` command: one operation against a running daemon.
+
+    Exit codes mirror the local commands — 0 = ok (and not a
+    disclosure), 1 = the analysis found a disclosure, 2 = transport/
+    protocol/other errors — plus one distinct code per retryable-class
+    service error: 3 = overloaded, 4 = worker-crashed, 5 =
+    deadline-exceeded (each with a one-line ``error: [code] message``
+    on stderr).
+    """
+    op, document, retry_policy = _request_parts(args, parser)
+    if getattr(args, "trace", False):
+        document["trace"] = {"return": True}
+    response = _send_request(args, op, document, retry_policy)
     print(json.dumps(response, indent=2))
     if not response.get("ok"):
         error_doc = response.get("error") or {}
@@ -464,6 +607,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         if args.command == "request":
             return _run_request(args, parser)
+
+        if args.command == "trace":
+            return _run_trace(args, parser)
+
+        if args.command == "top":
+            return _run_top(args)
 
         if args.command == "load":
             return _run_load(args, parser)

@@ -35,6 +35,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import EvaluationError
+from ..obs.counters import StatCounters
 from ..relational.instance import INDEX_STATS, Instance
 from ..relational.tuples import Fact
 from .atoms import Atom
@@ -58,18 +59,23 @@ class _Unbound:
 _UNBOUND = _Unbound()
 
 #: Process-wide evaluator counters (monotone; see :func:`evaluation_stats`).
-STATS: Dict[str, int] = {
-    "plans_compiled": 0,
-    "plan_cache_hits": 0,
-    "variant_plans": 0,
-    "compiled_evaluations": 0,
-    "row_checks": 0,
-    "delta_calls": 0,
-    "delta_unification_skips": 0,
-    "naive_evaluations": 0,
-    "index_probes": 0,
-    "relation_scans": 0,
-}
+#: A :class:`~repro.obs.counters.StatCounters`: reads stay plain dict
+#: access, but increments go through ``.bump()`` so counts survive
+#: concurrent evaluation on server worker threads.
+STATS = StatCounters(
+    (
+        "plans_compiled",
+        "plan_cache_hits",
+        "variant_plans",
+        "compiled_evaluations",
+        "row_checks",
+        "delta_calls",
+        "delta_unification_skips",
+        "naive_evaluations",
+        "index_probes",
+        "relation_scans",
+    )
+)
 
 #: Attribute under which a query's plan is cached on the query object.
 _PLAN_ATTRIBUTE = "_compiled_plan"
@@ -84,14 +90,14 @@ def plan_for(query: ConjunctiveQuery) -> "CompiledPlan":
     """
     plan = getattr(query, _PLAN_ATTRIBUTE, None)
     if plan is None:
-        STATS["plans_compiled"] += 1
+        STATS.bump("plans_compiled")
         plan = CompiledPlan(query)
         try:
             object.__setattr__(query, _PLAN_ATTRIBUTE, plan)
         except (AttributeError, TypeError):  # pragma: no cover - exotic subclass
             pass
     else:
-        STATS["plan_cache_hits"] += 1
+        STATS.bump("plan_cache_hits")
     return plan
 
 
@@ -134,7 +140,7 @@ class CompiledPlan:
         steps = self._variants.get(key)
         if steps is None:
             if seeded or excluded is not None:
-                STATS["variant_plans"] += 1
+                STATS.bump("variant_plans")
             steps = self._variants[key] = build_steps(
                 self.query, self.slot_of, seeded, excluded
             )
@@ -161,7 +167,7 @@ class CompiledPlan:
         def extend(depth: int) -> Iterator[List[object]]:
             step = plan_steps[depth]
             if step.key_positions:
-                STATS["index_probes"] += 1
+                STATS.bump("index_probes")
                 key = tuple(
                     value if slot is None else slots[slot]
                     for slot, value in step.key_parts
@@ -170,7 +176,7 @@ class CompiledPlan:
                     key, ()
                 )
             else:
-                STATS["relation_scans"] += 1
+                STATS.bump("relation_scans")
                 candidates = instance.relation(step.relation)
             arity = step.arity
             bind_ops = step.bind_ops
@@ -214,7 +220,7 @@ class CompiledPlan:
     # -- evaluation ------------------------------------------------------------
     def evaluate(self, instance: Instance) -> FrozenSet[Tuple[object, ...]]:
         """The query's answer on ``instance`` (set semantics)."""
-        STATS["compiled_evaluations"] += 1
+        STATS.bump("compiled_evaluations")
         slots = [_UNBOUND] * self.slot_count
         return frozenset(
             self._head_row(s) for s in self._run(self._steps(), instance, slots)
@@ -222,7 +228,7 @@ class CompiledPlan:
 
     def evaluate_boolean(self, instance: Instance) -> bool:
         """True iff the query has at least one satisfying assignment."""
-        STATS["compiled_evaluations"] += 1
+        STATS.bump("compiled_evaluations")
         slots = [_UNBOUND] * self.slot_count
         for _ in self._run(self._steps(), instance, slots):
             return True
@@ -230,7 +236,7 @@ class CompiledPlan:
 
     def assignments(self, instance: Instance) -> Iterator[Dict[Variable, object]]:
         """Satisfying assignments as dicts, total over the body variables."""
-        STATS["compiled_evaluations"] += 1
+        STATS.bump("compiled_evaluations")
         slots = [_UNBOUND] * self.slot_count
         variables = self.slot_variables
         for s in self._run(self._steps(), instance, slots):
@@ -249,7 +255,7 @@ class CompiledPlan:
         row = tuple(row)
         if len(row) != len(self.head_parts):
             return False
-        STATS["row_checks"] += 1
+        STATS.bump("row_checks")
         slots: List[object] = [_UNBOUND] * self.slot_count
         seeded: set = set()
         for (slot, value), wanted in zip(self.head_parts, row):
@@ -310,7 +316,7 @@ class CompiledPlan:
             for s in self._run(steps, instance, slots):
                 yield self._head_row(s)
         if not matched:
-            STATS["delta_unification_skips"] += 1
+            STATS.bump("delta_unification_skips")
 
     def delta_without(self, instance: Instance, fact: Fact) -> bool:
         """Decide ``Q(instance) ≠ Q(instance − fact)`` by delta evaluation.
@@ -321,7 +327,7 @@ class CompiledPlan:
         a fact outside the instance, or one unifying with no subgoal,
         returns ``False`` without evaluating anything.
         """
-        STATS["delta_calls"] += 1
+        STATS.bump("delta_calls")
         without: Optional[Instance] = None
         verdicts: Dict[Tuple[object, ...], bool] = {}
         for row in self.delta_candidates(instance, fact):
@@ -347,11 +353,11 @@ def evaluation_stats() -> Dict[str, object]:
 
     Includes the active engine name, the compiled-plan and delta
     counters above, and the instance-index build/reuse counts from the
-    relational layer.  Counters are process-wide and monotone but
-    unlocked on the evaluation hot path, so they are approximate under
-    concurrent evaluation (an increment may occasionally be lost) —
-    rates, not an audit log.  Reset with
-    :func:`reset_evaluation_stats` (tests and benchmarks only).
+    relational layer.  Counters are process-wide, monotone and bumped
+    under a lock (:class:`~repro.obs.counters.StatCounters`), so counts
+    are exact even under concurrent evaluation on server worker
+    threads.  Reset with :func:`reset_evaluation_stats` (tests and
+    benchmarks only).
     """
     from .evaluation import evaluation_engine  # lazy: avoids an import cycle
     from .sql import SQL_STATS  # lazy: sql imports plan/compiled machinery
@@ -373,10 +379,7 @@ def reset_evaluation_stats() -> None:
     from .sql import SQL_STATS  # lazy: sql imports plan/compiled machinery
     from ..storage.sqlite import reset_storage_stats
 
-    for key in STATS:
-        STATS[key] = 0
-    for key in INDEX_STATS:
-        INDEX_STATS[key] = 0
-    for key in SQL_STATS:
-        SQL_STATS[key] = 0
+    STATS.reset()
+    INDEX_STATS.reset()
+    SQL_STATS.reset()
     reset_storage_stats()

@@ -46,6 +46,7 @@ from contextlib import contextmanager
 from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import EvaluationError
+from ..obs import span
 from ..relational.instance import Instance
 from ..relational.tuples import Fact
 from .atoms import Atom, Comparison
@@ -221,7 +222,7 @@ def naive_satisfying_assignments(
         for disjunct in disjuncts:
             yield from naive_satisfying_assignments(disjunct, instance)
         return
-    _EVAL_STATS["naive_evaluations"] += 1
+    _EVAL_STATS.bump("naive_evaluations")
     body = list(query.body)
     comparisons = list(query.comparisons)
     assignment: Assignment = {}
@@ -315,6 +316,13 @@ def answer_tuple(query: ConjunctiveQuery, assignment: Mapping[Variable, object])
 
 def evaluate(query: ConjunctiveQuery, instance: Instance) -> FrozenSet[Tuple[object, ...]]:
     """Evaluate a conjunctive query or a union of them (set semantics)."""
+    # One span per top-level call (a union is one evaluation); past the
+    # trace's span cap repeated calls fold into an aggregate row.
+    with span("cq.evaluate"):
+        return _evaluate(query, instance)
+
+
+def _evaluate(query: ConjunctiveQuery, instance: Instance) -> FrozenSet[Tuple[object, ...]]:
     engine = evaluation_engine()
     if engine == "naive":
         return naive_evaluate(query, _memory(instance))
@@ -327,7 +335,7 @@ def evaluate(query: ConjunctiveQuery, instance: Instance) -> FrozenSet[Tuple[obj
     if disjuncts is not None:
         answers: set = set()
         for disjunct in disjuncts:
-            answers |= evaluate(disjunct, instance)
+            answers |= _evaluate(disjunct, instance)
         return frozenset(answers)
     return plan_for(query).evaluate(instance)
 
@@ -335,6 +343,11 @@ def evaluate(query: ConjunctiveQuery, instance: Instance) -> FrozenSet[Tuple[obj
 def evaluate_boolean(query: ConjunctiveQuery, instance: Instance) -> bool:
     """Evaluate a boolean query; also works for non-boolean queries
     (true iff the answer is non-empty)."""
+    with span("cq.evaluate"):
+        return _evaluate_boolean(query, instance)
+
+
+def _evaluate_boolean(query: ConjunctiveQuery, instance: Instance) -> bool:
     engine = evaluation_engine()
     if engine == "naive":
         return naive_evaluate_boolean(query, _memory(instance))
@@ -345,7 +358,7 @@ def evaluate_boolean(query: ConjunctiveQuery, instance: Instance) -> bool:
     instance = _memory(instance)
     disjuncts = getattr(query, "disjuncts", None)
     if disjuncts is not None:
-        return any(evaluate_boolean(disjunct, instance) for disjunct in disjuncts)
+        return any(_evaluate_boolean(disjunct, instance) for disjunct in disjuncts)
     return plan_for(query).evaluate_boolean(instance)
 
 
@@ -384,6 +397,11 @@ def delta_changes(query: ConjunctiveQuery, instance: Instance, fact: Fact) -> bo
     or unifying with no subgoal, costs nothing.  The naive engine
     evaluates the query twice in full — the ablation baseline.
     """
+    with span("cq.delta"):
+        return _delta_changes(query, instance, fact)
+
+
+def _delta_changes(query: ConjunctiveQuery, instance: Instance, fact: Fact) -> bool:
     engine = evaluation_engine()
     if engine == "naive":
         instance = _memory(instance)

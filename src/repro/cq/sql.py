@@ -45,6 +45,8 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tup
 
 from .. import faults
 from ..exceptions import EvaluationError, QueryError, ReproError
+from ..obs import span
+from ..obs.counters import StatCounters
 from ..relational.instance import Instance
 from ..relational.tuples import Fact
 from ..storage.sqlite import SQLiteFactStore
@@ -66,17 +68,21 @@ __all__ = [
 ]
 
 #: Process-wide SQL-backend counters (monotone; surfaced through
-#: :func:`repro.cq.evaluation_stats`).
-SQL_STATS: Dict[str, int] = {
-    "sql_plans_compiled": 0,
-    "sql_plan_cache_hits": 0,
-    "sql_statements_executed": 0,
-    "sql_rows_fetched": 0,
-    "sql_mirrors_built": 0,
-    "sql_delta_calls": 0,
-    "sql_fallbacks": 0,
-    "sql_io_fallbacks": 0,
-}
+#: :func:`repro.cq.evaluation_stats`).  A
+#: :class:`~repro.obs.counters.StatCounters`: bumped through ``.bump()``
+#: so counts survive concurrent evaluation on worker threads.
+SQL_STATS = StatCounters(
+    (
+        "sql_plans_compiled",
+        "sql_plan_cache_hits",
+        "sql_statements_executed",
+        "sql_rows_fetched",
+        "sql_mirrors_built",
+        "sql_delta_calls",
+        "sql_fallbacks",
+        "sql_io_fallbacks",
+    )
+)
 
 
 class UnstorableError(EvaluationError):
@@ -101,14 +107,14 @@ def sql_plan_for(query: ConjunctiveQuery) -> "SQLPlan":
     """The SQL plan of a conjunctive query (cached on the query object)."""
     plan = getattr(query, _SQL_PLAN_ATTRIBUTE, None)
     if plan is None:
-        SQL_STATS["sql_plans_compiled"] += 1
+        SQL_STATS.bump("sql_plans_compiled")
         plan = SQLPlan(query)
         try:
             object.__setattr__(query, _SQL_PLAN_ATTRIBUTE, plan)
         except (AttributeError, TypeError):  # pragma: no cover - exotic subclass
             pass
     else:
-        SQL_STATS["sql_plan_cache_hits"] += 1
+        SQL_STATS.bump("sql_plan_cache_hits")
     return plan
 
 
@@ -134,7 +140,7 @@ def store_for(instance) -> SQLiteFactStore:
         raise UnstorableError(
             f"the sql engine cannot mirror this instance: {error}"
         ) from error
-    SQL_STATS["sql_mirrors_built"] += 1
+    SQL_STATS.bump("sql_mirrors_built")
     if isinstance(instance, Instance):
         try:
             setattr(instance, _MIRROR_ATTRIBUTE, mirror)
@@ -148,9 +154,12 @@ def _execute(
 ) -> List[Tuple[object, ...]]:
     for rule in faults.fire("sql.execute"):
         faults.perform(rule)
-    SQL_STATS["sql_statements_executed"] += 1
-    rows = store.execute(sql, params)
-    SQL_STATS["sql_rows_fetched"] += len(rows)
+    SQL_STATS.bump("sql_statements_executed")
+    with span("sql.execute") as sp:
+        rows = store.execute(sql, params)
+        if sp:
+            sp.set("rows", len(rows))
+    SQL_STATS.bump("sql_rows_fetched", len(rows))
     return rows
 
 
@@ -525,7 +534,7 @@ class SQLPlan:
 
     def delta_without(self, store: SQLiteFactStore, fact: Fact) -> bool:
         """Decide ``Q(store) ≠ Q(store − fact)`` with delta-seeded SQL."""
-        SQL_STATS["sql_delta_calls"] += 1
+        SQL_STATS.bump("sql_delta_calls")
         checked: Set[Tuple[object, ...]] = set()
         for row in self.delta_candidates(store, fact):
             if row in checked:
@@ -553,7 +562,7 @@ def _fallback(entry: str, *args, counter: str = "sql_fallbacks"):
     engine that produced it differs, and the degradation is counted so
     operators can see it in ``evaluation_stats()`` / service stats.
     """
-    SQL_STATS[counter] += 1
+    SQL_STATS.bump(counter)
     from . import evaluation
 
     with evaluation.eval_engine_scope("compiled"):
@@ -651,7 +660,7 @@ def delta_changes(query, instance, fact: Fact) -> bool:
         disjuncts = getattr(query, "disjuncts", None)
         if disjuncts is None:
             return sql_plan_for(query).delta_without(store, fact)
-        SQL_STATS["sql_delta_calls"] += 1
+        SQL_STATS.bump("sql_delta_calls")
         plans = [sql_plan_for(disjunct) for disjunct in disjuncts]
         checked: Set[Tuple[object, ...]] = set()
         for plan in plans:

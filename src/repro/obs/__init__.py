@@ -1,0 +1,89 @@
+"""Tracing and telemetry for the audit service (stdlib-only).
+
+The package has four parts:
+
+* :mod:`repro.obs.trace` — trace contexts and span trees.  A trace is
+  opened at the client or router (:func:`start_trace`), propagated via
+  the wire protocol's ``trace`` envelope field, and instrumentation
+  points call :func:`span` — which is a single module-global boolean
+  check plus a shared null object when tracing is off.
+* :mod:`repro.obs.buffer` — a bounded per-process buffer of finished
+  traces with head+tail+slow sampling, merged fleet-wide by the
+  ``traces`` service operation.
+* :mod:`repro.obs.slowlog` — the structured slow-request log (JSON
+  lines naming the dominant span).
+* :mod:`repro.obs.prom` / :mod:`repro.obs.counters` — Prometheus text
+  exposition of the merged service metrics, and the thread-safe counter
+  dict the engine statistics use.
+* :mod:`repro.obs.render` — plain-text span waterfalls and the live
+  ``repro-audit top`` view.
+"""
+
+from __future__ import annotations
+
+from .buffer import TRACES, TraceBuffer, merge_trace_snapshots
+from .counters import StatCounters
+from .prom import CONTENT_TYPE, render_prometheus
+from .render import render_top, render_waterfall, span_names
+from .slowlog import SLOW_LOG_ENV, SLOW_MS_ENV, SlowLog, slow_log_from_env
+from .trace import (
+    DEFAULT_SPAN_LIMIT,
+    TRACE_ENV,
+    Span,
+    Trace,
+    current_span,
+    current_trace,
+    dominant_span,
+    install_from_env,
+    new_trace_id,
+    record_span,
+    set_tracing,
+    span,
+    start_trace,
+    tracing_enabled,
+    walk_spans,
+)
+
+__all__ = [
+    "CONTENT_TYPE",
+    "DEFAULT_SPAN_LIMIT",
+    "SLOW_LOG_ENV",
+    "SLOW_MS_ENV",
+    "Span",
+    "StatCounters",
+    "SlowLog",
+    "TRACES",
+    "TRACE_ENV",
+    "Trace",
+    "TraceBuffer",
+    "current_span",
+    "current_trace",
+    "dominant_span",
+    "install_from_env",
+    "merge_trace_snapshots",
+    "new_trace_id",
+    "record_span",
+    "render_prometheus",
+    "render_top",
+    "render_waterfall",
+    "reset_stats",
+    "span_names",
+    "set_tracing",
+    "slow_log_from_env",
+    "span",
+    "start_trace",
+    "tracing_enabled",
+    "walk_spans",
+]
+
+
+def reset_stats() -> None:
+    """Reset every process-wide statistic: engine counters and traces.
+
+    Benchmarks call this between phases so each measurement starts from
+    a clean slate.
+    """
+    from ..cq.compiled import reset_evaluation_stats
+
+    reset_evaluation_stats()
+    TRACES.reset()

@@ -1,0 +1,150 @@
+"""Bounded collection of finished traces, with head+tail+slow sampling.
+
+Keeping *every* trace of a busy fleet is out of the question, and
+keeping only the most recent window loses exactly the traces an
+operator wants (the first requests after a deploy, the slowest ones of
+the hour).  The buffer therefore samples three ways at once:
+
+* **head** — the first ``head`` traces since the last reset, verbatim
+  (cold-start behaviour: session construction, first kernel build);
+* **tail** — a ring of the most recent ``tail`` traces (what is
+  happening right now);
+* **slow** — the ``slow`` largest-duration traces seen so far, kept in
+  a min-heap (the outliers, which the tail ring would age out).
+
+Snapshots are plain JSON and *mergeable*: :func:`merge_trace_snapshots`
+combines per-worker snapshots into one fleet-wide document with the
+same shape, re-trimming each section and marking ``partial`` when a
+worker's part was missing or malformed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from collections import deque
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+__all__ = ["TraceBuffer", "TRACES", "merge_trace_snapshots"]
+
+#: Default section bounds of the process-wide buffer.
+DEFAULT_HEAD = 16
+DEFAULT_TAIL = 64
+DEFAULT_SLOW = 16
+
+
+class TraceBuffer:
+    """A bounded, thread-safe store of finished trace documents."""
+
+    def __init__(
+        self, head: int = DEFAULT_HEAD, tail: int = DEFAULT_TAIL, slow: int = DEFAULT_SLOW
+    ):
+        self._head_limit = max(0, head)
+        self._slow_limit = max(0, slow)
+        self._lock = threading.Lock()
+        self._head: List[Dict[str, Any]] = []
+        self._tail: "deque[Dict[str, Any]]" = deque(maxlen=max(1, tail))
+        #: Min-heap of (duration_ms, tiebreak, trace) — the root is the
+        #: *fastest* of the kept slow traces, evicted first.
+        self._slow: List[Any] = []
+        self._counter = itertools.count()
+        self._recorded = 0
+
+    def record(self, trace_doc: Mapping[str, Any]) -> None:
+        """Store one finished trace document."""
+        document = dict(trace_doc)
+        duration = float(document.get("duration_ms") or 0.0)
+        with self._lock:
+            self._recorded += 1
+            if len(self._head) < self._head_limit:
+                self._head.append(document)
+            self._tail.append(document)
+            if self._slow_limit:
+                entry = (duration, next(self._counter), document)
+                if len(self._slow) < self._slow_limit:
+                    heapq.heappush(self._slow, entry)
+                elif duration > self._slow[0][0]:
+                    heapq.heapreplace(self._slow, entry)
+
+    def reset(self) -> None:
+        """Clear every section (tests/benchmarks)."""
+        with self._lock:
+            self._head.clear()
+            self._tail.clear()
+            self._slow.clear()
+            self._recorded = 0
+
+    def find(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """The stored trace with this id, if any section still holds it."""
+        with self._lock:
+            for section in (self._tail, self._head, [e[2] for e in self._slow]):
+                for document in section:
+                    if document.get("trace_id") == trace_id:
+                        return document
+        return None
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Every section as one JSON-serialisable, mergeable document."""
+        with self._lock:
+            slow = [entry[2] for entry in sorted(self._slow, reverse=True)]
+            return {
+                "recorded": self._recorded,
+                "head": list(self._head),
+                "tail": list(self._tail),
+                "slow": slow,
+                "limits": {
+                    "head": self._head_limit,
+                    "tail": self._tail.maxlen,
+                    "slow": self._slow_limit,
+                },
+            }
+
+
+#: The per-process buffer every server records into.
+TRACES = TraceBuffer()
+
+
+def merge_trace_snapshots(parts: Iterable[Any]) -> Dict[str, Any]:
+    """Combine per-worker trace snapshots into one fleet-wide document.
+
+    Malformed or missing parts (a worker died between polls) are
+    skipped and surfaced as ``partial: true`` instead of raising —
+    mirroring :func:`repro.service.metrics.merge_snapshots`.
+    """
+    head: List[Dict[str, Any]] = []
+    tail: List[Dict[str, Any]] = []
+    slow: List[Dict[str, Any]] = []
+    recorded = 0
+    partial = False
+    for part in parts:
+        if not isinstance(part, Mapping):
+            partial = True
+            continue
+        count = part.get("recorded")
+        if isinstance(count, int):
+            recorded += count
+        head.extend(d for d in (part.get("head") or []) if isinstance(d, Mapping))
+        tail.extend(d for d in (part.get("tail") or []) if isinstance(d, Mapping))
+        slow.extend(d for d in (part.get("slow") or []) if isinstance(d, Mapping))
+
+    def _started(document: Mapping[str, Any]) -> float:
+        value = document.get("started")
+        return float(value) if isinstance(value, (int, float)) else 0.0
+
+    def _duration(document: Mapping[str, Any]) -> float:
+        value = document.get("duration_ms")
+        return float(value) if isinstance(value, (int, float)) else 0.0
+
+    head.sort(key=_started)
+    tail.sort(key=_started)
+    slow.sort(key=_duration, reverse=True)
+    merged: Dict[str, Any] = {
+        "recorded": recorded,
+        "head": [dict(d) for d in head[:DEFAULT_HEAD]],
+        "tail": [dict(d) for d in tail[-DEFAULT_TAIL:]],
+        "slow": [dict(d) for d in slow[:DEFAULT_SLOW]],
+    }
+    if partial:
+        merged["partial"] = True
+    return merged

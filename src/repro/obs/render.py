@@ -1,0 +1,189 @@
+"""Plain-text rendering of trace documents: waterfalls and live tops.
+
+The renderers consume the JSON documents produced by
+:meth:`~repro.obs.trace.Trace.to_dict` (as returned inline by a traced
+service request, or from the ``traces`` service operation) and emit
+terminal-friendly text — no ANSI codes, so the output survives CI logs
+and ``grep``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Mapping, Optional, Tuple
+
+__all__ = ["render_waterfall", "span_names", "render_top"]
+
+#: Width of the waterfall bar column, in characters.
+_BAR_WIDTH = 30
+
+
+def _spans_in_order(
+    span_doc: Mapping[str, Any], depth: int, shift: float
+) -> Iterator[Tuple[int, float, Mapping[str, Any]]]:
+    """Yield ``(depth, absolute_start_ms, span)`` in pre-order.
+
+    ``start_ms`` is relative to the span's *own* trace; a subtree
+    grafted from another process (a fleet worker answering under the
+    router's ``router.forward`` span) restarts at zero.  A child
+    starting before its parent therefore marks a graft boundary, and
+    the parent's absolute start becomes the child's baseline.
+    """
+    start = float(span_doc.get("start_ms", 0.0))
+    absolute = start + shift
+    yield depth, absolute, span_doc
+    for child in span_doc.get("children", ()):
+        if not isinstance(child, Mapping):
+            continue
+        child_shift = shift
+        if float(child.get("start_ms", 0.0)) < start:
+            child_shift = absolute
+        yield from _spans_in_order(child, depth + 1, child_shift)
+
+
+def span_names(trace_doc: Mapping[str, Any]) -> List[str]:
+    """Every span name in the trace, in waterfall (pre-)order."""
+    root = trace_doc.get("root")
+    if not isinstance(root, Mapping):
+        return []
+    return [str(s.get("name", "?")) for _, _, s in _spans_in_order(root, 0, 0.0)]
+
+
+def _attr_text(span_doc: Mapping[str, Any]) -> str:
+    attrs = span_doc.get("attrs")
+    if not isinstance(attrs, Mapping):
+        return ""
+    parts = [
+        f"{key}={value}"
+        for key, value in attrs.items()
+        if not isinstance(value, (list, dict))
+    ]
+    return "  " + " ".join(parts) if parts else ""
+
+
+def render_waterfall(trace_doc: Mapping[str, Any]) -> str:
+    """One trace document as an indented plain-text span waterfall.
+
+    Each line shows the span name (indented by tree depth), its start
+    offset and duration in milliseconds, and a bar positioned along the
+    trace's full duration.  Aggregated over-cap spans and links to other
+    traces (coalesced followers) are appended below the tree.
+    """
+    root = trace_doc.get("root")
+    if not isinstance(root, Mapping):
+        return "(empty trace)"
+    total = max(float(trace_doc.get("duration_ms", 0.0)), 0.001)
+    rows = list(_spans_in_order(root, 0, 0.0))
+    name_width = max(len("  " * depth + str(s.get("name", "?"))) for depth, _, s in rows)
+    header = (
+        f"trace {trace_doc.get('trace_id', '?')}  "
+        f"{total:.3f}ms  spans={trace_doc.get('spans', len(rows))}"
+    )
+    lines = [header]
+    for depth, absolute, span_doc in rows:
+        duration = float(span_doc.get("duration_ms", 0.0))
+        label = "  " * depth + str(span_doc.get("name", "?"))
+        left = int(_BAR_WIDTH * min(absolute / total, 1.0))
+        width = max(1, int(round(_BAR_WIDTH * min(duration / total, 1.0))))
+        width = min(width, _BAR_WIDTH - left) or 1
+        bar = " " * left + "#" * width
+        lines.append(
+            f"  {label:<{name_width}}  {absolute:>9.3f}  {duration:>9.3f}ms  "
+            f"|{bar:<{_BAR_WIDTH}}|{_attr_text(span_doc)}"
+        )
+    dropped = trace_doc.get("dropped")
+    if isinstance(dropped, Mapping) and dropped:
+        lines.append("  aggregated (over span cap):")
+        for name, entry in dropped.items():
+            if isinstance(entry, Mapping):
+                lines.append(
+                    f"    {name}  x{entry.get('count', '?')}  "
+                    f"total {entry.get('total_ms', '?')}ms"
+                )
+    links = trace_doc.get("links")
+    if isinstance(links, list) and links:
+        lines.append("  links:")
+        for link in links:
+            if isinstance(link, Mapping):
+                lines.append(
+                    f"    {link.get('rel', 'linked')} -> trace {link.get('trace_id', '?')}"
+                )
+    return "\n".join(lines)
+
+
+def _latency_text(op_doc: Mapping[str, Any]) -> str:
+    latency = op_doc.get("latency_ms")
+    if not isinstance(latency, Mapping):
+        return "-"
+    p50 = latency.get("p50")
+    p95 = latency.get("p95")
+    if p50 is None:
+        return "-"
+    text = f"p50 {p50:>8.2f}"
+    if p95 is not None:
+        text += f"  p95 {p95:>8.2f}"
+    return text
+
+
+def render_top(
+    stats: Mapping[str, Any], traces: Optional[Mapping[str, Any]] = None
+) -> str:
+    """One ``stats`` snapshot (optionally plus ``traces``) as a live view.
+
+    Renders the per-operation counters and latency quantiles of a
+    server or merged fleet ``stats`` document, the per-shard health
+    table when the document came from a fleet router, and the slowest
+    recorded traces when a ``traces`` snapshot is supplied.
+    """
+    lines: List[str] = []
+    totals = stats.get("totals")
+    handled = totals.get("requests", "?") if isinstance(totals, Mapping) else "?"
+    uptime = stats.get("uptime_seconds")
+    uptime_text = f"  uptime {uptime:.0f}s" if isinstance(uptime, (int, float)) else ""
+    fleet = stats.get("fleet")
+    fleet_text = ""
+    if isinstance(fleet, Mapping):
+        fleet_text = f"  workers {fleet.get('workers', '?')}"
+    lines.append(f"requests handled: {handled}{uptime_text}{fleet_text}")
+    operations = stats.get("operations")
+    if isinstance(operations, Mapping) and operations:
+        name_width = max(max(len(str(op)) for op in operations), len("op"))
+        lines.append(f"  {'op':<{name_width}}  {'requests':>8}  latency")
+        for op, op_doc in sorted(operations.items()):
+            if not isinstance(op_doc, Mapping):
+                continue
+            requests = op_doc.get("requests", "?")
+            lines.append(
+                f"  {op:<{name_width}}  {requests:>8}  {_latency_text(op_doc)}"
+            )
+    shards = fleet.get("shards") if isinstance(fleet, Mapping) else None
+    if isinstance(shards, list) and shards:
+        lines.append("  shards:")
+        for shard in shards:
+            if not isinstance(shard, Mapping):
+                continue
+            lines.append(
+                f"    shard {shard.get('shard', '?')}: "
+                f"alive={shard.get('alive', '?')} "
+                f"health={shard.get('health', '?')} "
+                f"outstanding={shard.get('outstanding', '?')} "
+                f"forwarded={shard.get('forwarded', '?')} "
+                f"restarts={shard.get('restarts', '?')}"
+            )
+    if isinstance(traces, Mapping):
+        slow = traces.get("slow")
+        if isinstance(slow, list) and slow:
+            lines.append(f"  slowest traces (of {traces.get('recorded', '?')} recorded):")
+            for doc in slow[:5]:
+                if not isinstance(doc, Mapping):
+                    continue
+                root = doc.get("root")
+                op = ""
+                if isinstance(root, Mapping):
+                    attrs = root.get("attrs")
+                    if isinstance(attrs, Mapping) and "op" in attrs:
+                        op = f"  op={attrs['op']}"
+                lines.append(
+                    f"    {doc.get('trace_id', '?')}  "
+                    f"{doc.get('duration_ms', '?')}ms{op}"
+                )
+    return "\n".join(lines)

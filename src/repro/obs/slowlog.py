@@ -1,0 +1,105 @@
+"""The structured slow-request log.
+
+Traces over a configurable threshold are written as one JSON line each
+(to stderr by default, or a file), naming the *dominant span* — the
+descendant with the largest self time — so an operator reading the log
+sees not just "this request took 900ms" but "870ms of it was
+``criticality.compute``".
+
+Configuration comes from the server (``slow_ms`` option) or the
+environment:
+
+* ``REPRO_TRACE_SLOW_MS`` — threshold in milliseconds (unset disables);
+* ``REPRO_TRACE_SLOW_LOG`` — a file path (append mode); unset → stderr.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, Dict, Mapping, Optional
+
+from .trace import dominant_span
+
+__all__ = ["SlowLog", "SLOW_MS_ENV", "SLOW_LOG_ENV", "slow_log_from_env"]
+
+SLOW_MS_ENV = "REPRO_TRACE_SLOW_MS"
+SLOW_LOG_ENV = "REPRO_TRACE_SLOW_LOG"
+
+
+class SlowLog:
+    """Threshold-gated JSON-lines logger for slow traces."""
+
+    def __init__(self, threshold_ms: Optional[float], path: Optional[str] = None):
+        self._threshold_ms = threshold_ms
+        self._path = path
+        self._lock = threading.Lock()
+        self._logged = 0
+
+    @property
+    def enabled(self) -> bool:
+        """True when a threshold is configured."""
+        return self._threshold_ms is not None
+
+    @property
+    def threshold_ms(self) -> Optional[float]:
+        """The configured threshold (``None`` = disabled)."""
+        return self._threshold_ms
+
+    @property
+    def logged(self) -> int:
+        """How many slow requests have been logged so far."""
+        return self._logged
+
+    def entry_for(self, trace_doc: Mapping[str, Any], op: Optional[str] = None) -> Dict[str, Any]:
+        """The log line document for one trace (public for tests)."""
+        dominant = dominant_span(dict(trace_doc))
+        entry: Dict[str, Any] = {
+            "event": "slow-request",
+            "ts": round(time.time(), 3),
+            "trace_id": trace_doc.get("trace_id"),
+            "duration_ms": trace_doc.get("duration_ms"),
+            "threshold_ms": self._threshold_ms,
+            "dominant_span": dominant["name"],
+            "dominant_self_ms": dominant["self_ms"],
+        }
+        if op is not None:
+            entry["op"] = op
+        return entry
+
+    def maybe_log(self, trace_doc: Mapping[str, Any], op: Optional[str] = None) -> bool:
+        """Write the trace's log line when it crosses the threshold."""
+        if self._threshold_ms is None:
+            return False
+        duration = trace_doc.get("duration_ms")
+        if not isinstance(duration, (int, float)) or duration < self._threshold_ms:
+            return False
+        line = json.dumps(self.entry_for(trace_doc, op), separators=(",", ":"), default=str)
+        with self._lock:
+            self._logged += 1
+            if self._path is not None:
+                with open(self._path, "a", encoding="utf8") as handle:
+                    handle.write(line + "\n")
+            else:
+                print(line, file=sys.stderr, flush=True)
+        return True
+
+
+def slow_log_from_env(default_threshold_ms: Optional[float] = None) -> SlowLog:
+    """A :class:`SlowLog` configured from the environment.
+
+    An explicit ``default_threshold_ms`` (the server's ``slow_ms``
+    option) applies when the environment does not set one.
+    """
+    threshold = default_threshold_ms
+    raw = os.environ.get(SLOW_MS_ENV, "").strip()
+    if raw:
+        try:
+            threshold = float(raw)
+        except ValueError:
+            threshold = default_threshold_ms
+    path = os.environ.get(SLOW_LOG_ENV) or None
+    return SlowLog(threshold, path)

@@ -38,6 +38,8 @@ from fractions import Fraction
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from ..exceptions import IntractableAnalysisError, ProbabilityError
+from ..obs import span
+from ..obs.counters import StatCounters
 from ..relational.tuples import Fact
 from .compiled_event import (
     CompiledQueryTable,
@@ -197,15 +199,19 @@ class ProbabilityKernel:
         self._joint_dists: Dict[Tuple, Dict] = {}
         #: Monotone counters exposed for tests and reports:
         #: compiled query tables / compiled event tables / joint
-        #: distributions computed, and memo hits for each.
-        self.stats: Dict[str, int] = {
-            "query_compilations": 0,
-            "query_table_hits": 0,
-            "event_compilations": 0,
-            "event_bit_hits": 0,
-            "distributions": 0,
-            "distribution_hits": 0,
-        }
+        #: distributions computed, and memo hits for each.  Shared
+        #: kernels are bumped from concurrent worker threads, so the
+        #: counters are lock-guarded (see ``StatCounters.bump``).
+        self.stats = StatCounters(
+            (
+                "query_compilations",
+                "query_table_hits",
+                "event_compilations",
+                "event_bit_hits",
+                "distributions",
+                "distribution_hits",
+            )
+        )
 
     # -- construction -----------------------------------------------------------
     @classmethod
@@ -354,10 +360,11 @@ class ProbabilityKernel:
         if table is None:
             if len(self._query_tables) >= _MEMO_LIMIT:
                 self._query_tables.clear()
-            self.stats["query_compilations"] += 1
-            table = self._query_tables[key] = compile_query_table(query, facts)
+            self.stats.bump("query_compilations")
+            with span("kernel.query_table"):
+                table = self._query_tables[key] = compile_query_table(query, facts)
         else:
-            self.stats["query_table_hits"] += 1
+            self.stats.bump("query_table_hits")
         return table
 
     def event_bits(self, event: Event, facts: Sequence[Fact]) -> int:
@@ -371,11 +378,11 @@ class ProbabilityKernel:
         key = (id(event), facts)
         cached = self._event_bits.get(key)
         if cached is not None and cached[0] is event:
-            self.stats["event_bit_hits"] += 1
+            self.stats.bump("event_bit_hits")
             return cached[1]
         if len(self._event_bits) >= _MEMO_LIMIT:
             self._event_bits.clear()
-        self.stats["event_compilations"] += 1
+        self.stats.bump("event_compilations")
         bits = compile_event_bits(
             event, facts, lambda query: self.query_table(query, facts)
         )
@@ -541,10 +548,18 @@ class ProbabilityKernel:
             memo_key = (tuple(self._query_key(query) for query in queries),)
             cached = self._joint_dists.get(memo_key)
             if cached is not None:
-                self.stats["distribution_hits"] += 1
+                self.stats.bump("distribution_hits")
                 return dict(cached)
 
-        self.stats["distributions"] += 1
+        self.stats.bump("distributions")
+        with span("kernel.distribution"):
+            return self._joint_distribution_core(
+                queries, events, components, query_count, memo_key
+            )
+
+    def _joint_distribution_core(
+        self, queries, events, components, query_count, memo_key
+    ) -> Dict[Tuple, Union[Fraction, float]]:
         per_component: List[Tuple[Tuple[int, ...], List[Tuple[Tuple, object]]]] = []
         for facts, items in components:
             component_queries = [queries[i] for i in items if i < query_count]

@@ -15,6 +15,7 @@ import itertools
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import IntractableAnalysisError
+from ..obs.counters import StatCounters
 from .domain import Domain
 from .schema import Schema
 from .tuples import Fact, tuple_space
@@ -31,8 +32,10 @@ __all__ = [
 MAX_ENUMERABLE_TUPLES = 24
 
 #: Process-wide counters for the lazy per-instance hash indexes (monotone;
-#: surfaced through :func:`repro.cq.compiled.evaluation_stats`).
-INDEX_STATS: Dict[str, int] = {"builds": 0, "reuses": 0}
+#: surfaced through :func:`repro.cq.compiled.evaluation_stats`).  A
+#: :class:`~repro.obs.counters.StatCounters`: bumped through ``.bump()``
+#: so counts survive concurrent evaluation on worker threads.
+INDEX_STATS = StatCounters(("builds", "reuses"))
 
 
 class Instance:
@@ -122,7 +125,7 @@ class Instance:
         key = (relation, positions)
         cached = self._indexes.get(key)
         if cached is not None:
-            INDEX_STATS["reuses"] += 1
+            INDEX_STATS.bump("reuses")
             return cached
         buckets: Dict[Tuple[object, ...], List[Fact]] = {}
         top = max(positions) if positions else -1
@@ -135,7 +138,7 @@ class Instance:
             ).append(fact)
         index = {k: tuple(v) for k, v in buckets.items()}
         self._indexes[key] = index
-        INDEX_STATS["builds"] += 1
+        INDEX_STATS.bump("builds")
         return index
 
     def add(self, *facts: Fact) -> "Instance":

@@ -72,6 +72,19 @@ from collections import OrderedDict
 from typing import Any, Awaitable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import ReproError
+from ..obs import (
+    CONTENT_TYPE,
+    TRACES,
+    Span,
+    SlowLog,
+    current_trace,
+    merge_trace_snapshots,
+    render_prometheus,
+    slow_log_from_env,
+    span,
+    start_trace,
+)
+from ..obs import install_from_env as install_tracing_from_env
 from . import faults
 from .coalesce import DEFAULT_CLAIM_TTL, FleetCoalescer
 from .health import CircuitBreaker
@@ -279,6 +292,7 @@ class FleetServer:
         claim_ttl: float = DEFAULT_CLAIM_TTL,
         breaker_options: Optional[Mapping[str, Any]] = None,
         watchdog_seconds: Optional[float] = None,
+        slow_ms: Optional[float] = None,
         start_method: Optional[str] = None,
         worker_options: Optional[Mapping[str, Any]] = None,
     ):
@@ -316,8 +330,12 @@ class FleetServer:
         }
         if watchdog_seconds is not None:
             self._worker_options["watchdog_seconds"] = watchdog_seconds
+        if slow_ms is not None:
+            self._worker_options["slow_ms"] = slow_ms
         if worker_options:
             self._worker_options.update(worker_options)
+        self._slow_ms = slow_ms
+        self._slow_log: SlowLog = SlowLog(slow_ms)
 
         self._metrics = ServiceMetrics()
         self._shards: List[_Shard] = []
@@ -341,6 +359,8 @@ class FleetServer:
         if not hasattr(asyncio.get_running_loop(), "create_unix_connection"):
             raise ReproError("the worker fleet needs unix domain sockets")  # pragma: no cover
         faults.install_from_env()
+        install_tracing_from_env()
+        self._slow_log = slow_log_from_env(self._slow_ms)
         self._stopping = False
         self._stop_event = asyncio.Event()
         self._boot_id = uuid.uuid4().hex[:16]
@@ -785,6 +805,10 @@ class FleetServer:
             )
         if request.op == "stats":
             return await self._fleet_stats(request)
+        if request.op == "traces":
+            return await self._fleet_traces(request)
+        if request.op == "metrics":
+            return await self._fleet_metrics(request)
         # shutdown: acknowledge, then drain-then-stop via serve_until_stopped.
         self._metrics.observe("shutdown", "computed")
         if self._stop_event is not None:
@@ -819,6 +843,33 @@ class FleetServer:
     async def _handle_analysis(
         self, request: AuditRequest, raw: bytes
     ) -> Dict[str, Any]:
+        if not request.trace:
+            return await self._handle_analysis_core(request, raw)
+        # The router owns the distributed trace: its root covers routing,
+        # coalescer negotiation and the forward; the worker's own span
+        # tree (returned inline in the worker response) is grafted under
+        # the ``router.forward`` span before the tree goes back out.
+        spec = request.trace
+        trace_id = spec.get("id")
+        parent_id = spec.get("parent")
+        with start_trace(
+            "router.route",
+            trace_id=trace_id if isinstance(trace_id, str) else None,
+            parent_id=parent_id if isinstance(parent_id, str) else None,
+        ) as trace:
+            trace.root.set("op", request.op)
+            response = await self._handle_analysis_core(request, raw)
+        document = trace.to_dict()
+        TRACES.record(document)
+        self._slow_log.maybe_log(document, op=request.op)
+        server = response.get("server")
+        if isinstance(server, dict):
+            server["trace"] = document
+        return response
+
+    async def _handle_analysis_core(
+        self, request: AuditRequest, raw: bytes
+    ) -> Dict[str, Any]:
         fingerprint = hashlib.sha256(request_key(request).encode("utf8")).hexdigest()
         started = time.perf_counter()
         deadline = (
@@ -833,11 +884,13 @@ class FleetServer:
         waiter = self._subscribers.get(fingerprint)
         if waiter is not None:
             try:
-                core = await self._await_within(waiter, deadline)
+                with span("coalesce.follow"):
+                    core = await self._await_within(waiter, deadline)
             except asyncio.TimeoutError:
                 return self._deadline_error(
                     request, started, "while awaiting a twin computation"
                 )
+            self._link_leader(core, "coalesced-leader")
             elapsed = time.perf_counter() - started
             self._metrics.observe(request.op, "coalesced", elapsed)
             return self._respond(request, core, elapsed, fleet="coalesced")
@@ -848,11 +901,13 @@ class FleetServer:
                 return self._deadline_error(
                     request, started, "while negotiating the fleet coalescer"
                 )
-            claimed = coalescer.claim(fingerprint)
+            with span("coalesce.claim"):
+                claimed = coalescer.claim(fingerprint)
             if claimed is None:
                 break  # we own the computation
             if claimed:
                 core = json.loads(claimed)
+                self._link_leader(core, "fleet-cache")
                 elapsed = time.perf_counter() - started
                 self._metrics.observe(request.op, "cached", elapsed)
                 return self._respond(request, core, elapsed, fleet="cached")
@@ -860,8 +915,12 @@ class FleetServer:
             # another router sharing the table, or an abandon race): wait
             # for the row to resolve, then retry the claim.  A dead or
             # over-TTL owner is reclaimed by claim() itself on the retry.
-            core = await self._await_remote(coalescer, fingerprint, deadline=deadline)
+            with span("coalesce.follow"):
+                core = await self._await_remote(
+                    coalescer, fingerprint, deadline=deadline
+                )
             if core is not None:
+                self._link_leader(core, "coalesced-leader")
                 elapsed = time.perf_counter() - started
                 self._metrics.observe(request.op, "coalesced", elapsed)
                 return self._respond(request, core, elapsed, fleet="coalesced")
@@ -894,15 +953,20 @@ class FleetServer:
         # deadline, the forwarded copy carries only the *remaining*
         # budget (the worker enforces it), and the router adds a small
         # grace before abandoning the worker connection outright.
+        trace = current_trace()
         forward_raw = raw
         warm_raw = raw
-        if deadline is not None:
+        document: Optional[Dict[str, Any]] = None
+        if deadline is not None or trace is not None:
             document = request.to_document()
-            remaining_ms = max(1.0, (deadline - time.perf_counter()) * 1000.0)
-            document["deadline_ms"] = round(remaining_ms, 3)
+            # Rewarm replays must be undeadlined and untraced: a restarted
+            # worker warms its caches, it does not re-answer anyone.
+            document.pop("trace", None)
+            warm_raw = encode_message(document)
+            if deadline is not None:
+                remaining_ms = max(1.0, (deadline - time.perf_counter()) * 1000.0)
+                document["deadline_ms"] = round(remaining_ms, 3)
             forward_raw = encode_message(document)
-            document.pop("deadline_ms", None)
-            warm_raw = encode_message(document)  # rewarm replays undeadlined
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[Dict[str, Any]]" = loop.create_future()
         self._subscribers[fingerprint] = future
@@ -915,13 +979,27 @@ class FleetServer:
                         raise ReproError(
                             rule.message or "injected fault at router.forward"
                         )
-                if deadline is not None:
-                    grace = max(0.0, deadline - time.perf_counter()) + 0.5
-                    response = await asyncio.wait_for(
-                        self._forward(shard, forward_raw), timeout=grace
-                    )
-                else:
-                    response = await self._forward(shard, forward_raw)
+                forward_span: Optional[Span] = None
+                with span("router.forward") as fwd:
+                    if isinstance(fwd, Span):
+                        forward_span = fwd
+                        fwd.set("shard", shard.index)
+                    if trace is not None and document is not None:
+                        # Forward the trace context so the worker opens
+                        # its subtree under this very span.
+                        document["trace"] = {
+                            "id": trace.trace_id,
+                            "parent": forward_span.span_id if forward_span else None,
+                            "return": True,
+                        }
+                        forward_raw = encode_message(document)
+                    if deadline is not None:
+                        grace = max(0.0, deadline - time.perf_counter()) + 0.5
+                        response = await asyncio.wait_for(
+                            self._forward(shard, forward_raw), timeout=grace
+                        )
+                    else:
+                        response = await self._forward(shard, forward_raw)
                 shard.breaker.record_success()
                 core = {
                     key: response[key]
@@ -929,6 +1007,30 @@ class FleetServer:
                     if key in response
                 }
                 core["shard"] = shard.index
+                worker_trace = None
+                server_doc = core.get("server")
+                if isinstance(server_doc, Mapping):
+                    server_doc = dict(server_doc)
+                    worker_trace = server_doc.pop("trace", None)
+                    core["server"] = server_doc
+                if trace is not None:
+                    # Stamped so coalesced twins and fleet-cache hits can
+                    # link to this computation's trace.
+                    core["trace_id"] = trace.trace_id
+                    if isinstance(worker_trace, Mapping):
+                        # The worker answers with a whole trace document;
+                        # its root span subtree is what grafts under the
+                        # forward span (links/dropped ride along as attrs).
+                        subtree = worker_trace.get("root")
+                        if isinstance(subtree, Mapping):
+                            subtree = dict(subtree)
+                            for extra in ("links", "dropped"):
+                                value = worker_trace.get(extra)
+                                if value:
+                                    attrs = dict(subtree.get("attrs") or {})
+                                    attrs[extra] = value
+                                    subtree["attrs"] = attrs
+                            trace.attach_child_doc(forward_span, subtree)
             except asyncio.TimeoutError:
                 # The worker missed the deadline *and* the grace: the
                 # cancelled _forward discarded its connection, so the
@@ -1012,6 +1114,16 @@ class FleetServer:
             # Our claim attempt re-coalesced (row still pending): keep waiting.
         return None
 
+    @staticmethod
+    def _link_leader(core: Mapping[str, Any], relation: str) -> None:
+        """Record, on a follower's trace, a link to the leader's trace."""
+        trace = current_trace()
+        if trace is None:
+            return
+        leader = core.get("trace_id")
+        if isinstance(leader, str) and leader != trace.trace_id:
+            trace.link(leader, relation)
+
     def _respond(
         self,
         request: AuditRequest,
@@ -1047,14 +1159,21 @@ class FleetServer:
         }
 
     # -- fleet stats -------------------------------------------------------------
-    async def _worker_stats(self, shard: _Shard) -> Dict[str, Any]:
-        raw = encode_message(
-            {"id": _ROUTER_ID, "op": "stats", "options": {"mergeable": True}}
+    async def _worker_control(
+        self, shard: _Shard, op: str, options: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        document: Dict[str, Any] = {"id": _ROUTER_ID, "op": op}
+        if options:
+            document["options"] = options
+        response = await asyncio.wait_for(
+            self._forward(shard, encode_message(document)), timeout=15.0
         )
-        response = await asyncio.wait_for(self._forward(shard, raw), timeout=15.0)
         if not response.get("ok"):
-            raise ReproError(f"worker {shard.index} stats failed: {response!r}")
+            raise ReproError(f"worker {shard.index} {op} failed: {response!r}")
         return response.get("result") or {}
+
+    async def _worker_stats(self, shard: _Shard) -> Dict[str, Any]:
+        return await self._worker_control(shard, "stats", {"mergeable": True})
 
     async def _fleet_stats(self, request: AuditRequest) -> Dict[str, Any]:
         self._metrics.observe("stats", "computed")
@@ -1100,6 +1219,9 @@ class FleetServer:
                 entry["sessions"] = payload.get("sessions", [])
             elif isinstance(payload, BaseException):
                 entry["error"] = str(payload)
+                # A dead/unreachable shard contributes a malformed part;
+                # merge_snapshots skips it and marks the merge partial.
+                mergeables.append(None)
             shards_doc.append(entry)
         merged = merge_snapshots(mergeables)
         coalescer = self._coalescer
@@ -1120,6 +1242,53 @@ class FleetServer:
         if fault_stats is not None:
             merged["fleet"]["faults"] = fault_stats
         return ok_response(request.id, "stats", merged)
+
+    async def _fleet_traces(self, request: AuditRequest) -> Dict[str, Any]:
+        """Merge every worker's trace-buffer snapshot with the router's."""
+        self._metrics.observe("traces", "computed")
+        payloads = await asyncio.gather(
+            *(self._worker_control(shard, "traces") for shard in self._shards),
+            return_exceptions=True,
+        )
+        parts: List[Any] = [TRACES.snapshot()]
+        parts.extend(
+            payload if isinstance(payload, Mapping) else None for payload in payloads
+        )
+        merged = merge_trace_snapshots(parts)
+        merged["workers"] = len(self._shards)
+        return ok_response(request.id, "traces", merged)
+
+    async def _fleet_metrics(self, request: AuditRequest) -> Dict[str, Any]:
+        """One Prometheus exposition over router + every worker's counters."""
+        self._metrics.observe("metrics", "computed")
+        payloads = await asyncio.gather(
+            *(
+                self._worker_control(shard, "metrics", {"mergeable": True})
+                for shard in self._shards
+            ),
+            return_exceptions=True,
+        )
+        mergeables: List[Any] = [self._metrics.mergeable_snapshot()]
+        gauges: Dict[str, Any] = {
+            "fleet_workers": len(self._shards),
+            "active_requests": self._active,
+        }
+        for payload in payloads:
+            if not isinstance(payload, Mapping):
+                mergeables.append(None)
+                continue
+            mergeables.append(payload.get("mergeable"))
+            for name, value in (payload.get("gauges") or {}).items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    gauges[name] = gauges.get(name, 0) + value
+        merged = merge_snapshots(mergeables)
+        result: Dict[str, Any] = {
+            "content_type": CONTENT_TYPE,
+            "text": render_prometheus(merged, gauges),
+        }
+        if merged.get("partial"):
+            result["partial"] = True
+        return ok_response(request.id, "metrics", result)
 
 
 # ---------------------------------------------------------------------------

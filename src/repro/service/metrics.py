@@ -34,12 +34,14 @@ from __future__ import annotations
 
 import threading
 import time
+from bisect import bisect_left
 from collections import deque
 from typing import Any, Deque, Dict, Iterable, List, Mapping, Optional
 
 __all__ = [
     "ServiceMetrics",
     "LATENCY_WINDOW",
+    "HISTOGRAM_BUCKETS_MS",
     "percentile",
     "merge_snapshots",
 ]
@@ -49,6 +51,15 @@ LATENCY_WINDOW = 4096
 
 #: Observation outcomes (see module docstring).
 OUTCOMES = ("computed", "coalesced", "cached", "error", "shed", "deadline")
+
+#: Upper bounds (milliseconds) of the cumulative latency histogram.  The
+#: windowed percentile ring forgets old observations; these counters are
+#: *cumulative over the process lifetime*, which is what Prometheus-style
+#: exposition requires (a scraper computes rates from monotone counters).
+HISTOGRAM_BUCKETS_MS = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0, 30000.0,
+)
 
 
 def percentile(samples: List[float], q: float) -> float:
@@ -68,13 +79,40 @@ def percentile(samples: List[float], q: float) -> float:
 
 
 class _OpMetrics:
-    """Counters and a latency ring for one operation."""
+    """Counters, a latency ring, and a cumulative histogram for one operation."""
 
-    __slots__ = ("counts", "latencies")
+    __slots__ = ("counts", "latencies", "bucket_counts", "latency_sum", "latency_count")
 
     def __init__(self) -> None:
         self.counts: Dict[str, int] = {outcome: 0 for outcome in OUTCOMES}
         self.latencies: Deque[float] = deque(maxlen=LATENCY_WINDOW)
+        #: Per-bucket (non-cumulative) counts; the final slot is overflow.
+        self.bucket_counts: List[int] = [0] * (len(HISTOGRAM_BUCKETS_MS) + 1)
+        self.latency_sum = 0.0
+        self.latency_count = 0
+
+    def observe_latency(self, elapsed_ms: float) -> None:
+        self.latencies.append(elapsed_ms)
+        self.bucket_counts[bisect_left(HISTOGRAM_BUCKETS_MS, elapsed_ms)] += 1
+        self.latency_sum += elapsed_ms
+        self.latency_count += 1
+
+
+def _histogram_doc(
+    bucket_counts: List[int], latency_sum: float, latency_count: int
+) -> Dict[str, object]:
+    """Render raw per-bucket counts as the exposed cumulative form."""
+    cumulative: Dict[str, int] = {}
+    running = 0
+    for bound, count in zip(HISTOGRAM_BUCKETS_MS, bucket_counts):
+        running += count
+        label = str(int(bound)) if float(bound).is_integer() else str(bound)
+        cumulative[label] = running
+    return {
+        "buckets_ms": cumulative,
+        "sum_ms": round(latency_sum, 3),
+        "count": latency_count,
+    }
 
 
 def _latency_doc(ordered: List[float]) -> Dict[str, object]:
@@ -109,7 +147,7 @@ class ServiceMetrics:
                 entry = self._ops[op] = _OpMetrics()
             entry.counts[outcome] += 1
             if elapsed_seconds is not None:
-                entry.latencies.append(elapsed_seconds * 1000.0)
+                entry.observe_latency(elapsed_seconds * 1000.0)
 
     # -- reading -----------------------------------------------------------------
     def total(self, outcome: str) -> int:
@@ -134,6 +172,10 @@ class ServiceMetrics:
                 op_doc: Dict[str, object] = {"requests": requests, **entry.counts}
                 if entry.latencies:
                     op_doc["latency_ms"] = _latency_doc(sorted(entry.latencies))
+                if entry.latency_count:
+                    op_doc["histogram"] = _histogram_doc(
+                        entry.bucket_counts, entry.latency_sum, entry.latency_count
+                    )
                 operations[op] = op_doc
             requests = sum(totals.values())
             duplicates = totals["coalesced"] + totals["cached"]
@@ -163,7 +205,11 @@ class ServiceMetrics:
         the *union* of the workers' observations::
 
             {"started": <epoch>,
-             "operations": {op: {"counts": {...}, "latencies_ms": [...]}}}
+             "operations": {op: {"counts": {...}, "latencies_ms": [...],
+                                 "histogram": {"buckets": [...], "sum_ms": ..., "count": ...}}}}
+
+        The histogram travels as the raw per-bucket count list (final
+        slot = overflow) so merging is element-wise addition.
         """
         with self._lock:
             return {
@@ -172,13 +218,18 @@ class ServiceMetrics:
                     op: {
                         "counts": dict(entry.counts),
                         "latencies_ms": [round(v, 6) for v in entry.latencies],
+                        "histogram": {
+                            "buckets": list(entry.bucket_counts),
+                            "sum_ms": round(entry.latency_sum, 6),
+                            "count": entry.latency_count,
+                        },
                     }
                     for op, entry in self._ops.items()
                 },
             }
 
 
-def merge_snapshots(parts: Iterable[Mapping[str, Any]]) -> Dict[str, object]:
+def merge_snapshots(parts: Iterable[Any]) -> Dict[str, object]:
     """Combine mergeable snapshots into one :meth:`ServiceMetrics.snapshot` doc.
 
     Counters are summed and latency reservoirs concatenated, so the
@@ -187,24 +238,64 @@ def merge_snapshots(parts: Iterable[Mapping[str, Any]]) -> Dict[str, object]:
     :data:`LATENCY_WINDOW`, so extremely long-lived fleets merge the most
     recent window of each worker).  ``uptime_seconds`` is measured from
     the earliest ``started`` stamp.
+
+    A shard that dies between stats polls contributes a malformed part
+    (``None``, an exception's string form, an empty doc): such parts are
+    skipped and the merged document carries ``partial: true`` instead of
+    the merge raising fleet-wide.
     """
     started: Optional[float] = None
     counts: Dict[str, Dict[str, int]] = {}
     samples: Dict[str, List[float]] = {}
+    buckets: Dict[str, List[int]] = {}
+    sums: Dict[str, float] = {}
+    hist_counts: Dict[str, int] = {}
+    partial = False
     for part in parts:
+        if not isinstance(part, Mapping):
+            partial = True
+            continue
         part_started = part.get("started")
         if isinstance(part_started, (int, float)):
             started = part_started if started is None else min(started, part_started)
         operations = part.get("operations")
         if not isinstance(operations, Mapping):
+            if operations is not None:
+                partial = True
             continue
         for op, entry in operations.items():
+            if not isinstance(entry, Mapping):
+                partial = True
+                continue
             merged = counts.setdefault(op, {outcome: 0 for outcome in OUTCOMES})
-            for outcome, count in (entry.get("counts") or {}).items():
-                if outcome in merged and isinstance(count, int):
-                    merged[outcome] += count
+            part_counts = entry.get("counts")
+            if isinstance(part_counts, Mapping):
+                for outcome, count in part_counts.items():
+                    if outcome in merged and isinstance(count, int):
+                        merged[outcome] += count
             latencies = entry.get("latencies_ms") or []
-            samples.setdefault(op, []).extend(float(v) for v in latencies)
+            samples.setdefault(op, []).extend(
+                float(v) for v in latencies if isinstance(v, (int, float))
+            )
+            histogram = entry.get("histogram")
+            if isinstance(histogram, Mapping):
+                part_buckets = histogram.get("buckets")
+                if (
+                    isinstance(part_buckets, list)
+                    and len(part_buckets) == len(HISTOGRAM_BUCKETS_MS) + 1
+                ):
+                    merged_buckets = buckets.setdefault(
+                        op, [0] * (len(HISTOGRAM_BUCKETS_MS) + 1)
+                    )
+                    for index, count in enumerate(part_buckets):
+                        if isinstance(count, int):
+                            merged_buckets[index] += count
+                sum_ms = histogram.get("sum_ms")
+                if isinstance(sum_ms, (int, float)):
+                    sums[op] = sums.get(op, 0.0) + float(sum_ms)
+                count = histogram.get("count")
+                if isinstance(count, int):
+                    hist_counts[op] = hist_counts.get(op, 0) + count
 
     operations_doc: Dict[str, object] = {}
     totals = {outcome: 0 for outcome in OUTCOMES}
@@ -215,10 +306,16 @@ def merge_snapshots(parts: Iterable[Mapping[str, Any]]) -> Dict[str, object]:
         op_doc: Dict[str, object] = {"requests": sum(op_counts.values()), **op_counts}
         if samples.get(op):
             op_doc["latency_ms"] = _latency_doc(sorted(samples[op]))
+        if hist_counts.get(op):
+            op_doc["histogram"] = _histogram_doc(
+                buckets.get(op, [0] * (len(HISTOGRAM_BUCKETS_MS) + 1)),
+                sums.get(op, 0.0),
+                hist_counts[op],
+            )
         operations_doc[op] = op_doc
     requests = sum(totals.values())
     duplicates = totals["coalesced"] + totals["cached"]
-    return {
+    merged_doc: Dict[str, object] = {
         "uptime_seconds": round(time.time() - started, 3) if started is not None else 0.0,
         "totals": {
             "requests": requests,
@@ -229,3 +326,6 @@ def merge_snapshots(parts: Iterable[Mapping[str, Any]]) -> Dict[str, object]:
         },
         "operations": operations_doc,
     }
+    if partial:
+        merged_doc["partial"] = True
+    return merged_doc

@@ -22,8 +22,8 @@ Operations
 ----------
 Analysis operations mirror the session API: ``decide``, ``quick``,
 ``audit``, ``leakage``, ``collusion``, ``with_knowledge``, ``verify``
-and ``plan``.  Control operations are ``ping``, ``stats`` and
-``shutdown``.
+and ``plan``.  Control operations are ``ping``, ``stats``, ``traces``,
+``metrics`` and ``shutdown``.
 
 Error codes
 -----------
@@ -42,6 +42,17 @@ the code list: ``overloaded`` and ``worker-crashed`` are safe to retry
 (the request never ran, or is idempotent and deduplicated fleet-wide by
 its fingerprint); ``deadline-exceeded`` is *not* marked retryable — the
 caller's time budget is spent and only the caller can grant more.
+
+Tracing
+-------
+Analysis requests may carry a ``trace`` object asking the fleet to
+record a span tree for this request: ``{"return": true}`` opens a trace
+server-side and returns the finished tree in the response's
+``server.trace``; the router adds ``id``/``parent`` when forwarding so
+the worker's spans graft under the router's ``router.forward`` span.
+Like ``deadline_ms``, the field is transport metadata: it is excluded
+from both the coalescing fingerprint and the session key, so traced and
+untraced duplicates still share one computation.
 
 Deadlines
 ---------
@@ -109,7 +120,7 @@ ANALYSIS_OPERATIONS = frozenset(
 )
 
 #: Operations answered by the server itself.
-CONTROL_OPERATIONS = frozenset({"ping", "stats", "shutdown"})
+CONTROL_OPERATIONS = frozenset({"ping", "stats", "traces", "metrics", "shutdown"})
 
 OPERATIONS = ANALYSIS_OPERATIONS | CONTROL_OPERATIONS
 
@@ -168,6 +179,9 @@ class AuditRequest:
     options: Mapping[str, Any] = field(default_factory=dict)
     #: Wall-clock budget (queue wait + computation) in milliseconds.
     deadline_ms: Optional[float] = None
+    #: Tracing directives (``{"return": true, "id": ..., "parent": ...}``).
+    #: Transport metadata, excluded from fingerprints like ``deadline_ms``.
+    trace: Optional[Mapping[str, Any]] = None
 
     @property
     def is_control(self) -> bool:
@@ -195,6 +209,8 @@ class AuditRequest:
             document["options"] = dict(self.options)
         if self.deadline_ms is not None:
             document["deadline_ms"] = self.deadline_ms
+        if self.trace is not None:
+            document["trace"] = dict(self.trace)
         return document
 
 
@@ -267,10 +283,17 @@ def parse_request(document: Any) -> AuditRequest:
                 ERROR_INVALID_REQUEST, "'deadline_ms' must be a positive number"
             )
         deadline_ms = float(deadline_ms)
+    trace = document.get("trace")
+    if trace is not None:
+        if not isinstance(trace, Mapping) or not all(isinstance(k, str) for k in trace):
+            raise ProtocolError(
+                ERROR_INVALID_REQUEST, "'trace' must be an object with string keys"
+            )
+        trace = dict(trace)
     if op in CONTROL_OPERATIONS:
         # Control operations accept options too (e.g. the fleet router asks
         # each worker for ``stats`` with ``{"mergeable": true}``).
-        return AuditRequest(op=op, id=request_id, options=dict(options))
+        return AuditRequest(op=op, id=request_id, options=dict(options), trace=trace)
 
     schema = _require(document, "schema", op)
     if not isinstance(schema, Mapping) or not schema.get("relations"):
@@ -324,6 +347,7 @@ def parse_request(document: Any) -> AuditRequest:
         eval_engine=eval_engine,
         options=dict(options),
         deadline_ms=deadline_ms,
+        trace=trace,
     )
 
 

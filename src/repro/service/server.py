@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import contextvars
 import errno
 import functools
 import hashlib
@@ -49,6 +50,19 @@ from typing import Any, Awaitable, Dict, Mapping, Optional, Tuple
 
 from ..audit.auditor import SecurityAuditor
 from ..exceptions import ReproError
+from ..obs import (
+    CONTENT_TYPE,
+    TRACES,
+    SlowLog,
+    current_trace,
+    record_span,
+    render_prometheus,
+    slow_log_from_env,
+    span,
+    start_trace,
+    tracing_enabled,
+)
+from ..obs import install_from_env as install_tracing_from_env
 from . import faults
 from ..io import dictionary_from_dict, schema_from_dict
 from ..session import AnalysisSession, PublishingPlan
@@ -183,6 +197,10 @@ class AuditServer:
         ``CriticalTupleCache`` size of each shared session.
     max_payload:
         Upper bound (bytes) on one request line.
+    slow_ms:
+        Threshold of the structured slow-request log: traced requests
+        slower than this emit one JSON line naming the dominant span
+        (``REPRO_TRACE_SLOW_MS`` / ``REPRO_TRACE_SLOW_LOG`` override).
     watchdog_seconds:
         Server-side cap on any one computation, applied even to
         requests that carry no ``deadline_ms`` (``None`` disables).
@@ -206,6 +224,7 @@ class AuditServer:
         session_cache_size: int = 512,
         max_payload: int = DEFAULT_MAX_PAYLOAD,
         watchdog_seconds: Optional[float] = None,
+        slow_ms: Optional[float] = None,
     ):
         if queue_limit < 1:
             raise ReproError("queue_limit must be at least 1")
@@ -221,6 +240,8 @@ class AuditServer:
         self._session_cache_size = session_cache_size
         self._max_payload = max_payload
         self._watchdog_seconds = watchdog_seconds
+        self._slow_ms = slow_ms
+        self._slow_log: SlowLog = SlowLog(slow_ms)
         self._abandoned_total = 0
         self._abandoned_running = 0
         self._metrics = ServiceMetrics()
@@ -240,6 +261,8 @@ class AuditServer:
         if self._server is not None:
             raise ReproError("the server is already running")
         faults.install_from_env()
+        install_tracing_from_env()
+        self._slow_log = slow_log_from_env(self._slow_ms)
         self._stop_event = asyncio.Event()
         self._executor = ThreadPoolExecutor(
             max_workers=self._workers, thread_name_prefix="repro-audit"
@@ -407,11 +430,40 @@ class AuditServer:
                 # fidelity (see repro.service.metrics.merge_snapshots).
                 payload["mergeable"] = self._metrics.mergeable_snapshot()
             return ok_response(request.id, "stats", payload)
+        if request.op == "traces":
+            self._metrics.observe("traces", "computed")
+            return ok_response(request.id, "traces", TRACES.snapshot())
+        if request.op == "metrics":
+            self._metrics.observe("metrics", "computed")
+            if request.options.get("mergeable"):
+                # The fleet router merges per-worker parts and renders once.
+                payload: Dict[str, Any] = {
+                    "mergeable": self._metrics.mergeable_snapshot(),
+                    "gauges": self._gauges(),
+                }
+            else:
+                merged = self._metrics.snapshot()
+                payload = {
+                    "content_type": CONTENT_TYPE,
+                    "text": render_prometheus(merged, self._gauges()),
+                }
+            return ok_response(request.id, "metrics", payload)
         # shutdown
         self._metrics.observe("shutdown", "computed")
         if self._stop_event is not None:
             self._stop_event.set()
         return ok_response(request.id, "shutdown", {"stopping": True})
+
+    def _gauges(self) -> Dict[str, Any]:
+        """Point-in-time gauges for the Prometheus exposition."""
+        return {
+            "pending_analyses": self._pending,
+            "connections": self._connections,
+            "sessions": len(self._sessions),
+            "result_cache_entries": len(self._results),
+            "workers": self._workers,
+            "queue_limit": self._queue_limit,
+        }
 
     def _stats_payload(self) -> Dict[str, Any]:
         sessions = []
@@ -442,6 +494,12 @@ class AuditServer:
             },
             "query_evaluation": evaluation_stats(),
             "sessions": sessions,
+            "tracing": {
+                "enabled": tracing_enabled(),
+                "recorded": TRACES.snapshot()["recorded"],
+                "slow_threshold_ms": self._slow_log.threshold_ms,
+                "slow_logged": self._slow_log.logged,
+            },
         }
         fault_stats = faults.stats()
         if fault_stats is not None:
@@ -507,6 +565,31 @@ class AuditServer:
                 self._results.popitem(last=False)
 
     async def _handle_analysis(self, request: AuditRequest) -> Dict[str, Any]:
+        if not request.trace:
+            return await self._handle_analysis_core(request)
+        # Open a server-side trace for this request.  The router passes
+        # ``id``/``parent`` so the worker's spans graft under its own
+        # ``router.forward`` span; a bare ``{"return": true}`` from a
+        # client opens a fresh trace here.
+        spec = request.trace
+        trace_id = spec.get("id")
+        parent_id = spec.get("parent")
+        with start_trace(
+            "server.handle",
+            trace_id=trace_id if isinstance(trace_id, str) else None,
+            parent_id=parent_id if isinstance(parent_id, str) else None,
+        ) as trace:
+            trace.root.set("op", request.op)
+            response = await self._handle_analysis_core(request)
+        document = trace.to_dict()
+        TRACES.record(document)
+        self._slow_log.maybe_log(document, op=request.op)
+        server = response.get("server")
+        if isinstance(server, dict):
+            server["trace"] = document
+        return response
+
+    async def _handle_analysis_core(self, request: AuditRequest) -> Dict[str, Any]:
         key = request_key(request)
         started = time.perf_counter()
         deadline = self._deadline_of(request, started)
@@ -516,11 +599,13 @@ class AuditServer:
             # Coalesce: await the twin computation (shielded so one
             # impatient client cannot cancel it from under the others).
             try:
-                response_core = await self._await_within(inflight, deadline)
+                with span("coalesce.follow"):
+                    response_core = await self._await_within(inflight, deadline)
             except asyncio.TimeoutError:
                 return self._deadline_expired(
                     request, started, "while awaiting a twin computation"
                 )
+            self._link_leader(response_core, "coalesced-leader")
             elapsed = time.perf_counter() - started
             self._metrics.observe(request.op, "coalesced", elapsed)
             return self._finish(request, response_core, elapsed, coalesced=True)
@@ -528,6 +613,7 @@ class AuditServer:
         cached = self._results.get(key)
         if cached is not None:
             self._results.move_to_end(key)
+            self._link_leader(cached, "result-cache")
             elapsed = time.perf_counter() - started
             self._metrics.observe(request.op, "cached", elapsed)
             return self._finish(request, cached, elapsed, cached=True)
@@ -555,9 +641,7 @@ class AuditServer:
         try:
             try:
                 session = self._session_for(request)
-                work = loop.run_in_executor(
-                    self._executor, self._execute, session, request
-                )
+                work = self._submit(loop, session, request)
                 payload = await self._await_within(work, deadline)
                 response_core = {"ok": True, "result": payload}
             except asyncio.TimeoutError:
@@ -580,6 +664,11 @@ class AuditServer:
                     "code": ERROR_INTERNAL,
                     "message": f"{type(error).__name__}: {error}",
                 }
+            trace = current_trace()
+            if trace is not None:
+                # Stamped before the future resolves so coalesced twins
+                # (and later cache hits) can link to this computation.
+                response_core["trace_id"] = trace.trace_id
         finally:
             self._pending -= 1
             self._inflight.pop(key, None)
@@ -601,6 +690,38 @@ class AuditServer:
             elapsed,
         )
         return self._finish(request, response_core, elapsed)
+
+    def _submit(
+        self, loop: asyncio.AbstractEventLoop, session: AnalysisSession, request: AuditRequest
+    ) -> "asyncio.Future":
+        """Schedule one analysis on the worker pool.
+
+        With a trace open, the contextvars context is copied into the
+        worker thread so engine-level spans land under this request's
+        tree, and the queue wait (submission → thread pickup) becomes
+        its own span.  Untraced requests take the bare path — no
+        context copy, no extra closure.
+        """
+        if current_trace() is None:
+            return loop.run_in_executor(self._executor, self._execute, session, request)
+        enqueued = time.perf_counter()
+        context = contextvars.copy_context()
+
+        def _traced() -> Dict[str, Any]:
+            record_span("server.queue_wait", (time.perf_counter() - enqueued) * 1000.0)
+            with span("server.execute"):
+                return self._execute(session, request)
+
+        return loop.run_in_executor(self._executor, context.run, _traced)
+
+    def _link_leader(self, response_core: Mapping[str, Any], relation: str) -> None:
+        """Record, on a follower's trace, a link to the leader's trace."""
+        trace = current_trace()
+        if trace is None:
+            return
+        leader = response_core.get("trace_id")
+        if isinstance(leader, str) and leader != trace.trace_id:
+            trace.link(leader, relation)
 
     def _finish(
         self,

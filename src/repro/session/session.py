@@ -32,6 +32,7 @@ from ..core.practical import practical_security_check
 from ..core.prior import PriorKnowledge
 from ..cq.evaluation import eval_engine_scope
 from ..exceptions import SecurityAnalysisError
+from ..obs import span
 from ..probability.dictionary import Dictionary
 from ..relational.domain import Domain
 from ..relational.schema import Schema
@@ -251,7 +252,7 @@ class AnalysisSession:
         would have refused to compute under a tighter bound.
         """
         def compute(*args, **kwargs):
-            with self.eval_scope():
+            with span("criticality.compute"), self.eval_scope():
                 return self._criticality_engine.critical_tuples(*args, **kwargs)
 
         if constraint is not None:
@@ -322,7 +323,7 @@ class AnalysisSession:
         view_list = self._normalise_views(views)
         before = self._cache.stats()
         started = time.perf_counter()
-        with self.eval_scope():
+        with span("session.decide"), self.eval_scope():
             decision = decide_security(
                 secret_query,
                 view_list,
@@ -356,7 +357,7 @@ class AnalysisSession:
         view_list = self._normalise_views(views)
         before = self._cache.stats()
         started = time.perf_counter()
-        with self.eval_scope():
+        with span("session.leakage"), self.eval_scope():
             measurement = _positive_leakage(
                 secret_query,
                 view_list,
@@ -394,7 +395,7 @@ class AnalysisSession:
             normalised = [self._unwrap(views, "view")]
         before = self._cache.stats()
         started = time.perf_counter()
-        with self.eval_scope():
+        with span("session.collusion"), self.eval_scope():
             report = analyse_collusion(
                 secret_query,
                 normalised,
@@ -430,7 +431,7 @@ class AnalysisSession:
         view_list = self._normalise_views((views,))
         before = self._cache.stats()
         started = time.perf_counter()
-        with self.eval_scope():
+        with span("session.with-knowledge"), self.eval_scope():
             decision = decide_with_knowledge(
                 secret_query,
                 view_list,
@@ -463,7 +464,7 @@ class AnalysisSession:
         view_query = self._unwrap(view, "view")
         before = self._cache.stats()
         started = time.perf_counter()
-        with self.eval_scope():
+        with span("session.practical"), self.eval_scope():
             report = classify_practical_security(
                 secret_query,
                 view_query,
@@ -485,7 +486,7 @@ class AnalysisSession:
         view_list = self._normalise_views(views)
         before = self._cache.stats()
         started = time.perf_counter()
-        with self.eval_scope():
+        with span("session.quick-check"), self.eval_scope():
             check = practical_security_check(secret_query, view_list)
         verdict = True if check.certainly_secure else None
         return self._finish(
@@ -512,7 +513,7 @@ class AnalysisSession:
             raise SecurityAnalysisError("at least one view is required")
         before = self._cache.stats()
         started = time.perf_counter()
-        with self.eval_scope():
+        with span("session.verify"), self.eval_scope():
             verdict = self._engine.verify(secret_query, view_list, dictionary, **options)
         return self._finish(
             VerificationResult,
@@ -562,7 +563,7 @@ class AnalysisSession:
         entries: List[PlanEntry] = []
         for secret_name, secret_query in secrets.items():
             for recipient, view_query in views.items():
-                with self.eval_scope():
+                with span("session.audit-plan"), self.eval_scope():
                     decision = decide_security(
                         secret_query,
                         view_query,

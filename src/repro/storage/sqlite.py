@@ -50,6 +50,8 @@ from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Seque
 
 from .. import faults
 from ..exceptions import ReproError
+from ..obs import span
+from ..obs.counters import StatCounters
 from ..relational.instance import Instance
 from ..relational.tuples import Fact
 from .base import FactStore
@@ -58,12 +60,11 @@ __all__ = ["SQLiteFactStore", "STORAGE_STATS", "reset_storage_stats"]
 
 #: Process-wide storage counters (monotone; surfaced through
 #: :func:`repro.cq.evaluation_stats` with a ``storage_`` prefix).
-STORAGE_STATS: Dict[str, int] = {
-    "facts_loaded": 0,
-    "tables_created": 0,
-    "indexes_created": 0,
-    "stores_opened": 0,
-}
+#: A :class:`~repro.obs.counters.StatCounters`: increments go through
+#: ``.bump()`` so counts survive concurrent loads on worker threads.
+STORAGE_STATS = StatCounters(
+    ("facts_loaded", "tables_created", "indexes_created", "stores_opened")
+)
 
 #: Name of the layout metadata table inside every store.
 _META_TABLE = "repro_meta"
@@ -80,8 +81,7 @@ _BATCH_SIZE = 5000
 
 def reset_storage_stats() -> None:
     """Zero the storage counters (tests/benchmarks)."""
-    for key in STORAGE_STATS:
-        STORAGE_STATS[key] = 0
+    STORAGE_STATS.reset()
 
 
 def _check_value(value: object) -> object:
@@ -163,7 +163,7 @@ class SQLiteFactStore(FactStore):
                 "AND name LIKE 'ix_%'"
             ).fetchall():
                 self._indexes.add(name)
-        STORAGE_STATS["stores_opened"] += 1
+        STORAGE_STATS.bump("stores_opened")
 
     # -- lifecycle -------------------------------------------------------------
     @property
@@ -201,7 +201,7 @@ class SQLiteFactStore(FactStore):
         """
         offered = 0
         pending: Dict[Tuple[str, int], List[Tuple[object, ...]]] = {}
-        with self._lock:
+        with span("storage.load") as sp, self._lock:
             cursor = self._connection.cursor()
             cursor.execute("BEGIN")
             try:
@@ -221,7 +221,9 @@ class SQLiteFactStore(FactStore):
             except BaseException:
                 cursor.execute("ROLLBACK")
                 raise
-        STORAGE_STATS["facts_loaded"] += offered
+            if sp:
+                sp.set("facts", offered)
+        STORAGE_STATS.bump("facts_loaded", offered)
         return offered
 
     def add(self, *facts: Fact) -> int:
@@ -384,7 +386,7 @@ class SQLiteFactStore(FactStore):
                 f"CREATE INDEX IF NOT EXISTS {name} ON {table} ({columns})"
             )
             self._indexes.add(name)
-        STORAGE_STATS["indexes_created"] += 1
+        STORAGE_STATS.bump("indexes_created")
         return True
 
     # -- internals ---------------------------------------------------------------
@@ -428,7 +430,7 @@ class SQLiteFactStore(FactStore):
             (relation, arity, table),
         )
         self._tables[(relation, arity)] = table
-        STORAGE_STATS["tables_created"] += 1
+        STORAGE_STATS.bump("tables_created")
         return table
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
