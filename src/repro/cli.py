@@ -23,7 +23,10 @@ runs the batch :meth:`~repro.session.AnalysisSession.audit_plan`.
 ``serve`` runs the asyncio audit daemon of :mod:`repro.service` and
 ``request`` sends it one operation (either assembled from the usual
 flags or read verbatim from ``--payload file.json``); ``request
---trace`` asks the daemon to return its span tree inline.  ``trace``
+--trace`` asks the daemon to return its span tree inline, and
+``request --op subscribe --payload ...`` keeps the connection open and
+streams one JSON line per re-verdict notification of a live audit
+session (see :mod:`repro.session.live`).  ``trace``
 sends the same request and renders the distributed span waterfall
 instead of raw JSON, and ``top`` polls a daemon's merged ``stats`` and
 ``traces`` operations into a live per-shard/per-op view.
@@ -257,7 +260,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--op",
         default=None,
         help="operation: decide, quick, audit, leakage, collusion, with_knowledge, "
-        "verify, plan, ping, stats, shutdown",
+        "verify, plan, ping, stats, shutdown, live-create, apply-delta, "
+        "live-audit, subscribe (subscribe streams notifications until EOF)",
     )
     request.add_argument("--schema", default=None, help="path to the schema JSON file")
     request.add_argument("--secret", default=None, help="the confidential query (datalog)")
@@ -296,6 +300,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ask the daemon for its server-side span tree, returned "
         "inline under result 'server.trace'",
+    )
+    request.add_argument(
+        "--max-events",
+        type=int,
+        default=0,
+        help="with --op subscribe: stop after this many streamed "
+        "notifications (default 0 = stream until the daemon closes)",
     )
 
     trace = subparsers.add_parser(
@@ -567,6 +578,36 @@ def _run_top(args) -> int:
         return 0
 
 
+def _run_subscribe(args, document: dict) -> int:
+    """Stream a live session's notifications as JSON lines on stdout.
+
+    Each ``apply-delta`` landing on the subscribed session prints one
+    notification line (re-audited verdicts, flipped views).  Runs until
+    the daemon closes the stream, ``--max-events`` notifications have
+    arrived, or the user interrupts; all of those exit 0.
+    """
+    from .service.client import AuditServiceClient, ServiceError
+
+    live = document.get("live")
+    fields = {
+        key: value for key, value in document.items() if key not in ("id", "live")
+    }
+    try:
+        with AuditServiceClient(args.host, args.port) as client:
+            count = 0
+            for notification in client.subscribe(live, **fields):
+                print(json.dumps(notification), flush=True)
+                count += 1
+                if args.max_events and count >= args.max_events:
+                    break
+    except ServiceError as error:
+        print(f"error: [{error.code}] {error.message}", file=sys.stderr)
+        return _REQUEST_ERROR_EXITS.get(error.code, 2)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _run_request(args, parser: argparse.ArgumentParser) -> int:
     """The ``request`` command: one operation against a running daemon.
 
@@ -578,6 +619,8 @@ def _run_request(args, parser: argparse.ArgumentParser) -> int:
     on stderr).
     """
     op, document, retry_policy = _request_parts(args, parser)
+    if op == "subscribe":
+        return _run_subscribe(args, document)
     if getattr(args, "trace", False):
         document["trace"] = {"return": True}
     response = _send_request(args, op, document, retry_policy)

@@ -12,7 +12,10 @@ from .containment import are_equivalent, determines, is_answerable_from, is_cont
 from .evaluation import (
     EVAL_ENGINE_ENV,
     answer_contains,
+    delta_apply,
+    delta_apply_many,
     delta_changes,
+    delta_with,
     eval_engine_scope,
     evaluate,
     evaluate_boolean,
@@ -60,6 +63,9 @@ __all__ = [
     "satisfying_assignments",
     "answer_contains",
     "delta_changes",
+    "delta_with",
+    "delta_apply",
+    "delta_apply_many",
     "evaluation_engine",
     "eval_engine_scope",
     "EVAL_ENGINE_ENV",

@@ -341,6 +341,30 @@ class CompiledPlan:
                 return True
         return False
 
+    def delta_with(self, instance: Instance, fact: Fact) -> bool:
+        """Decide ``Q(instance ∪ {fact}) ≠ Q(instance)`` by delta evaluation.
+
+        The insertion mirror of :meth:`delta_without`: monotone queries
+        can only *gain* rows when a fact is inserted, and every gained
+        row has a derivation using the new fact, so only the pinned-atom
+        candidates over the grown instance are re-checked against the
+        original.  Inserting a fact already present, or one unifying
+        with no subgoal, returns ``False`` without evaluating anything.
+        """
+        STATS.bump("delta_calls")
+        if fact in instance:
+            return False
+        with_fact = instance.add(fact)
+        verdicts: Dict[Tuple[object, ...], bool] = {}
+        for row in self.delta_candidates(with_fact, fact):
+            appeared = verdicts.get(row)
+            if appeared is None:
+                appeared = not self.derives_row(instance, row)
+                verdicts[row] = appeared
+            if appeared:
+                return True
+        return False
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CompiledPlan({self.query!r})"
 
@@ -367,6 +391,7 @@ def evaluation_stats() -> Dict[str, object]:
     document.update(STATS)
     document["index_builds"] = INDEX_STATS["builds"]
     document["index_reuses"] = INDEX_STATS["reuses"]
+    document["index_patched"] = INDEX_STATS["patched"]
     document.update(SQL_STATS)
     for key, value in STORAGE_STATS.items():
         document[f"storage_{key}"] = value

@@ -64,6 +64,9 @@ __all__ = [
     "answer_tuple",
     "answer_contains",
     "delta_changes",
+    "delta_with",
+    "delta_apply",
+    "delta_apply_many",
     "possible_answers",
     "naive_evaluate",
     "naive_evaluate_boolean",
@@ -429,6 +432,203 @@ def _delta_changes(query: ConjunctiveQuery, instance: Instance, fact: Fact) -> b
             if not any(plan_for(d).derives_row(without, row) for d in disjuncts):
                 return True
     return False
+
+
+def delta_with(query: ConjunctiveQuery, instance: Instance, fact: Fact) -> bool:
+    """Decide ``Q(instance ∪ {fact}) ≠ Q(instance)`` (insertion delta).
+
+    The symmetric counterpart of :func:`delta_changes`: conjunctive
+    queries and their unions are monotone, so inserting a fact can only
+    *gain* answer rows, and every gained row has a derivation using the
+    new fact.  The compiled engine re-derives only the pinned-atom
+    candidates over the grown instance and checks each against the
+    original; a fact already present, or unifying with no subgoal,
+    costs nothing.  The naive engine evaluates both states in full.
+    """
+    with span("cq.delta"):
+        return _delta_with(query, instance, fact)
+
+
+def _delta_with(query: ConjunctiveQuery, instance: Instance, fact: Fact) -> bool:
+    engine = evaluation_engine()
+    if engine == "naive":
+        instance = _memory(instance)
+        return naive_evaluate(query, instance.add(fact)) != naive_evaluate(
+            query, instance
+        )
+    if engine == "sql":
+        from . import sql as _sql
+
+        return _sql.delta_with(query, instance, fact)
+    instance = _memory(instance)
+    if fact in instance:
+        return False
+    disjuncts = getattr(query, "disjuncts", None)
+    if disjuncts is None:
+        return plan_for(query).delta_with(instance, fact)
+    # Union: a candidate row must be new to the *whole* union's answer.
+    with_fact = instance.add(fact)
+    checked: set = set()
+    for disjunct in disjuncts:
+        for row in plan_for(disjunct).delta_candidates(with_fact, fact):
+            if row in checked:
+                continue
+            checked.add(row)
+            if not any(plan_for(d).derives_row(instance, row) for d in disjuncts):
+                return True
+    return False
+
+
+def delta_apply(
+    query: ConjunctiveQuery,
+    instance: Instance,
+    added: Sequence[Fact] = (),
+    removed: Sequence[Fact] = (),
+) -> Tuple[object, FrozenSet[Tuple[object, ...]], FrozenSet[Tuple[object, ...]]]:
+    """Apply a batched fact delta and report the answer change.
+
+    The post-state is ``after = (instance − removed) ∪ added`` (a fact
+    listed in both sets ends up present).  Returns ``(after, gained,
+    lost)`` where ``gained = Q(after) − Q(instance)`` and ``lost =
+    Q(instance) − Q(after)``.  On the in-memory engines ``after`` is a
+    new :class:`~repro.relational.instance.Instance` (derived through
+    the cache-patching single-fact ``add``/``remove``); on the sql
+    engine a :class:`~repro.storage.sqlite.SQLiteFactStore` target is
+    mutated *in place* and returned.
+
+    The compiled engine is semi-naive throughout: only answer rows with
+    a derivation using a changed fact are ever re-checked — removal
+    candidates over the pre-state, insertion candidates over the
+    post-state — so an untouched query costs nothing beyond the
+    unification checks.
+    """
+    with span("cq.delta"):
+        return _delta_apply(query, instance, tuple(added), tuple(removed))
+
+
+def _delta_apply(
+    query: ConjunctiveQuery,
+    instance: Instance,
+    added: Tuple[Fact, ...],
+    removed: Tuple[Fact, ...],
+):
+    engine = evaluation_engine()
+    if engine == "sql":
+        from . import sql as _sql
+
+        return _sql.delta_apply(query, instance, added, removed)
+    before = _memory(instance)
+    after, truly_added, truly_removed = _memory_delta(before, added, removed)
+    if engine == "naive":
+        before_answer = naive_evaluate(query, before)
+        after_answer = naive_evaluate(query, after)
+        return after, after_answer - before_answer, before_answer - after_answer
+    gained, lost = _compiled_change(query, before, after, truly_added, truly_removed)
+    return after, gained, lost
+
+
+def _memory_delta(
+    before: Instance, added: Tuple[Fact, ...], removed: Tuple[Fact, ...]
+) -> Tuple[Instance, List[Fact], List[Fact]]:
+    """Advance an in-memory instance through one batched delta.
+
+    Returns ``(after, truly_added, truly_removed)`` where the fact lists
+    are deduplicated and reduced to actual state changes (a fact listed
+    in both sets ends up present, so it is neither).
+    """
+    added_set = set(added)
+    truly_removed = [
+        f for f in dict.fromkeys(removed) if f in before and f not in added_set
+    ]
+    truly_added = [f for f in dict.fromkeys(added) if f not in before]
+    after = before
+    for fact in truly_removed:
+        after = after.remove(fact)
+    for fact in truly_added:
+        after = after.add(fact)
+    return after, truly_added, truly_removed
+
+
+def _compiled_change(
+    query: ConjunctiveQuery,
+    before: Instance,
+    after: Instance,
+    truly_added: Sequence[Fact],
+    truly_removed: Sequence[Fact],
+) -> Tuple[FrozenSet[Tuple[object, ...]], FrozenSet[Tuple[object, ...]]]:
+    """``(gained, lost)`` of one query across a pre-computed delta."""
+    disjuncts = getattr(query, "disjuncts", None) or (query,)
+    # Removal candidates are in Q(before) by construction; they are lost
+    # iff nothing re-derives them over the post-state.
+    lost_candidates: set = set()
+    for fact in truly_removed:
+        for disjunct in disjuncts:
+            lost_candidates.update(plan_for(disjunct).delta_candidates(before, fact))
+    lost = frozenset(
+        row
+        for row in lost_candidates
+        if not any(plan_for(d).derives_row(after, row) for d in disjuncts)
+    )
+    # Insertion candidates are in Q(after) by construction; they are
+    # gained iff they were not derivable over the pre-state.  A row seen
+    # among the removal candidates is in Q(before), hence never gained.
+    gained: set = set()
+    gained_checked: set = set()
+    for fact in truly_added:
+        for disjunct in disjuncts:
+            for row in plan_for(disjunct).delta_candidates(after, fact):
+                if row in lost_candidates or row in gained_checked:
+                    continue
+                gained_checked.add(row)
+                if not any(plan_for(d).derives_row(before, row) for d in disjuncts):
+                    gained.add(row)
+    return frozenset(gained), lost
+
+
+def delta_apply_many(
+    queries: Sequence[ConjunctiveQuery],
+    instance: Instance,
+    added: Sequence[Fact] = (),
+    removed: Sequence[Fact] = (),
+) -> Tuple[
+    object,
+    List[Tuple[FrozenSet[Tuple[object, ...]], FrozenSet[Tuple[object, ...]]]],
+]:
+    """Apply one batched fact delta shared by many queries.
+
+    The state advances exactly once — one patched instance chain, or one
+    in-place store mutation — and every query's ``(gained, lost)`` change
+    is computed against that single delta.  Returns ``(after, changes)``
+    with ``changes[i]`` the i-th query's answer change; the state
+    semantics (patched instance vs. in-place store) match
+    :func:`delta_apply`.  This is the primitive a live audit session
+    uses: it classifies which of its tracked queries a delta can touch
+    and passes only those here, so untouched queries cost nothing at all.
+    """
+    with span("cq.delta"):
+        queries = tuple(queries)
+        added = tuple(added)
+        removed = tuple(removed)
+        engine = evaluation_engine()
+        if engine == "sql":
+            from . import sql as _sql
+
+            return _sql.delta_apply_many(queries, instance, added, removed)
+        before = _memory(instance)
+        after, truly_added, truly_removed = _memory_delta(before, added, removed)
+        changes = []
+        for query in queries:
+            if engine == "naive":
+                before_answer = naive_evaluate(query, before)
+                after_answer = naive_evaluate(query, after)
+                changes.append(
+                    (after_answer - before_answer, before_answer - after_answer)
+                )
+            else:
+                changes.append(
+                    _compiled_change(query, before, after, truly_added, truly_removed)
+                )
+        return after, changes
 
 
 def possible_answers(

@@ -65,6 +65,9 @@ __all__ = [
     "satisfying_assignments",
     "answer_contains",
     "delta_changes",
+    "delta_with",
+    "delta_apply",
+    "delta_apply_many",
 ]
 
 #: Process-wide SQL-backend counters (monotone; surfaced through
@@ -444,9 +447,15 @@ class SQLPlan:
         self,
         store: SQLiteFactStore,
         row: Sequence[object],
-        excluding: Optional[Fact] = None,
+        excluding=None,
     ) -> bool:
-        """Decide ``row ∈ Q(store)``, optionally on ``store − excluding``."""
+        """Decide ``row ∈ Q(store)``, optionally on ``store − excluding``.
+
+        ``excluding`` may be one :class:`Fact` or an iterable of them —
+        every excluded fact gets its per-alias ``NOT (…)`` predicates,
+        so the probe answers membership over the store minus the whole
+        set (the batched-delta membership question).
+        """
         seeded = self._head_seed_conditions(tuple(row))
         if seeded is None:
             return False
@@ -455,9 +464,11 @@ class SQLPlan:
             return False
         conditions, params = seeded
         if excluding is not None:
-            extra, extra_params = self._exclusion_conditions(excluding)
-            conditions = conditions + extra
-            params = params + extra_params
+            excluded = (excluding,) if isinstance(excluding, Fact) else tuple(excluding)
+            for fact in excluded:
+                extra, extra_params = self._exclusion_conditions(fact)
+                conditions = conditions + extra
+                params = params + extra_params
         sql = self._statement(from_clause, "1", conditions, limit_one=True)
         return bool(_execute(store, sql, list(self.params) + params))
 
@@ -679,3 +690,207 @@ def delta_changes(query, instance, fact: Fact) -> bool:
         return _fallback(
             "delta_changes", query, instance, fact, counter="sql_io_fallbacks"
         )
+
+
+def _storable_fact(fact: Fact) -> bool:
+    """Can this fact live in a SQL store at all?"""
+    return all(isinstance(v, (bool, int, float, str)) for v in fact.values)
+
+
+def _invalidate_mirror(instance) -> None:
+    """Drop an instance's cached sqlite mirror (it may be torn after an
+    I/O failure mid-mutation); the next use rebuilds it from the facts."""
+    if isinstance(instance, Instance):
+        try:
+            setattr(instance, _MIRROR_ATTRIBUTE, None)
+        except AttributeError:  # pragma: no cover - exotic subclass
+            pass
+
+
+def delta_with(query, instance, fact: Fact) -> bool:
+    """Decide ``Q(instance ∪ {fact}) ≠ Q(instance)`` with delta-seeded SQL.
+
+    The fact is inserted temporarily, the pinned-atom candidates are
+    enumerated over the grown store, and each is checked against the
+    original state by *excluding* the fact — then the insertion is
+    rolled back, so the target (a store or an instance's cached mirror)
+    is restored.  Unstorable facts fall back to the compiled engine:
+    the question is pure, so the verdict is the same.
+    """
+    try:
+        if not _storable_fact(fact):
+            raise UnstorableError(
+                f"fact {fact!r} holds values the sql engine cannot store"
+            )
+        store = store_for(instance)
+        if fact in store:
+            return False
+        SQL_STATS.bump("sql_delta_calls")
+        disjuncts = getattr(query, "disjuncts", None) or (query,)
+        plans = [sql_plan_for(disjunct) for disjunct in disjuncts]
+        store.add(fact)
+        try:
+            checked: Set[Tuple[object, ...]] = set()
+            for plan in plans:
+                for row in plan.delta_candidates(store, fact):
+                    if row in checked:
+                        continue
+                    checked.add(row)
+                    if not any(
+                        p.derives_row(store, row, excluding=fact) for p in plans
+                    ):
+                        return True
+            return False
+        finally:
+            store.remove(fact)
+    except UnstorableError:
+        return _fallback("delta_with", query, instance, fact)
+    except sqlite3.OperationalError:
+        _invalidate_mirror(instance)
+        return _fallback(
+            "delta_with", query, instance, fact, counter="sql_io_fallbacks"
+        )
+
+
+def delta_apply(query, instance, added: Sequence[Fact] = (), removed: Sequence[Fact] = ()):
+    """Apply a batched fact delta in place and report the answer change.
+
+    Returns ``(after, gained, lost)``.  A :class:`SQLiteFactStore`
+    target is mutated in place and returned as ``after``; an
+    :class:`Instance` target gets its cached mirror mutated and rolled
+    back, with ``after`` a new patched instance.  The candidate
+    enumeration is semi-naive: removal candidates over the pre-state,
+    insertion candidates over the grown mid-state (with their pre-state
+    membership answered by excluding every added fact), and one final
+    membership probe per candidate over the post-state.
+    """
+    after, changes = delta_apply_many((query,), instance, added, removed)
+    gained, lost = changes[0]
+    return after, gained, lost
+
+
+def delta_apply_many(
+    queries: Sequence,
+    instance,
+    added: Sequence[Fact] = (),
+    removed: Sequence[Fact] = (),
+):
+    """Apply one batched fact delta shared by many queries.
+
+    The store advances through the mid- and post-states exactly once;
+    each query's candidates are enumerated and settled against those
+    shared states, so a delta over N tracked queries costs one mutation
+    plus N candidate sweeps.  Returns ``(after, [(gained, lost), ...])``
+    with the same state semantics as :func:`delta_apply`.
+    """
+    try:
+        store = store_for(instance)
+        is_store = isinstance(instance, SQLiteFactStore)
+        added_set = set(added)
+        truly_removed = [
+            f
+            for f in dict.fromkeys(removed)
+            if _storable_fact(f) and f in store and f not in added_set
+        ]
+        truly_added = [f for f in dict.fromkeys(added) if f not in store]
+        for fact in truly_added:
+            if not _storable_fact(fact):
+                if is_store:
+                    raise ReproError(
+                        f"cannot apply delta: fact {fact!r} holds values a "
+                        "SQL-backed store cannot hold"
+                    )
+                raise UnstorableError(
+                    f"fact {fact!r} holds values the sql engine cannot store"
+                )
+        SQL_STATS.bump("sql_delta_calls")
+        per_query_plans = [
+            [sql_plan_for(d) for d in (getattr(query, "disjuncts", None) or (query,))]
+            for query in queries
+        ]
+        try:
+            # Phase 1: removal candidates over the pre-state (all of
+            # them are in Q(before) by construction).
+            lost_candidates: List[Set[Tuple[object, ...]]] = [
+                set() for _ in per_query_plans
+            ]
+            for fact in truly_removed:
+                for candidates, plans in zip(lost_candidates, per_query_plans):
+                    for plan in plans:
+                        candidates.update(plan.delta_candidates(store, fact))
+            # Phase 2: grow to the mid-state; insertion candidates are
+            # in Q(mid), and their membership in Q(before) is answered
+            # by excluding every added fact (mid − added = before).
+            if truly_added:
+                store.add(*truly_added)
+            in_before: List[Dict[Tuple[object, ...], bool]] = [
+                {} for _ in per_query_plans
+            ]
+            for fact in truly_added:
+                for candidates, membership, plans in zip(
+                    lost_candidates, in_before, per_query_plans
+                ):
+                    for plan in plans:
+                        for row in plan.delta_candidates(store, fact):
+                            if row in candidates or row in membership:
+                                continue
+                            membership[row] = any(
+                                p.derives_row(store, row, excluding=truly_added)
+                                for p in plans
+                            )
+            # Phase 3: shrink to the post-state; settle every candidate
+            # with one membership probe against it.
+            if truly_removed:
+                store.remove(*truly_removed)
+            changes = []
+            for candidates, membership, plans in zip(
+                lost_candidates, in_before, per_query_plans
+            ):
+                lost = frozenset(
+                    row
+                    for row in candidates
+                    if not any(p.derives_row(store, row) for p in plans)
+                )
+                gained = frozenset(
+                    row
+                    for row, before in membership.items()
+                    if not before and any(p.derives_row(store, row) for p in plans)
+                )
+                changes.append((gained, lost))
+        except BaseException:
+            _invalidate_mirror(instance)
+            raise
+        if is_store:
+            return store, changes
+        # Roll the instance's cached mirror back to the pre-state and
+        # derive the post-state instance through the patching add/remove.
+        try:
+            if truly_added:
+                store.remove(*truly_added)
+            if truly_removed:
+                store.add(*truly_removed)
+        except BaseException:
+            _invalidate_mirror(instance)
+            raise
+        after = _memory_after(instance, truly_added, truly_removed)
+        return after, changes
+    except UnstorableError:
+        return _fallback("delta_apply_many", queries, instance, added, removed)
+    except sqlite3.OperationalError:
+        if isinstance(instance, SQLiteFactStore):
+            raise
+        _invalidate_mirror(instance)
+        return _fallback(
+            "delta_apply_many", queries, instance, added, removed,
+            counter="sql_io_fallbacks",
+        )
+
+
+def _memory_after(instance, truly_added: Sequence[Fact], truly_removed: Sequence[Fact]):
+    """The post-state of an in-memory target, via the patching deltas."""
+    after = instance if isinstance(instance, Instance) else Instance(instance)
+    for fact in truly_removed:
+        after = after.remove(fact)
+    for fact in truly_added:
+        after = after.add(fact)
+    return after

@@ -35,7 +35,7 @@ MAX_ENUMERABLE_TUPLES = 24
 #: surfaced through :func:`repro.cq.compiled.evaluation_stats`).  A
 #: :class:`~repro.obs.counters.StatCounters`: bumped through ``.bump()``
 #: so counts survive concurrent evaluation on worker threads.
-INDEX_STATS = StatCounters(("builds", "reuses"))
+INDEX_STATS = StatCounters(("builds", "reuses", "patched"))
 
 
 class Instance:
@@ -142,12 +142,83 @@ class Instance:
         return index
 
     def add(self, *facts: Fact) -> "Instance":
-        """A new instance with the given facts added."""
-        return Instance(self._facts | set(facts))
+        """A new instance with the given facts added.
+
+        A single-fact delta inherits the parent's already-built caches:
+        per-relation frozensets and hash indexes are *patched* around
+        the one changed fact instead of being rebuilt lazily from
+        scratch by the derived instance (counted as ``patched`` in
+        :data:`INDEX_STATS`).
+        """
+        child = Instance(self._facts | set(facts))
+        if len(facts) == 1:
+            if facts[0] in self._facts:
+                self._share_caches(child)
+            else:
+                self._inherit_caches(child, facts[0], added=True)
+        return child
 
     def remove(self, *facts: Fact) -> "Instance":
-        """A new instance with the given facts removed (missing facts are ignored)."""
-        return Instance(self._facts - set(facts))
+        """A new instance with the given facts removed (missing facts are
+        ignored).  Single-fact deltas patch the parent's caches forward;
+        see :meth:`add`."""
+        child = Instance(self._facts - set(facts))
+        if len(facts) == 1:
+            if facts[0] in self._facts:
+                self._inherit_caches(child, facts[0], added=False)
+            else:
+                self._share_caches(child)
+        return child
+
+    def _share_caches(self, child: "Instance") -> None:
+        """Alias the caches into a child holding the *same* fact set.
+
+        Safe because both instances are immutable views of one fact
+        set: lazy fills through either alias stay correct for both.
+        """
+        child._by_relation = self._by_relation
+        child._indexes = self._indexes
+
+    def _inherit_caches(self, child: "Instance", fact: Fact, added: bool) -> None:
+        """Patch this instance's built caches into a single-fact child.
+
+        Caches of relations the fact does not touch are shared
+        verbatim; the touched relation's entries are shallow-copied
+        with only the one affected index bucket adjusted.  Each index
+        carried forward counts as one ``patched`` in
+        :data:`INDEX_STATS`.
+        """
+        relation, values = fact.relation, fact.values
+        for name, cached in self._by_relation.items():
+            if name != relation:
+                child._by_relation[name] = cached
+            elif added:
+                child._by_relation[name] = cached | {fact}
+            else:
+                child._by_relation[name] = cached - {fact}
+        patched = 0
+        for key, index in self._indexes.items():
+            name, positions = key
+            top = max(positions) if positions else -1
+            if name != relation or top >= len(values):
+                # The fact cannot appear in this index: share verbatim.
+                child._indexes[key] = index
+            else:
+                bucket_key = tuple(values[p] for p in positions)
+                updated = dict(index)
+                bucket = updated.get(bucket_key, ())
+                if added:
+                    updated[bucket_key] = bucket + (fact,)
+                else:
+                    remaining = tuple(f for f in bucket if f != fact)
+                    if remaining:
+                        updated[bucket_key] = remaining
+                    else:
+                        updated.pop(bucket_key, None)
+                child._indexes[key] = updated
+            patched += 1
+        if patched:
+            INDEX_STATS.bump("patched", patched)
 
     def union(self, other: "Instance") -> "Instance":
         """Union of two instances."""

@@ -36,7 +36,7 @@ import random
 import socket
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Optional
+from typing import Any, AsyncIterator, Dict, FrozenSet, Iterator, Optional
 
 from ..exceptions import ReproError
 from .protocol import RETRYABLE_ERROR_CODES, encode_message
@@ -208,6 +208,19 @@ class AuditServiceClient:
             self._socket.close()
             self._socket = None
 
+    def interrupt(self) -> None:
+        """Unblock a thread reading this connection (e.g. iterating a
+        :meth:`subscribe` stream): shuts the socket down so the blocked
+        ``readline`` returns EOF and the stream ends cleanly.  Call
+        :meth:`close` afterwards — closing the buffered reader while
+        another thread sits in it would deadlock on its internal lock.
+        """
+        if self._socket is not None:
+            try:
+                self._socket.shutdown(socket.SHUT_RDWR)
+            except OSError:  # already disconnected
+                pass
+
     def __enter__(self) -> "AuditServiceClient":
         return self.connect()
 
@@ -275,6 +288,46 @@ class AuditServiceClient:
         """Like :meth:`request` but raises :class:`ServiceError` on errors
         and returns only the ``result`` document."""
         return _raise_for_error(self.request(op, **fields))["result"]
+
+    # -- live sessions -----------------------------------------------------------
+    def subscribe(
+        self, live: str, *, idle_timeout: Optional[float] = None, **fields: Any
+    ) -> Iterator[Dict[str, Any]]:
+        """Subscribe to a live session's re-verdict notification stream.
+
+        Sends one ``subscribe`` request, validates the acknowledgement
+        (raising :class:`ServiceError` if the session is unknown), then
+        returns an iterator of notification documents pushed by the
+        server — one per ``apply-delta`` landing on the session — until
+        the stream is closed by either side.
+
+        The connection is *consumed* by the stream: this client can no
+        longer issue requests afterwards; :meth:`close` unsubscribes.
+        ``idle_timeout`` bounds the wait for each notification
+        (default: wait forever — subscriptions are naturally idle).
+        """
+        self.connect()
+        assert self._socket is not None
+        document = {"id": next(self._ids), "op": "subscribe", "live": live, **fields}
+        self._retry.stats["requests"] += 1
+        _raise_for_error(self.send_raw(encode_message(document)))
+        self._socket.settimeout(idle_timeout)
+
+        def _stream() -> Iterator[Dict[str, Any]]:
+            while self._file is not None:
+                try:
+                    line = self._file.readline()
+                except socket.timeout:
+                    raise ReproError(
+                        f"no notification within the {idle_timeout}s idle timeout"
+                    ) from None
+                except (OSError, ValueError):  # closed underneath us
+                    return
+                if not line:
+                    return
+                yield json.loads(line)
+
+        return _stream()
 
     # -- conveniences ------------------------------------------------------------
     def ping(self) -> bool:
@@ -409,3 +462,37 @@ class AsyncAuditServiceClient:
         """Like :meth:`request` but raises :class:`ServiceError` on errors
         and returns only the ``result`` document."""
         return _raise_for_error(await self.request(op, **fields))["result"]
+
+    async def subscribe(
+        self, live: str, *, idle_timeout: Optional[float] = None, **fields: Any
+    ) -> AsyncIterator[Dict[str, Any]]:
+        """Async flavour of :meth:`AuditServiceClient.subscribe`.
+
+        Validates the acknowledgement, then yields notification
+        documents until either side closes the stream.  The connection
+        is consumed; :meth:`close` unsubscribes.
+        """
+        await self.connect()
+        assert self._reader is not None and self._writer is not None
+        document = {"id": next(self._ids), "op": "subscribe", "live": live, **fields}
+        self._retry.stats["requests"] += 1
+        async with self._lock:
+            self._writer.write(encode_message(document))
+            await self._writer.drain()
+            line = await asyncio.wait_for(self._reader.readline(), self._read_timeout)
+        if not line:
+            raise ReproError("the service closed the connection")
+        _raise_for_error(_check_envelope(json.loads(line)))
+        while True:
+            try:
+                if idle_timeout is None:
+                    line = await self._reader.readline()
+                else:
+                    line = await asyncio.wait_for(self._reader.readline(), idle_timeout)
+            except asyncio.TimeoutError:
+                raise ReproError(
+                    f"no notification within the {idle_timeout}s idle timeout"
+                ) from None
+            if not line:
+                return
+            yield json.loads(line)

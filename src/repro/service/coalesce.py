@@ -132,6 +132,7 @@ class FleetCoalescer:
         self._published = 0
         self._abandoned = 0
         self._reclaimed = 0
+        self._forgotten = 0
 
     def _purge_dead_boots(self) -> None:
         """Drop rows left by process generations that no longer run.
@@ -257,13 +258,22 @@ class FleetCoalescer:
             ).fetchone()
         return row[0] if row is not None else None
 
-    def forget(self, fingerprint: str) -> None:
-        """Remove a fingerprint outright (cache invalidation)."""
+    def forget(self, fingerprint: str) -> int:
+        """Remove a fingerprint outright (cache invalidation).
+
+        This is how the fleet router drops ``live-audit`` answers made
+        stale by an ``apply-delta`` on their live session: the cached
+        verdict describes a database that no longer exists, so the row
+        is deleted fleet-wide regardless of state.  Returns the number
+        of rows removed (0 or 1).
+        """
         with self._lock:
-            self._connection.execute(
+            cursor = self._connection.execute(
                 "DELETE FROM fleet_requests WHERE boot = ? AND fingerprint = ?",
                 (self._boot, fingerprint),
             )
+            self._forgotten += cursor.rowcount
+            return cursor.rowcount
 
     def release_owner(self, owner: int) -> int:
         """Abandon every pending claim of one owner (crash cleanup)."""
@@ -302,6 +312,7 @@ class FleetCoalescer:
                 "published": self._published,
                 "abandoned": self._abandoned,
                 "reclaimed": self._reclaimed,
+                "forgotten": self._forgotten,
             }
 
     def close(self) -> None:

@@ -106,6 +106,7 @@ from .protocol import (
     ok_response,
     parse_request,
     request_key,
+    routing_key,
 )
 
 __all__ = ["FleetServer", "FleetThread", "run_fleet", "DEFAULT_FLEET_WORKERS"]
@@ -340,6 +341,10 @@ class FleetServer:
         self._metrics = ServiceMetrics()
         self._shards: List[_Shard] = []
         self._subscribers: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
+        #: live name -> fleet-cached ``live-audit`` fingerprints; each is
+        #: ``forget``-ten from the coalescer when a delta hits the session.
+        self._live_cached: Dict[str, set] = {}
+        self._live_relays = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._stop_event: Optional[asyncio.Event] = None
         self._stopping = False
@@ -754,8 +759,14 @@ class FleetServer:
                     # Simulate a connection lost mid-response: close
                     # without answering (the client sees EOF and retries).
                     break
+                relay = response.pop("_subscribe_relay", None)
                 writer.write(encode_message(response))
                 await writer.drain()
+                if relay is not None:
+                    # The connection is now a notification stream relayed
+                    # from the owning worker (dedicated, non-pooled).
+                    await self._relay_stream(relay, reader, writer)
+                    break
         except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
             pass
         except asyncio.CancelledError:
@@ -787,6 +798,8 @@ class FleetServer:
             return await self._handle_control(request)
         self._active += 1
         try:
+            if request.is_live:
+                return await self._handle_live(request, line)
             return await self._handle_analysis(request, line)
         finally:
             self._active -= 1
@@ -1079,6 +1092,199 @@ class FleetServer:
                 self._metrics.observe(request.op, "deadline", elapsed)
         return self._respond(request, core, elapsed)
 
+    # -- live audit sessions ------------------------------------------------------
+    async def _handle_live(self, request: AuditRequest, raw: bytes) -> Dict[str, Any]:
+        """Route one live operation to the shard owning its session.
+
+        Every operation of one live session shares a routing
+        fingerprint derived from the session *name*
+        (:func:`~repro.service.protocol.routing_key`), so creates,
+        deltas, audits and subscriptions all land on the worker holding
+        the warm incremental state.  Mutations bypass coalescing and
+        caching entirely; ``live-audit`` answers are published to the
+        fleet result table and **forgotten**
+        (:meth:`~repro.service.coalesce.FleetCoalescer.forget`) the
+        moment a delta lands on their session, so no router in the
+        fleet can serve a verdict for a database that no longer exists.
+        """
+        started = time.perf_counter()
+        name = request.live or ""
+        route_fp = hashlib.sha256(routing_key(request).encode("utf8")).hexdigest()
+        coalescer = self._coalescer
+        assert coalescer is not None
+
+        owns_claim = False
+        fingerprint: Optional[str] = None
+        if request.op == "live-audit":
+            fingerprint = hashlib.sha256(request_key(request).encode("utf8")).hexdigest()
+            with span("coalesce.claim"):
+                claimed = coalescer.claim(fingerprint)
+            if claimed:
+                core = json.loads(claimed)
+                self._link_leader(core, "fleet-cache")
+                elapsed = time.perf_counter() - started
+                self._metrics.observe(request.op, "cached", elapsed)
+                return self._respond(request, core, elapsed, fleet="cached")
+            # None → we own the row (publish/abandon below); "" → someone
+            # else is computing, but a snapshot is cheap and a delta may
+            # be racing the pending row — just compute our own copy.
+            owns_claim = claimed is None
+
+        shard = self._shard_for(route_fp)
+        if shard.outstanding >= self._shard_queue_limit:
+            if owns_claim and fingerprint is not None:
+                coalescer.abandon(fingerprint)
+            shard.shed += 1
+            self._metrics.observe(request.op, "shed")
+            return error_response(
+                request.id,
+                ERROR_OVERLOADED,
+                f"shard {shard.index} is saturated ({shard.outstanding} in flight, "
+                f"limit {self._shard_queue_limit}); retry later",
+            )
+
+        if request.op == "subscribe":
+            return await self._subscribe_upstream(shard, request, raw)
+
+        try:
+            with span("router.forward") as fwd:
+                if isinstance(fwd, Span):
+                    fwd.set("shard", shard.index)
+                response = await self._forward(shard, raw)
+            shard.breaker.record_success()
+        except ReproError as error:
+            shard.breaker.record_failure()
+            if owns_claim and fingerprint is not None:
+                coalescer.abandon(fingerprint)
+            elapsed = time.perf_counter() - started
+            self._metrics.observe(request.op, "error", elapsed)
+            if request.is_live_mutation:
+                # A lost delta is NOT safe to retry blindly: the worker
+                # may have applied it before crashing, and the restarted
+                # worker has lost the session either way.
+                return error_response(
+                    request.id,
+                    ERROR_WORKER_CRASHED,
+                    f"{error}; the live session {name!r} must be recreated",
+                    retryable=False,
+                )
+            return error_response(
+                request.id,
+                ERROR_WORKER_CRASHED,
+                f"{error}; the request is safe to retry",
+            )
+
+        core = {
+            key: response[key]
+            for key in ("ok", "op", "result", "error", "server")
+            if key in response
+        }
+        core["shard"] = shard.index
+        elapsed = time.perf_counter() - started
+        if core.get("ok"):
+            if request.op == "live-audit" and fingerprint is not None:
+                if owns_claim:
+                    coalescer.publish(
+                        fingerprint,
+                        json.dumps(core, separators=(",", ":"), default=str),
+                    )
+                self._live_cached.setdefault(name, set()).add(fingerprint)
+            elif request.op == "apply-delta":
+                # Fleet-wide cache invalidation: drop every live-audit
+                # answer this delta just made stale.
+                for stale in self._live_cached.pop(name, ()):
+                    coalescer.forget(stale)
+            self._metrics.observe(request.op, "computed", elapsed)
+        else:
+            if owns_claim and fingerprint is not None:
+                coalescer.abandon(fingerprint)
+            self._metrics.observe(request.op, "error", elapsed)
+        return self._respond(request, core, elapsed)
+
+    async def _subscribe_upstream(
+        self, shard: _Shard, request: AuditRequest, raw: bytes
+    ) -> Dict[str, Any]:
+        """Open a dedicated worker connection for a notification stream.
+
+        Pooled connections are strictly one-line-in-one-line-out; a
+        subscription pushes unsolicited lines, so it gets its own
+        upstream connection for as long as the client stays.
+        """
+        try:
+            reader, writer = await asyncio.open_unix_connection(
+                shard.path, limit=self._stream_limit
+            )
+        except Exception as error:
+            self._metrics.observe("subscribe", "error")
+            return error_response(
+                request.id,
+                ERROR_WORKER_CRASHED,
+                f"cannot reach worker {shard.index}: {error}; retry later",
+            )
+        try:
+            writer.write(raw)
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=30.0)
+            if not line:
+                raise ReproError(f"worker {shard.index} closed the connection")
+            response = json.loads(line)
+        except Exception as error:
+            with contextlib.suppress(Exception):
+                writer.close()
+            self._metrics.observe("subscribe", "error")
+            return error_response(
+                request.id,
+                ERROR_WORKER_CRASHED,
+                f"subscribe failed on worker {shard.index}: {error}",
+            )
+        if not response.get("ok"):
+            with contextlib.suppress(Exception):
+                writer.close()
+            self._metrics.observe("subscribe", "error")
+            return response
+        shard.forwarded += 1
+        self._metrics.observe("subscribe", "computed")
+        server_doc = response.get("server")
+        if isinstance(server_doc, dict):
+            server_doc["shard"] = shard.index
+        response["_subscribe_relay"] = (reader, writer)
+        return response
+
+    async def _relay_stream(
+        self,
+        relay: Tuple[asyncio.StreamReader, asyncio.StreamWriter],
+        client_reader: asyncio.StreamReader,
+        client_writer: asyncio.StreamWriter,
+    ) -> None:
+        """Pump worker notification lines to the client until either side ends."""
+        worker_reader, worker_writer = relay
+        self._live_relays += 1
+        eof = asyncio.ensure_future(client_reader.read(1))
+        getter: Optional["asyncio.Future"] = None
+        try:
+            while True:
+                getter = asyncio.ensure_future(worker_reader.readline())
+                done, _ = await asyncio.wait(
+                    {getter, eof}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if eof in done:
+                    break
+                line = getter.result()
+                getter = None
+                if not line:  # the worker died or was restarted
+                    break
+                client_writer.write(line)
+                await client_writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._live_relays -= 1
+            eof.cancel()
+            if getter is not None:
+                getter.cancel()
+            with contextlib.suppress(Exception):
+                worker_writer.close()
+
     async def _await_remote(
         self,
         coalescer: FleetCoalescer,
@@ -1213,6 +1419,7 @@ class FleetServer:
                         "abandoned",
                         "query_evaluation",
                         "faults",
+                        "live",
                     )
                     if key in payload
                 }
@@ -1234,6 +1441,10 @@ class FleetServer:
             "active_requests": self._active,
             "rewarmed": self._rewarmed,
             "diverted": self._diverted,
+            "live_relays": self._live_relays,
+            "live_cached_fingerprints": sum(
+                len(keys) for keys in self._live_cached.values()
+            ),
             "uptime_seconds": round(time.time() - self._started_at, 3),
             "coalescer": coalescer.stats() if coalescer is not None else None,
             "shards": shards_doc,

@@ -25,6 +25,24 @@ Analysis operations mirror the session API: ``decide``, ``quick``,
 and ``plan``.  Control operations are ``ping``, ``stats``, ``traces``,
 ``metrics`` and ``shutdown``.
 
+Live operations address a named :class:`~repro.session.LiveAuditSession`
+held by the server (the ``live`` field carries the name):
+
+* ``live-create`` — pin a (schema, secrets, views, facts) state;
+* ``apply-delta`` — add/remove facts and publish/retract views, get the
+  incremental re-verdict notification back;
+* ``live-audit`` — the current verdict snapshot (cacheable: the server
+  invalidates the cached result when a delta lands);
+* ``subscribe`` — dedicate this connection to the session's
+  notification stream: after the acknowledgement, every subsequent
+  line pushed by the server is the notification of one mutation.
+
+Mutations are *not* idempotent, so live mutation operations bypass
+request coalescing, result caches and retry-after-``worker-crashed``;
+the fleet routes every operation of one live session to the same shard
+by hashing the session name (see :func:`routing_key`), which is what
+keeps the warm incremental state on the owning worker.
+
 Error codes
 -----------
 ``bad-json``            the line is not a JSON object;
@@ -85,6 +103,8 @@ __all__ = [
     "DEFAULT_MAX_PAYLOAD",
     "ANALYSIS_OPERATIONS",
     "CONTROL_OPERATIONS",
+    "LIVE_OPERATIONS",
+    "LIVE_MUTATION_OPERATIONS",
     "OPERATIONS",
     "ERROR_BAD_JSON",
     "ERROR_PAYLOAD_TOO_LARGE",
@@ -100,6 +120,7 @@ __all__ = [
     "AuditRequest",
     "parse_request",
     "request_key",
+    "routing_key",
     "session_key",
     "knowledge_from_dict",
     "encode_message",
@@ -122,7 +143,15 @@ ANALYSIS_OPERATIONS = frozenset(
 #: Operations answered by the server itself.
 CONTROL_OPERATIONS = frozenset({"ping", "stats", "traces", "metrics", "shutdown"})
 
-OPERATIONS = ANALYSIS_OPERATIONS | CONTROL_OPERATIONS
+#: Operations addressing a named live audit session (the ``live`` field).
+LIVE_OPERATIONS = frozenset({"live-create", "apply-delta", "live-audit", "subscribe"})
+
+#: The live operations that change server-side state.  They are never
+#: coalesced, never served from result caches, and never marked
+#: retryable — a repeat would apply the delta twice.
+LIVE_MUTATION_OPERATIONS = frozenset({"live-create", "apply-delta"})
+
+OPERATIONS = ANALYSIS_OPERATIONS | CONTROL_OPERATIONS | LIVE_OPERATIONS
 
 ERROR_BAD_JSON = "bad-json"
 ERROR_PAYLOAD_TOO_LARGE = "payload-too-large"
@@ -182,11 +211,31 @@ class AuditRequest:
     #: Tracing directives (``{"return": true, "id": ..., "parent": ...}``).
     #: Transport metadata, excluded from fingerprints like ``deadline_ms``.
     trace: Optional[Mapping[str, Any]] = None
+    #: Live-session name (live operations only).
+    live: Optional[str] = None
+    #: Initial facts (``live-create``) as fact documents.
+    facts: Optional[Sequence[Any]] = None
+    #: Facts to insert / delete (``apply-delta``) as fact documents.
+    add: Optional[Sequence[Any]] = None
+    remove: Optional[Sequence[Any]] = None
+    #: Views to publish (name → datalog) / retract (names) in a delta.
+    publish: Optional[Mapping[str, str]] = None
+    retract: Optional[Sequence[str]] = None
 
     @property
     def is_control(self) -> bool:
         """True for ``ping`` / ``stats`` / ``shutdown``."""
         return self.op in CONTROL_OPERATIONS
+
+    @property
+    def is_live(self) -> bool:
+        """True for operations addressing a named live session."""
+        return self.op in LIVE_OPERATIONS
+
+    @property
+    def is_live_mutation(self) -> bool:
+        """True for live operations that change server-side state."""
+        return self.op in LIVE_MUTATION_OPERATIONS
 
     def to_document(self) -> Dict[str, Any]:
         """The request as a wire document (round-trips through
@@ -196,7 +245,20 @@ class AuditRequest:
         *remaining* budget before forwarding to a worker.
         """
         document: Dict[str, Any] = {"op": self.op, "id": self.id}
-        for key in ("schema", "secret", "views", "secrets", "dictionary", "knowledge"):
+        for key in (
+            "schema",
+            "secret",
+            "views",
+            "secrets",
+            "dictionary",
+            "knowledge",
+            "live",
+            "facts",
+            "add",
+            "remove",
+            "publish",
+            "retract",
+        ):
             value = getattr(self, key)
             if value is not None:
                 document[key] = value
@@ -295,6 +357,11 @@ def parse_request(document: Any) -> AuditRequest:
         # each worker for ``stats`` with ``{"mergeable": true}``).
         return AuditRequest(op=op, id=request_id, options=dict(options), trace=trace)
 
+    if op in LIVE_OPERATIONS:
+        return _parse_live_request(
+            document, op, request_id, options, deadline_ms, trace
+        )
+
     schema = _require(document, "schema", op)
     if not isinstance(schema, Mapping) or not schema.get("relations"):
         raise ProtocolError(
@@ -349,6 +416,103 @@ def parse_request(document: Any) -> AuditRequest:
         deadline_ms=deadline_ms,
         trace=trace,
     )
+
+
+def _check_fact_list(value: Any, key: str) -> List[Any]:
+    """Shallow validation of a fact-document list (deep checks at execution)."""
+    if not isinstance(value, Sequence) or isinstance(value, str):
+        raise ProtocolError(
+            ERROR_INVALID_REQUEST, f"{key!r} must be a list of fact documents"
+        )
+    return list(value)
+
+
+def _parse_live_request(
+    document: Mapping[str, Any],
+    op: str,
+    request_id: "RequestId",
+    options: Mapping[str, Any],
+    deadline_ms: Optional[float],
+    trace: Optional[Mapping[str, Any]],
+) -> AuditRequest:
+    """Validate the live-operation envelopes (``live`` names the session)."""
+    live = _require(document, "live", op)
+    if not isinstance(live, str) or not live:
+        raise ProtocolError(
+            ERROR_INVALID_REQUEST, "'live' must name the live session (non-empty string)"
+        )
+    fields: Dict[str, Any] = {
+        "op": op,
+        "id": request_id,
+        "live": live,
+        "options": dict(options),
+        "deadline_ms": deadline_ms,
+        "trace": trace,
+    }
+    if op == "live-create":
+        schema = _require(document, "schema", op)
+        if not isinstance(schema, Mapping) or not schema.get("relations"):
+            raise ProtocolError(
+                ERROR_INVALID_REQUEST,
+                "'schema' must be a schema document with a non-empty 'relations' list",
+            )
+        fields["schema"] = dict(schema)
+        fields["secrets"] = _check_queries(_require(document, "secrets", op), "secrets")
+        if document.get("views") is not None:
+            fields["views"] = _check_queries(document["views"], "views")
+        if document.get("facts") is not None:
+            fields["facts"] = _check_fact_list(document["facts"], "facts")
+        dictionary = document.get("dictionary")
+        if dictionary is not None:
+            if not isinstance(dictionary, Mapping):
+                raise ProtocolError(
+                    ERROR_INVALID_REQUEST, "'dictionary' must be a JSON object"
+                )
+            fields["dictionary"] = dict(dictionary)
+        for key in ("criticality_engine", "eval_engine"):
+            value = document.get(key)
+            if value is not None:
+                if not isinstance(value, str):
+                    raise ProtocolError(
+                        ERROR_INVALID_REQUEST, f"'{key}' must be a string"
+                    )
+                fields[key] = value
+    elif op == "apply-delta":
+        if document.get("add") is not None:
+            fields["add"] = _check_fact_list(document["add"], "add")
+        if document.get("remove") is not None:
+            fields["remove"] = _check_fact_list(document["remove"], "remove")
+        publish = document.get("publish")
+        if publish is not None:
+            if not isinstance(publish, Mapping) or not all(
+                isinstance(k, str) and isinstance(v, str) for k, v in publish.items()
+            ):
+                raise ProtocolError(
+                    ERROR_INVALID_REQUEST,
+                    "'publish' must map view names to datalog query strings",
+                )
+            fields["publish"] = dict(publish)
+        retract = document.get("retract")
+        if retract is not None:
+            if (
+                not isinstance(retract, Sequence)
+                or isinstance(retract, str)
+                or not all(isinstance(name, str) for name in retract)
+            ):
+                raise ProtocolError(
+                    ERROR_INVALID_REQUEST, "'retract' must be a list of view names"
+                )
+            fields["retract"] = list(retract)
+        if not any(
+            fields.get(key) for key in ("add", "remove", "publish", "retract")
+        ):
+            raise ProtocolError(
+                ERROR_INVALID_REQUEST,
+                "'apply-delta' needs at least one of 'add', 'remove', "
+                "'publish' or 'retract'",
+            )
+    # subscribe / live-audit carry nothing beyond the session name.
+    return AuditRequest(**fields)
 
 
 def _canonical(value: Any) -> Any:
@@ -417,7 +581,27 @@ def request_key(request: AuditRequest) -> str:
         "eval_engine": request.eval_engine,
         "options": _canonical(request.options),
     }
+    if request.is_live:
+        payload["live"] = request.live
+        for key in ("facts", "add", "remove", "publish", "retract"):
+            value = getattr(request, key)
+            if value is not None:
+                payload[key] = _canonical(value)
     return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def routing_key(request: AuditRequest) -> str:
+    """The string the fleet router hashes to pick a shard.
+
+    For stateless analysis requests this is the full :func:`request_key`
+    (duplicates land on one shard and coalesce).  For live operations it
+    is derived from the *session name only*, so every create, delta,
+    audit and subscription of one live session reaches the shard that
+    owns its warm incremental state.
+    """
+    if request.is_live:
+        return f"live|{request.live}"
+    return request_key(request)
 
 
 # ---------------------------------------------------------------------------

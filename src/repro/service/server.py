@@ -65,7 +65,12 @@ from ..obs import (
 from ..obs import install_from_env as install_tracing_from_env
 from . import faults
 from ..io import dictionary_from_dict, schema_from_dict
-from ..session import AnalysisSession, PublishingPlan
+from ..session import (
+    AnalysisSession,
+    LiveAuditSession,
+    PublishingPlan,
+    fact_from_document,
+)
 from ..session.results import (
     AnalysisResult,
     CollusionResult,
@@ -107,6 +112,9 @@ DEFAULT_MAX_SESSIONS = 32
 
 #: Default number of completed request payloads memoized (LRU).
 DEFAULT_RESULT_CACHE = 1024
+
+#: Default number of live audit sessions kept (LRU; oldest is dropped).
+DEFAULT_MAX_LIVE = 32
 
 
 def _fraction_fields(value: Optional[Fraction]) -> Dict[str, Any]:
@@ -225,6 +233,7 @@ class AuditServer:
         max_payload: int = DEFAULT_MAX_PAYLOAD,
         watchdog_seconds: Optional[float] = None,
         slow_ms: Optional[float] = None,
+        max_live: int = DEFAULT_MAX_LIVE,
     ):
         if queue_limit < 1:
             raise ReproError("queue_limit must be at least 1")
@@ -248,6 +257,13 @@ class AuditServer:
         self._sessions: "OrderedDict[str, AnalysisSession]" = OrderedDict()
         self._inflight: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
         self._results: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._max_live = max(1, max_live)
+        self._live: "OrderedDict[str, LiveAuditSession]" = OrderedDict()
+        #: live name -> subscriber notification queues (loop thread only).
+        self._live_subscribers: Dict[str, list] = {}
+        #: live name -> result-cache keys its ``live-audit`` answers occupy;
+        #: popped (cache invalidation) whenever a delta lands on the session.
+        self._live_result_keys: Dict[str, set] = {}
         self._pending = 0
         self._executor: Optional[ThreadPoolExecutor] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -377,8 +393,15 @@ class AuditServer:
                     # Simulate a connection lost mid-response: close
                     # without answering (the client sees EOF and retries).
                     break
+                subscribed = response.pop("_subscribe_live", None)
                 writer.write(encode_message(response))
                 await writer.drain()
+                if subscribed is not None:
+                    # The connection now belongs to the notification
+                    # stream: every further line we write is one
+                    # mutation's re-verdict document.
+                    await self._stream_notifications(subscribed, reader, writer)
+                    break
         except (ConnectionResetError, BrokenPipeError):  # pragma: no cover - client vanished
             pass
         except asyncio.CancelledError:
@@ -413,6 +436,8 @@ class AuditServer:
             return error_response(request_id, error.code, str(error))
         if request.is_control:
             return self._handle_control(request)
+        if request.is_live:
+            return await self._handle_live(request)
         return await self._handle_analysis(request)
 
     def _handle_control(self, request: AuditRequest) -> Dict[str, Any]:
@@ -463,6 +488,10 @@ class AuditServer:
             "result_cache_entries": len(self._results),
             "workers": self._workers,
             "queue_limit": self._queue_limit,
+            "live_sessions": len(self._live),
+            "live_subscribers": sum(
+                len(queues) for queues in self._live_subscribers.values()
+            ),
         }
 
     def _stats_payload(self) -> Dict[str, Any]:
@@ -494,6 +523,17 @@ class AuditServer:
             },
             "query_evaluation": evaluation_stats(),
             "sessions": sessions,
+            "live": {
+                name: {
+                    "revision": live.revision,
+                    "facts": live.fact_count,
+                    "secrets": list(live.secret_names),
+                    "views": list(live.view_names),
+                    "subscribers": len(self._live_subscribers.get(name, ())),
+                    "stats": dict(live.stats),
+                }
+                for name, live in self._live.items()
+            },
             "tracing": {
                 "enabled": tracing_enabled(),
                 "recorded": TRACES.snapshot()["recorded"],
@@ -742,6 +782,237 @@ class AuditServer:
                 elapsed_ms=elapsed * 1000.0,
             )
         return error_response(request.id, response_core["code"], response_core["message"])
+
+    # -- live audit sessions ------------------------------------------------------
+    async def _handle_live(self, request: AuditRequest) -> Dict[str, Any]:
+        """Dispatch one live operation (loop thread; see protocol docs).
+
+        Mutations (``live-create``, ``apply-delta``) bypass coalescing
+        and the result cache — applying a delta twice is a different
+        database — and run to completion even past a deadline (an
+        abandoned half-applied delta would corrupt the session).
+        ``live-audit`` answers *are* cached: the keys are remembered per
+        session and invalidated the moment a delta lands.
+        """
+        started = time.perf_counter()
+        name = request.live or ""
+        try:
+            if request.op == "subscribe":
+                if name not in self._live:
+                    raise ReproError(f"no live session named {name!r}")
+                self._metrics.observe("subscribe", "computed")
+                live = self._live[name]
+                response = ok_response(
+                    request.id,
+                    "subscribe",
+                    {"live": name, "revision": live.revision, "subscribed": True},
+                    elapsed_ms=(time.perf_counter() - started) * 1000.0,
+                )
+                # Sentinel for _on_connection: after this ack the
+                # connection is dedicated to the notification stream.
+                response["_subscribe_live"] = name
+                return response
+
+            if request.op == "live-audit":
+                key = request_key(request)
+                cached = self._results.get(key)
+                if cached is not None:
+                    self._results.move_to_end(key)
+                    elapsed = time.perf_counter() - started
+                    self._metrics.observe("live-audit", "cached", elapsed)
+                    return self._finish(request, cached, elapsed, cached=True)
+
+            if self._pending >= self._queue_limit:
+                self._metrics.observe(request.op, "shed")
+                return error_response(
+                    request.id,
+                    ERROR_OVERLOADED,
+                    f"worker queue is full ({self._pending} pending, "
+                    f"limit {self._queue_limit}); retry later",
+                )
+            loop = asyncio.get_running_loop()
+            self._pending += 1
+            try:
+                if request.op == "live-create":
+                    if name in self._live:
+                        raise ReproError(
+                            f"a live session named {name!r} already exists"
+                        )
+                    live, payload = await loop.run_in_executor(
+                        self._executor, self._live_create, request
+                    )
+                    if name in self._live:  # lost a create race mid-build
+                        raise ReproError(
+                            f"a live session named {name!r} already exists"
+                        )
+                    self._live[name] = live
+                    while len(self._live) > self._max_live:
+                        dropped, _ = self._live.popitem(last=False)
+                        self._live_subscribers.pop(dropped, None)
+                        self._invalidate_live_results(dropped)
+                elif request.op == "apply-delta":
+                    if name not in self._live:
+                        raise ReproError(f"no live session named {name!r}")
+                    live = self._live[name]
+                    self._live.move_to_end(name)
+                    notifications = await loop.run_in_executor(
+                        self._executor, self._live_delta, live, request
+                    )
+                    self._invalidate_live_results(name)
+                    self._fan_out(name, notifications)
+                    payload = dict(notifications[-1])
+                    payload["events"] = len(notifications)
+                else:  # live-audit (cache miss)
+                    live = self._live[name] if name in self._live else None
+                    if live is None:
+                        raise ReproError(f"no live session named {name!r}")
+                    self._live.move_to_end(name)
+                    payload = await loop.run_in_executor(
+                        self._executor, self._live_snapshot, live
+                    )
+            finally:
+                self._pending -= 1
+        except ReproError as error:
+            self._metrics.observe(request.op, "error")
+            return error_response(request.id, ERROR_ANALYSIS, str(error))
+        except Exception as error:  # noqa: BLE001 - the daemon must survive
+            self._metrics.observe(request.op, "error")
+            return error_response(
+                request.id, ERROR_INTERNAL, f"{type(error).__name__}: {error}"
+            )
+        elapsed = time.perf_counter() - started
+        response_core = {"ok": True, "result": payload}
+        if request.op == "live-audit" and self._result_cache_size:
+            key = request_key(request)
+            self._results[key] = response_core
+            self._results.move_to_end(key)
+            self._live_result_keys.setdefault(name, set()).add(key)
+            while len(self._results) > self._result_cache_size:
+                self._results.popitem(last=False)
+        self._metrics.observe(request.op, "computed", elapsed)
+        return self._finish(request, response_core, elapsed)
+
+    def _live_create(self, request: AuditRequest) -> Tuple[LiveAuditSession, Dict[str, Any]]:
+        """Build a live session and its initial snapshot (worker thread).
+
+        Registration stays on the loop thread (`_handle_live`), which
+        owns all bookkeeping.
+        """
+        for rule in faults.fire("server.execute", op=request.op):
+            faults.perform(rule)
+        name = request.live or ""
+        schema = schema_from_dict(request.schema)
+        if request.dictionary is not None:
+            dictionary = dictionary_from_dict(request.dictionary, schema)
+        else:
+            dictionary = dictionary_from_dict(request.schema, schema)
+        secrets = request.secrets
+        if not isinstance(secrets, Mapping):
+            secrets = {f"secret-{i}": q for i, q in enumerate(secrets)}
+        views = request.views
+        if views is not None and not isinstance(views, Mapping):
+            views = (
+                {f"view-{i}": q for i, q in enumerate(views)}
+                if not isinstance(views, str)
+                else {"view-0": views}
+            )
+        facts = [fact_from_document(doc) for doc in request.facts or ()]
+        store = None
+        if request.options.get("store"):
+            from ..storage.sqlite import SQLiteFactStore
+
+            store = SQLiteFactStore()
+        live = LiveAuditSession(
+            schema,
+            secrets=secrets,
+            views=views,
+            facts=facts,
+            store=store,
+            dictionary=dictionary,
+            eval_engine=request.eval_engine,
+            criticality_engine=request.criticality_engine,
+            cache_size=self._session_cache_size,
+        )
+        snapshot = live.snapshot()
+        snapshot["created"] = True
+        snapshot["live"] = name
+        return live, snapshot
+
+    @staticmethod
+    def _live_delta(live: LiveAuditSession, request: AuditRequest) -> list:
+        """Apply one delta request (worker thread); returns notifications.
+
+        Order within one request: view retractions, then publications,
+        then the batched fact delta — so a request can atomically swap a
+        view and shift the data underneath it.
+        """
+        for rule in faults.fire("server.execute", op=request.op):
+            faults.perform(rule)
+        notifications = []
+        for view_name in request.retract or ():
+            notifications.append(live.retract(view_name))
+        for view_name, query in (request.publish or {}).items():
+            notifications.append(live.publish(view_name, query))
+        added = [fact_from_document(doc) for doc in request.add or ()]
+        removed = [fact_from_document(doc) for doc in request.remove or ()]
+        if added or removed or not notifications:
+            notifications.append(live.apply_delta(added=added, removed=removed))
+        return notifications
+
+    @staticmethod
+    def _live_snapshot(live: LiveAuditSession) -> Dict[str, Any]:
+        return live.snapshot()
+
+    def _invalidate_live_results(self, name: str) -> None:
+        """Drop cached ``live-audit`` answers made stale by a delta."""
+        for key in self._live_result_keys.pop(name, ()):
+            self._results.pop(key, None)
+
+    def _fan_out(self, name: str, notifications: list) -> None:
+        """Push a delta's notifications to every subscriber (loop thread)."""
+        queues = self._live_subscribers.get(name)
+        if not queues:
+            return
+        for queue in list(queues):
+            for notification in notifications:
+                queue.put_nowait(notification)
+
+    async def _stream_notifications(
+        self, name: str, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Dedicate this connection to a live session's re-verdict stream.
+
+        Ends when the client closes its side (EOF) or the server stops;
+        the subscription is torn down either way.
+        """
+        queue: "asyncio.Queue" = asyncio.Queue()
+        self._live_subscribers.setdefault(name, []).append(queue)
+        eof = asyncio.ensure_future(reader.read(1))
+        getter: Optional["asyncio.Future"] = None
+        try:
+            while True:
+                getter = asyncio.ensure_future(queue.get())
+                done, _ = await asyncio.wait(
+                    {getter, eof}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if eof in done:
+                    break
+                notification = getter.result()
+                getter = None
+                writer.write(encode_message(notification))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            eof.cancel()
+            if getter is not None:
+                getter.cancel()
+            queues = self._live_subscribers.get(name)
+            if queues is not None:
+                with contextlib.suppress(ValueError):
+                    queues.remove(queue)
+                if not queues:
+                    self._live_subscribers.pop(name, None)
 
     # -- session pool -------------------------------------------------------------
     def _session_for(self, request: AuditRequest) -> AnalysisSession:

@@ -11,6 +11,9 @@ operations over the cached artifacts):
   sharing layer.
 * :class:`PublishingPlan` / ``AnalysisSession.audit_plan`` — batch
   audits of secrets × views × coalitions.
+* :class:`LiveAuditSession` — a pinned (schema, instance, views) state
+  re-audited incrementally as facts and views change (delta classifier,
+  targeted cache invalidation; see :mod:`repro.session.live`).
 * :mod:`~repro.session.engines` — named per-dictionary verification
   engines (``"exact"``, ``"sampling"``).
 * :mod:`repro.core.criticality` — named ``crit_D`` computation engines
@@ -23,6 +26,7 @@ operations over the cached artifacts):
 from .cache import CacheStats, CriticalTupleCache, schema_fingerprint
 from .compile import CompiledQuery, as_query, canonical_query_key, query_fingerprint
 from .default import default_cache, default_session, reset_default_sessions
+from .live import LiveAuditSession, fact_from_document, fact_to_document, may_affect
 from .engines import (
     ExactVerificationEngine,
     SamplingVerificationEngine,
@@ -48,6 +52,10 @@ from .session import AnalysisSession
 
 __all__ = [
     "AnalysisSession",
+    "LiveAuditSession",
+    "may_affect",
+    "fact_from_document",
+    "fact_to_document",
     "CompiledQuery",
     "CriticalTupleCache",
     "CacheStats",

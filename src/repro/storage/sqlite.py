@@ -63,7 +63,13 @@ __all__ = ["SQLiteFactStore", "STORAGE_STATS", "reset_storage_stats"]
 #: A :class:`~repro.obs.counters.StatCounters`: increments go through
 #: ``.bump()`` so counts survive concurrent loads on worker threads.
 STORAGE_STATS = StatCounters(
-    ("facts_loaded", "tables_created", "indexes_created", "stores_opened")
+    (
+        "facts_loaded",
+        "facts_removed",
+        "tables_created",
+        "indexes_created",
+        "stores_opened",
+    )
 )
 
 #: Name of the layout metadata table inside every store.
@@ -229,6 +235,40 @@ class SQLiteFactStore(FactStore):
     def add(self, *facts: Fact) -> int:
         """Load positional facts (convenience over :meth:`load_facts`)."""
         return self.load_facts(facts)
+
+    def remove(self, *facts: Fact) -> int:
+        """Delete facts from the store (missing facts are ignored).
+
+        Returns the number of rows actually deleted.  This is the
+        mutation half the incremental audit layer relies on: the sql
+        delta engine temporarily inserts/deletes single facts to
+        evaluate post-states in place.
+        """
+        removed = 0
+        with span("storage.remove") as sp, self._lock:
+            cursor = self._connection.cursor()
+            cursor.execute("BEGIN")
+            try:
+                for fact in facts:
+                    try:
+                        values = tuple(_check_value(v) for v in fact.values)
+                    except ReproError:
+                        continue  # unstorable values are never in the store
+                    arity = len(values)
+                    table = self._tables.get((fact.relation, arity))
+                    if table is None:
+                        continue
+                    where, params = self._row_predicate(table, arity, values)
+                    cursor.execute(f"DELETE FROM {table} WHERE {where}", params)
+                    removed += cursor.rowcount
+                cursor.execute("COMMIT")
+            except BaseException:
+                cursor.execute("ROLLBACK")
+                raise
+            if sp:
+                sp.set("facts", removed)
+        STORAGE_STATS.bump("facts_removed", removed)
+        return removed
 
     def load_json(self, path: Union[str, Path]) -> int:
         """Load facts from a JSON document.

@@ -14,11 +14,20 @@ fully deterministic given a seed and draws from two sources:
 A configurable fraction of requests are exact duplicates of earlier
 ones, which is what exercises the server's request coalescing and
 result cache under replay.
+
+:func:`generate_delta_stream` additionally emits live-session request
+sequences (``live-create`` + seeded ``apply-delta`` churn) for the
+incremental audit engine; ``replay_workload(..., subscribe=...)``
+replays them in order while collecting the pushed re-verdict
+notifications.
 """
 
 from .generator import (
+    DeltaStreamSpec,
     InstanceSpec,
     WorkloadSpec,
+    delta_stream_state,
+    generate_delta_stream,
     generate_facts,
     generate_instance,
     generate_workload,
@@ -29,8 +38,11 @@ from .generator import (
 )
 
 __all__ = [
+    "DeltaStreamSpec",
     "InstanceSpec",
     "WorkloadSpec",
+    "delta_stream_state",
+    "generate_delta_stream",
     "generate_facts",
     "generate_instance",
     "generate_workload",

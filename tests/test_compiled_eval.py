@@ -21,7 +21,11 @@ from repro.cq import (
     UnionQuery,
     Variable,
     answer_contains,
+    delta_apply,
+    delta_apply_many,
     delta_changes,
+    delta_with,
+    eval_engine_scope,
     evaluate,
     evaluate_boolean,
     evaluation_engine,
@@ -161,6 +165,62 @@ class TestCompiledMatchesNaive:
         assert plan.delta_without(with_fact, fact) == expected
         # A fact absent from the instance never changes the answer.
         assert plan.delta_without(instance.remove(fact), fact) is False
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        query=_query_strategy(MIXED_VALUES, ["=", "!="]),
+        instance=_instance_strategy(MIXED_VALUES),
+        fact=_fact_strategy(MIXED_VALUES),
+    )
+    def test_delta_with_matches_full_reevaluation(self, query, instance, fact):
+        without = instance.remove(fact)
+        expected = naive_evaluate(query, without.add(fact)) != naive_evaluate(
+            query, without
+        )
+        plan = plan_for(query)
+        assert plan.delta_with(without, fact) == expected
+        # A fact already present never changes the answer.
+        assert plan.delta_with(instance.add(fact), fact) is False
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        query=_query_strategy(MIXED_VALUES, ["=", "!="]),
+        instance=_instance_strategy(MIXED_VALUES),
+        added=st.lists(_fact_strategy(MIXED_VALUES), max_size=3),
+        removed=st.lists(_fact_strategy(MIXED_VALUES), max_size=3),
+    )
+    def test_delta_apply_matches_full_reevaluation(
+        self, query, instance, added, removed
+    ):
+        with eval_engine_scope("compiled"):
+            after, gained, lost = delta_apply(query, instance, added, removed)
+        # A fact listed in both sets ends up present.
+        assert after.facts == (instance.facts - set(removed)) | set(added)
+        before_answer = naive_evaluate(query, instance)
+        after_answer = naive_evaluate(query, after)
+        assert gained == after_answer - before_answer
+        assert lost == before_answer - after_answer
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        first=_query_strategy(MIXED_VALUES, ["=", "!="]),
+        second=_query_strategy(MIXED_VALUES, ["=", "!="]),
+        instance=_instance_strategy(MIXED_VALUES),
+        added=st.lists(_fact_strategy(MIXED_VALUES), max_size=3),
+        removed=st.lists(_fact_strategy(MIXED_VALUES), max_size=3),
+    )
+    def test_delta_apply_many_matches_per_query_apply(
+        self, first, second, instance, added, removed
+    ):
+        with eval_engine_scope("compiled"):
+            after, changes = delta_apply_many(
+                (first, second), instance, added, removed
+            )
+            assert len(changes) == 2
+            for query, change in zip((first, second), changes):
+                solo_after, gained, lost = delta_apply(query, instance, added, removed)
+                assert solo_after.facts == after.facts
+                assert change == (gained, lost)
 
     @settings(max_examples=120, deadline=None)
     @given(
@@ -332,6 +392,23 @@ class TestEngineSelection:
         evaluate(query, instance)
         assert INDEX_STATS["builds"] == builds
         assert INDEX_STATS["reuses"] >= 2
+
+    def test_single_fact_delta_patches_parent_indexes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_ENGINE", "compiled")
+        query = q("Q(y) :- R('a', y)")
+        instance = Instance.of(Fact("R", ("a", "b")), Fact("R", ("c", "d")))
+        evaluate(query, instance)  # builds the ('R', (0,)) index
+        builds = INDEX_STATS["builds"]
+        patched = INDEX_STATS["patched"]
+        child = instance.add(Fact("R", ("a", "z")))
+        assert INDEX_STATS["patched"] > patched
+        # The child answers through the patched index, never rebuilding.
+        assert evaluate(query, child) == frozenset({("b",), ("z",)})
+        assert INDEX_STATS["builds"] == builds
+        grandchild = child.remove(Fact("R", ("a", "b")))
+        assert evaluate(query, grandchild) == frozenset({("z",)})
+        assert INDEX_STATS["builds"] == builds
+        assert evaluation_stats()["index_patched"] == INDEX_STATS["patched"]
 
     def test_evaluation_stats_document(self, monkeypatch):
         monkeypatch.setenv("REPRO_EVAL_ENGINE", "compiled")

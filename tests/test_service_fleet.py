@@ -419,3 +419,117 @@ class TestFleetCoalescerTable:
             assert stats["cached_results"] == 3
             assert table.lookup("fp5") is not None
             assert table.lookup("fp0") is None
+
+    def test_forget_drops_a_published_result(self, tmp_path):
+        with FleetCoalescer(str(tmp_path / "t.db"), owner=1) as table:
+            assert table.claim("fp") is None
+            table.publish("fp", '{"ok": true}')
+            assert table.lookup("fp") is not None
+            assert table.forget("fp") == 1
+            assert table.lookup("fp") is None
+            # The row is gone outright: the next caller owns a fresh claim.
+            assert table.claim("fp") is None
+            table.abandon("fp")
+            assert table.forget("missing") == 0
+            assert table.stats()["forgotten"] == 1
+
+    def test_forget_drops_a_pending_claim(self, tmp_path):
+        # A delta can land while a live-audit is still being computed;
+        # forget must remove the pending row too, whatever its state.
+        with FleetCoalescer(str(tmp_path / "t.db"), owner=1) as table:
+            assert table.claim("fp") is None  # pending, never published
+            assert table.forget("fp") == 1
+            assert table.claim("fp") is None  # claimable again
+            assert table.stats()["forgotten"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Live sessions through the fleet
+# ---------------------------------------------------------------------------
+LIVE_SCHEMA = SCHEMA
+LIVE_FACT = ["Emp", ["n0", "d0", "p0"]]
+LIVE_OTHER = ["Emp", ["n1", "d1", "p1"]]
+
+
+class TestFleetLive:
+    def _create(self, client, name):
+        result = client.call(
+            "live-create",
+            live=name,
+            schema=LIVE_SCHEMA,
+            secrets={"s": SECRET},
+            views=VIEWS,
+            facts=[LIVE_FACT],
+        )
+        assert result["created"] is True
+
+    def test_live_ops_share_one_shard(self, client):
+        self._create(client, "fleet-routing")
+        shards = set()
+        for _ in range(3):
+            response = client.request("live-audit", live="fleet-routing")
+            assert response["ok"] is True
+            shards.add(response["server"]["shard"])
+        delta = client.request("apply-delta", live="fleet-routing", add=[LIVE_OTHER])
+        assert delta["ok"] is True
+        shards.add(delta["server"]["shard"])
+        assert len(shards) == 1
+
+    def test_delta_forgets_fleet_cached_audits(self, fleet, client):
+        self._create(client, "fleet-invalidate")
+        first = client.request("live-audit", live="fleet-invalidate")
+        assert first["ok"] and not first["server"].get("fleet_cached")
+        with AuditServiceClient(*fleet.address) as other:
+            second = other.request("live-audit", live="fleet-invalidate")
+        assert second["server"]["fleet_cached"] is True
+        assert second["result"]["fact_count"] == 1
+        forgotten_before = fleet.fleet._coalescer.stats()["forgotten"]
+        client.call("apply-delta", live="fleet-invalidate", add=[LIVE_OTHER])
+        # The router forgot every fleet-cached answer of this session…
+        assert fleet.fleet._coalescer.stats()["forgotten"] > forgotten_before
+        # …so the next audit is recomputed against the new database.
+        third = client.request("live-audit", live="fleet-invalidate")
+        assert not third["server"].get("fleet_cached")
+        assert third["result"]["fact_count"] == 2
+        assert third["result"]["revision"] == 1
+
+    def test_subscribe_relays_through_the_router(self, fleet, client):
+        self._create(client, "fleet-subscribe")
+        subscriber = AuditServiceClient(*fleet.address)
+        stream = subscriber.subscribe("fleet-subscribe")
+        received = []
+        done = threading.Event()
+
+        def _pump():
+            for notification in stream:
+                received.append(notification)
+                if len(received) >= 2:
+                    done.set()
+                    return
+
+        thread = threading.Thread(target=_pump, daemon=True)
+        thread.start()
+        try:
+            client.call("apply-delta", live="fleet-subscribe", add=[LIVE_OTHER])
+            client.call("apply-delta", live="fleet-subscribe", remove=[LIVE_FACT])
+            assert done.wait(15.0), f"got {len(received)} notifications"
+        finally:
+            subscriber.interrupt()
+            thread.join(5.0)
+            subscriber.close()
+        assert [note["event"] for note in received] == ["apply-delta", "apply-delta"]
+        assert received[-1]["fact_count"] == 1
+        final = client.call("live-audit", live="fleet-subscribe")
+        assert received[-1]["revision"] == final["revision"]
+        assert received[-1]["fact_count"] == final["fact_count"]
+
+    def test_mutations_are_never_fleet_cached(self, client):
+        self._create(client, "fleet-mutate")
+        first = client.request("apply-delta", live="fleet-mutate", add=[LIVE_OTHER])
+        second = client.request(
+            "apply-delta", live="fleet-mutate", remove=[LIVE_OTHER]
+        )
+        assert first["ok"] and second["ok"]
+        assert not first["server"].get("fleet_cached")
+        assert not second["server"].get("fleet_cached")
+        assert second["result"]["revision"] == 2

@@ -28,7 +28,10 @@ from repro.cq import (
     Constant,
     Variable,
     answer_contains,
+    delta_apply,
+    delta_apply_many,
     delta_changes,
+    delta_with,
     eval_engine_scope,
     evaluate,
     evaluate_boolean,
@@ -150,6 +153,61 @@ class TestSqlMatchesOtherEngines:
         _unanimous(lambda: evaluate(union, instance))
         _unanimous(lambda: evaluate_boolean(union, instance))
         _unanimous(lambda: delta_changes(union, instance, fact))
+        _unanimous(lambda: delta_with(union, instance, fact))
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        query=_query_strategy(MIXED_VALUES, ["=", "!="]),
+        instance=_instance_strategy(MIXED_VALUES),
+        fact=_fact_strategy(MIXED_VALUES),
+    )
+    def test_delta_with(self, query, instance, fact):
+        _unanimous(lambda: delta_with(query, instance, fact))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        query=_query_strategy(MIXED_VALUES, ["=", "!="]),
+        instance=_instance_strategy(MIXED_VALUES),
+        added=st.lists(_fact_strategy(MIXED_VALUES), max_size=3),
+        removed=st.lists(_fact_strategy(MIXED_VALUES), max_size=3),
+    )
+    def test_delta_apply(self, query, instance, added, removed):
+        def run():
+            after, gained, lost = delta_apply(query, instance, added, removed)
+            return (after.facts, gained, lost)
+
+        _unanimous(run)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        first=_query_strategy(MIXED_VALUES, ["=", "!="]),
+        second=_query_strategy(MIXED_VALUES, ["=", "!="]),
+        instance=_instance_strategy(MIXED_VALUES),
+        added=st.lists(_fact_strategy(MIXED_VALUES), max_size=3),
+        removed=st.lists(_fact_strategy(MIXED_VALUES), max_size=3),
+    )
+    def test_delta_apply_many(self, first, second, instance, added, removed):
+        def run():
+            after, changes = delta_apply_many(
+                (first, second), instance, added, removed
+            )
+            return (after.facts, changes)
+
+        _unanimous(run)
+
+    def test_delta_apply_mutates_a_store_in_place(self):
+        store = SQLiteFactStore.mirror(
+            [Fact("R", (1, 2)), Fact("S", (2, 3)), Fact("R", (4, 4))]
+        )
+        query = q("Q(x, z) :- R(x, y), S(y, z)")
+        with eval_engine_scope("sql"):
+            after, gained, lost = delta_apply(
+                query, store, added=[Fact("S", (4, 9))], removed=[Fact("S", (2, 3))]
+            )
+        assert after is store
+        assert Fact("S", (4, 9)) in store and Fact("S", (2, 3)) not in store
+        assert gained == frozenset({(4, 9)})
+        assert lost == frozenset({(1, 3)})
 
 
 # ---------------------------------------------------------------------------

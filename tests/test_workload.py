@@ -7,7 +7,10 @@ import pytest
 from repro.exceptions import ReproError
 from repro.service import ServerThread, parse_request
 from repro.workload import (
+    DeltaStreamSpec,
     WorkloadSpec,
+    delta_stream_state,
+    generate_delta_stream,
     generate_workload,
     load_workload,
     replay_workload,
@@ -84,6 +87,60 @@ class TestGeneration:
             generate_workload(WorkloadSpec(mix={"teleport": 1.0}))
 
 
+class TestDeltaStreams:
+    def test_deterministic_given_seed(self):
+        spec = DeltaStreamSpec(seed=7, deltas=32)
+        assert generate_delta_stream(spec) == generate_delta_stream(spec)
+
+    def test_different_seeds_differ(self):
+        one = generate_delta_stream(DeltaStreamSpec(seed=1, deltas=32))
+        two = generate_delta_stream(DeltaStreamSpec(seed=2, deltas=32))
+        assert one != two
+
+    def test_every_request_is_valid_and_ordered(self):
+        requests = generate_delta_stream(DeltaStreamSpec(seed=5, deltas=24))
+        assert len(requests) == 25  # one live-create + 24 deltas
+        first = parse_request(requests[0])
+        assert first.op == "live-create"
+        for document in requests[1:]:
+            request = parse_request(document)
+            assert request.op == "apply-delta"
+            assert request.live == first.live
+
+    def test_deletes_only_touch_live_facts(self):
+        requests = generate_delta_stream(DeltaStreamSpec(seed=9, deltas=40))
+        state = {tuple([f[0], tuple(f[1])]) for f in requests[0]["facts"]}
+        for document in requests[1:]:
+            removed = {tuple([f[0], tuple(f[1])]) for f in document.get("remove") or ()}
+            added = {tuple([f[0], tuple(f[1])]) for f in document.get("add") or ()}
+            assert removed <= state
+            assert not (added & removed)
+            state = (state - removed) | added
+
+    def test_mirror_tracks_the_stream(self):
+        requests = generate_delta_stream(DeltaStreamSpec(seed=3, deltas=20))
+        facts, views = delta_stream_state(requests)
+        # Replaying the documents by hand lands on the same state.
+        state = {tuple([f[0], tuple(f[1])]) for f in requests[0]["facts"]}
+        published = dict(requests[0].get("views") or {})
+        for document in requests[1:]:
+            for name in document.get("retract") or ():
+                published.pop(name)
+            published.update(document.get("publish") or {})
+            state -= {tuple([f[0], tuple(f[1])]) for f in document.get("remove") or ()}
+            state |= {tuple([f[0], tuple(f[1])]) for f in document.get("add") or ()}
+        assert {tuple([f[0], tuple(f[1])]) for f in facts} == state
+        assert views == published
+
+    def test_rejects_degenerate_specs(self):
+        with pytest.raises(ReproError):
+            generate_delta_stream(DeltaStreamSpec(deltas=0))
+        with pytest.raises(ReproError):
+            generate_delta_stream(DeltaStreamSpec(secrets={}))
+        with pytest.raises(ReproError):
+            generate_delta_stream(DeltaStreamSpec(mix={"teleport": 1.0}))
+
+
 class TestWorkloadFiles:
     def test_save_load_round_trip(self, tmp_path):
         requests = generate_workload(WorkloadSpec(seed=9, requests=25))
@@ -120,6 +177,27 @@ class TestReplay:
     def test_replay_needs_a_connection(self):
         with pytest.raises(ReproError):
             replay_workload([], "127.0.0.1", 1, concurrency=0)
+
+    def test_replay_subscribe_collects_every_notification(self):
+        spec = DeltaStreamSpec(seed=13, deltas=16, live="replay-live")
+        requests = generate_delta_stream(spec)
+        with ServerThread(workers=2) as server:
+            summary = replay_workload(
+                requests, *server.address, concurrency=2, subscribe="replay-live"
+            )
+        assert summary["requests"] == len(requests)
+        assert summary["ok"] == len(requests)
+        assert summary["errors"] == 0
+        assert summary["live_requests"] == len(requests)
+        assert summary["notifications_expected"] > 0
+        notes = summary["notifications"]
+        assert len(notes) == summary["notifications_expected"]
+        revisions = [note["revision"] for note in notes]
+        assert revisions == sorted(revisions)
+        # The stream's final state agrees with the generator's mirror.
+        facts, views = delta_stream_state(requests)
+        assert notes[-1]["fact_count"] == len(facts)
+        assert sorted(notes[-1]["views"]) == sorted(views)
 
     def test_replay_accounts_every_request_despite_transport_errors(self):
         # An oversized line overruns the server's stream buffer, which
